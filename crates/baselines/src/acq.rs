@@ -1,0 +1,169 @@
+//! ACQ — attributed community query (Fang et al., PVLDB 2016).
+//!
+//! ACQ finds a connected k-core containing the query vertex whose members
+//! *all share* the largest possible subset of the query keywords. Section 1
+//! of the BCC paper uses it to motivate cross-group search: on a labeled
+//! graph every vertex carries exactly one label, so a community spanning two
+//! labels shares **zero** common keywords and ACQ necessarily returns an
+//! empty (or single-group) answer. This implementation exists to make that
+//! argument executable: [`AcqSearch::search`] implements the
+//! single-query-vertex model faithfully for one-label-per-vertex graphs, and
+//! [`AcqSearch::search_pair`] shows the cross-label failure.
+
+use bcc_graph::{GraphView, Label, LabeledGraph, VertexId};
+
+use crate::{BaselineError, BaselineResult};
+
+/// The ACQ searcher (single-label-per-vertex specialization).
+#[derive(Clone, Copy, Debug)]
+pub struct AcqSearch {
+    /// Core threshold k.
+    pub k: u32,
+}
+
+impl Default for AcqSearch {
+    fn default() -> Self {
+        AcqSearch { k: 2 }
+    }
+}
+
+impl AcqSearch {
+    /// ACQ with query vertex `q` and query keywords `keywords`.
+    ///
+    /// The answer is the connected k-core around `q` whose members all share
+    /// a keyword with the query — with one label per vertex, the best
+    /// shared-keyword set is `{ℓ(q)}` if `ℓ(q) ∈ keywords`, so the answer is
+    /// the k-core of `q`'s label group.
+    pub fn search(
+        &self,
+        graph: &LabeledGraph,
+        q: VertexId,
+        keywords: &[Label],
+    ) -> Result<BaselineResult, BaselineError> {
+        if q.index() >= graph.vertex_count() {
+            return Err(BaselineError::QueryOutOfRange(q));
+        }
+        if !keywords.contains(&graph.label(q)) {
+            // No keyword can be shared by a community containing q.
+            return Err(BaselineError::NoCommunity);
+        }
+        // Keyword cohesiveness: all vertices must share ≥ 1 keyword with
+        // each other. With single labels that forces a single-label
+        // community — q's label.
+        let label = graph.label(q);
+        let mut view = GraphView::from_vertices(
+            graph,
+            graph.vertices().filter(|&v| graph.label(v) == label),
+        );
+        bcc_cohesion::reduce_to_k_core(&mut view, self.k);
+        if !view.is_alive(q) {
+            return Err(BaselineError::NoCommunity);
+        }
+        let comp = view.component_of(q);
+        let mut community: Vec<VertexId> =
+            comp.iter().map(|i| VertexId(i as u32)).collect();
+        community.sort_unstable();
+        let dist = bcc_graph::bfs_distances(&view, q);
+        let query_distance = community
+            .iter()
+            .map(|v| dist[v.index()])
+            .max()
+            .unwrap_or(0);
+        Ok(BaselineResult {
+            community,
+            query_distance,
+            iterations: 0,
+        })
+    }
+
+    /// The paper's Section 1 scenario: two query vertices with different
+    /// labels and keywords `{ℓ(q_l), ℓ(q_r)}`. Every community containing
+    /// both queries has keyword cohesiveness 0, so ACQ returns empty —
+    /// always `Err(NoCommunity)` when the labels differ.
+    pub fn search_pair(
+        &self,
+        graph: &LabeledGraph,
+        ql: VertexId,
+        qr: VertexId,
+    ) -> Result<BaselineResult, BaselineError> {
+        for q in [ql, qr] {
+            if q.index() >= graph.vertex_count() {
+                return Err(BaselineError::QueryOutOfRange(q));
+            }
+        }
+        if graph.label(ql) != graph.label(qr) {
+            // Cross-group community ⇒ no common keyword ⇒ empty result.
+            return Err(BaselineError::NoCommunity);
+        }
+        // Same label: degenerate to the single-vertex model and intersect
+        // with the second query's membership.
+        let result = self.search(graph, ql, &[graph.label(ql)])?;
+        if result.contains(&qr) {
+            Ok(result)
+        } else {
+            Err(BaselineError::Disconnected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    /// Two labeled 4-cliques with a full cross biclique between them.
+    fn cross_group_graph() -> (LabeledGraph, Vec<VertexId>, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let l: Vec<_> = (0..4).map(|_| b.add_vertex("L")).collect();
+        let r: Vec<_> = (0..4).map(|_| b.add_vertex("R")).collect();
+        for grp in [&l, &r] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(grp[i], grp[j]);
+                }
+            }
+        }
+        for &x in &l {
+            for &y in &r {
+                b.add_edge(x, y);
+            }
+        }
+        let g = b.build();
+        (g, l, r)
+    }
+
+    #[test]
+    fn single_label_query_returns_label_core() {
+        let (g, l, _) = cross_group_graph();
+        let result = AcqSearch { k: 3 }
+            .search(&g, l[0], &[g.label(l[0])])
+            .unwrap();
+        assert_eq!(result.community, l, "the L 4-clique is the 3-core answer");
+    }
+
+    #[test]
+    fn cross_label_pair_returns_empty_as_the_paper_argues() {
+        // The Section 1 motivating claim: keyword cohesiveness is always 0
+        // for cross-group queries, so ACQ finds nothing — even though a
+        // perfectly good BCC exists in this graph.
+        let (g, l, r) = cross_group_graph();
+        let err = AcqSearch { k: 3 }.search_pair(&g, l[0], r[0]).unwrap_err();
+        assert_eq!(err, BaselineError::NoCommunity);
+    }
+
+    #[test]
+    fn keyword_mismatch_is_empty() {
+        let (g, l, r) = cross_group_graph();
+        let err = AcqSearch { k: 3 }
+            .search(&g, l[0], &[g.label(r[0])])
+            .unwrap_err();
+        assert_eq!(err, BaselineError::NoCommunity);
+    }
+
+    #[test]
+    fn same_label_pair_works() {
+        let (g, l, _) = cross_group_graph();
+        let result = AcqSearch { k: 3 }.search_pair(&g, l[0], l[1]).unwrap();
+        assert!(result.contains(&l[0]) && result.contains(&l[1]));
+    }
+}

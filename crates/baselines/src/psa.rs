@@ -1,0 +1,282 @@
+//! PSA — progressive minimum k-core search (Li et al., PVLDB 2019).
+//!
+//! Model: a *small* connected k-core containing all query vertices. The
+//! original PSA progressively tightens lower/upper bounds with expansion
+//! orders; we implement the expand-then-shrink greedy that preserves its
+//! comparison semantics (documented substitution — see DESIGN.md):
+//!
+//! 1. pick the largest k for which one connected k-core holds all queries
+//!    (or use the caller's k);
+//! 2. start from the queries' component of that k-core;
+//! 3. repeatedly *try* deleting the farthest vertices; commit only if the
+//!    k-core cascade keeps the queries alive and connected, otherwise stop.
+//!
+//! The result is a minimal-ish connected k-core around the queries — like
+//! CTC it is label-blind.
+
+use bcc_cohesion::{core_decomposition, reduce_to_k_core};
+use bcc_graph::{GraphView, LabeledGraph, VertexId, INF_DIST};
+
+use crate::{BaselineError, BaselineResult};
+
+/// The PSA searcher.
+#[derive(Clone, Copy, Debug)]
+pub struct PsaSearch {
+    /// Fixed k; `None` auto-selects the largest feasible k for the queries.
+    pub k: Option<u32>,
+    /// Bulk deletion of all farthest vertices per round.
+    pub bulk: bool,
+}
+
+impl Default for PsaSearch {
+    fn default() -> Self {
+        PsaSearch { k: None, bulk: true }
+    }
+}
+
+impl PsaSearch {
+    /// Finds a small connected k-core containing `queries`, computing the
+    /// core decomposition on the fly.
+    pub fn search(
+        &self,
+        graph: &LabeledGraph,
+        queries: &[VertexId],
+    ) -> Result<BaselineResult, BaselineError> {
+        let full = GraphView::new(graph);
+        let coreness = core_decomposition(&full);
+        self.search_with_coreness(graph, &coreness, queries)
+    }
+
+    /// [`PsaSearch::search`] with a precomputed (label-blind) core
+    /// decomposition — lets a harness amortize the decomposition across
+    /// query workloads.
+    pub fn search_with_coreness(
+        &self,
+        graph: &LabeledGraph,
+        coreness: &[u32],
+        queries: &[VertexId],
+    ) -> Result<BaselineResult, BaselineError> {
+        if queries.is_empty() {
+            return Err(BaselineError::EmptyQuery);
+        }
+        for &q in queries {
+            if q.index() >= graph.vertex_count() {
+                return Err(BaselineError::QueryOutOfRange(q));
+            }
+        }
+        let k_cap = queries
+            .iter()
+            .map(|&q| coreness[q.index()])
+            .min()
+            .unwrap_or(0);
+        let k = match self.k {
+            Some(k) => {
+                if k > k_cap {
+                    return Err(BaselineError::NoCommunity);
+                }
+                k
+            }
+            None => {
+                // Largest k whose k-core keeps the queries connected.
+                let mut found = None;
+                for k in (1..=k_cap).rev() {
+                    if queries_connected_in_core(graph, coreness, k, queries) {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                found.ok_or(BaselineError::Disconnected)?
+            }
+        };
+
+        // G0: queries' component of the k-core.
+        let mut view = GraphView::from_vertices(
+            graph,
+            graph.vertices().filter(|&v| coreness[v.index()] >= k),
+        );
+        reduce_to_k_core(&mut view, k); // settle any view-boundary effects
+        if queries.iter().any(|&q| !view.is_alive(q)) {
+            return Err(BaselineError::NoCommunity);
+        }
+        let comp = view.component_of(queries[0]);
+        if queries.iter().any(|&q| !comp.contains(q.index())) {
+            return Err(BaselineError::Disconnected);
+        }
+        view.restrict_to(&comp);
+
+        // Shrink: tentatively delete the farthest batch; commit while the
+        // k-core cascade keeps all queries alive and connected.
+        let mut iterations = 0usize;
+        loop {
+            let dists: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|&q| bcc_graph::bfs_distances(&view, q))
+                .collect();
+            let mut max_qd = 0u32;
+            let mut farthest: Vec<VertexId> = Vec::new();
+            for v in view.alive_vertices() {
+                let qd = dists.iter().map(|d| d[v.index()]).max().unwrap_or(0);
+                match qd.cmp(&max_qd) {
+                    std::cmp::Ordering::Greater => {
+                        max_qd = qd;
+                        farthest.clear();
+                        farthest.push(v);
+                    }
+                    std::cmp::Ordering::Equal => farthest.push(v),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            if max_qd == 0 {
+                break;
+            }
+            let batch: Vec<VertexId> = if self.bulk {
+                farthest
+            } else {
+                vec![farthest[0]]
+            };
+            // Tentative application on a clone (PSA's "progressive" check).
+            let mut trial = view.clone();
+            for &v in &batch {
+                trial.remove_vertex(v);
+            }
+            reduce_to_k_core(&mut trial, k);
+            let ok = queries.iter().all(|&q| trial.is_alive(q)) && {
+                let comp = trial.component_of(queries[0]);
+                queries.iter().all(|&q| comp.contains(q.index()))
+            };
+            if !ok {
+                break;
+            }
+            let comp = trial.component_of(queries[0]);
+            view = trial;
+            view.restrict_to(&comp);
+            iterations += 1;
+        }
+
+        let mut community: Vec<VertexId> = view.collect_vertices();
+        community.sort_unstable();
+        let dists: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|&q| bcc_graph::bfs_distances(&view, q))
+            .collect();
+        let query_distance = community
+            .iter()
+            .map(|v| {
+                dists
+                    .iter()
+                    .map(|d| d[v.index()])
+                    .max()
+                    .unwrap_or(INF_DIST)
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(BaselineResult {
+            community,
+            query_distance,
+            iterations,
+        })
+    }
+}
+
+fn queries_connected_in_core(
+    graph: &LabeledGraph,
+    coreness: &[u32],
+    k: u32,
+    queries: &[VertexId],
+) -> bool {
+    let view = GraphView::from_vertices(
+        graph,
+        graph.vertices().filter(|&v| coreness[v.index()] >= k),
+    );
+    if queries.iter().any(|&q| !view.is_alive(q)) {
+        return false;
+    }
+    let dist = bcc_graph::bfs_distances(&view, queries[0]);
+    queries.iter().all(|&q| dist[q.index()] != INF_DIST)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    /// A K5 with a long attached chain of K4s — the minimum k-core around
+    /// queries inside the K5 should stay inside it.
+    fn k5_with_tail() -> (LabeledGraph, Vec<VertexId>, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let core: Vec<_> = (0..5).map(|_| b.add_vertex("A")).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_edge(core[i], core[j]);
+            }
+        }
+        let mut tail = Vec::new();
+        let mut prev = core[4];
+        for _ in 0..3 {
+            let blk: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(blk[i], blk[j]);
+                }
+            }
+            for &x in &blk[..3] {
+                b.add_edge(prev, x);
+            }
+            prev = blk[3];
+            tail.extend(blk);
+        }
+        let g = b.build();
+        (g, core, tail)
+    }
+
+    #[test]
+    fn finds_tight_core_around_queries() {
+        let (g, core, tail) = k5_with_tail();
+        let result = PsaSearch::default().search(&g, &[core[0], core[1]]).unwrap();
+        assert!(result.contains(&core[0]) && result.contains(&core[1]));
+        assert!(
+            !result.contains(tail.last().unwrap()),
+            "distant tail should not survive shrinking: {:?}",
+            result.community
+        );
+    }
+
+    #[test]
+    fn fixed_k_is_respected() {
+        let (g, core, _) = k5_with_tail();
+        let result = PsaSearch { k: Some(3), bulk: true }
+            .search(&g, &[core[0], core[1]])
+            .unwrap();
+        let view = GraphView::from_vertices(&g, result.community.iter().copied());
+        for v in &result.community {
+            assert!(view.degree(*v) >= 3, "k-core property violated at {v}");
+        }
+    }
+
+    #[test]
+    fn infeasible_k_errors() {
+        let (g, core, _) = k5_with_tail();
+        let err = PsaSearch { k: Some(10), bulk: true }
+            .search(&g, &[core[0], core[1]])
+            .unwrap_err();
+        assert_eq!(err, BaselineError::NoCommunity);
+    }
+
+    #[test]
+    fn result_is_connected_k_core() {
+        let (g, core, tail) = k5_with_tail();
+        let result = PsaSearch::default().search(&g, &[core[0], tail[0]]).unwrap();
+        let view = GraphView::from_vertices(&g, result.community.iter().copied());
+        let comp = view.component_of(core[0]);
+        assert_eq!(comp.count(), result.len(), "community must be connected");
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let (g, _, _) = k5_with_tail();
+        assert_eq!(
+            PsaSearch::default().search(&g, &[]).unwrap_err(),
+            BaselineError::EmptyQuery
+        );
+    }
+}

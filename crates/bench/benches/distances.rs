@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for query-distance maintenance: full BFS
+//! recomputation versus the Algorithm 5 incremental update (the ablation
+//! behind Section 6.1 and the first row of Table 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bcc_core::{IncrementalDistances, SearchStats};
+use bcc_datasets::{PlantedConfig, PlantedNetwork};
+use bcc_graph::{GraphView, VertexId};
+
+fn fixture() -> PlantedNetwork {
+    PlantedNetwork::generate(PlantedConfig {
+        communities: 60,
+        community_size: (30, 50),
+        ..Default::default()
+    })
+}
+
+fn bench_distance_maintenance(c: &mut Criterion) {
+    let net = fixture();
+    let graph = &net.graph;
+    let queries = [VertexId(0), VertexId(20)];
+
+    let mut group = c.benchmark_group("query_distance");
+    group.bench_function("full_bfs_recompute", |b| {
+        let view = GraphView::new(graph);
+        let mut stats = SearchStats::default();
+        b.iter(|| IncrementalDistances::compute(&view, &queries, &mut stats))
+    });
+    group.bench_function("alg5_incremental_update", |b| {
+        // One far vertex is removed; Algorithm 5 refreshes the arrays.
+        let mut view = GraphView::new(graph);
+        let mut stats = SearchStats::default();
+        let base = IncrementalDistances::compute(&view, &queries, &mut stats);
+        let victim = view
+            .alive_vertices()
+            .filter(|v| !queries.contains(v))
+            .max_by_key(|&v| {
+                let d = base.vertex_query_distance(v);
+                if d == u32::MAX {
+                    0
+                } else {
+                    d
+                }
+            })
+            .expect("non-trivial graph");
+        view.remove_vertex(victim);
+        b.iter(|| {
+            let mut inc = base.clone();
+            inc.update_after_removal(&view, &[victim], &mut stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_distance_maintenance
+}
+criterion_main!(benches);

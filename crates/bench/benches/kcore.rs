@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the k-core substrate: full decomposition
+//! versus incremental maintenance (the ablation behind Algorithm 4's
+//! cascade-don't-recompute design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bcc_cohesion::{
+    core_decomposition, label_core_decomposition, reduce_to_label_core, LabelCoreThresholds,
+};
+use bcc_datasets::{PlantedConfig, PlantedNetwork};
+use bcc_graph::{GraphView, VertexId};
+
+fn fixture(communities: usize) -> PlantedNetwork {
+    PlantedNetwork::generate(PlantedConfig {
+        communities,
+        community_size: (30, 50),
+        ..Default::default()
+    })
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_decomposition");
+    for communities in [20usize, 80] {
+        let net = fixture(communities);
+        let view = GraphView::new(&net.graph);
+        group.bench_with_input(
+            BenchmarkId::new("full_graph", communities),
+            &communities,
+            |b, _| b.iter(|| core_decomposition(&view)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("label_induced", communities),
+            &communities,
+            |b, _| b.iter(|| label_core_decomposition(&view)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_maintenance_vs_recompute(c: &mut Criterion) {
+    let net = fixture(40);
+    let graph = &net.graph;
+    // Thresholds for the two labels of one community pair.
+    let la = graph.label(VertexId(0));
+    let lb = net.communities[0]
+        .iter()
+        .map(|&v| graph.label(v))
+        .find(|&l| l != la)
+        .expect("two labels per community");
+    let mut thresholds = LabelCoreThresholds::new(graph.label_count());
+    thresholds.require(la, 3);
+    thresholds.require(lb, 3);
+
+    let mut group = c.benchmark_group("core_maintenance");
+    group.bench_function("reduce_to_label_core_from_scratch", |b| {
+        b.iter(|| {
+            let mut view = GraphView::new(graph);
+            reduce_to_label_core(&mut view, &thresholds)
+        })
+    });
+    group.bench_function("cascade_after_one_deletion", |b| {
+        // Prepare the reduced view once; measure only the incremental
+        // cascade after removing a single vertex.
+        let mut base = GraphView::new(graph);
+        reduce_to_label_core(&mut base, &thresholds);
+        let victim = base.alive_vertices().next().expect("non-empty core");
+        b.iter(|| {
+            let mut view = base.clone();
+            view.remove_vertex(victim);
+            bcc_cohesion::cascade_label_core(&mut view, &thresholds, &[victim])
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decomposition, bench_maintenance_vs_recompute
+}
+criterion_main!(benches);

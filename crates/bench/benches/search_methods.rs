@@ -1,0 +1,38 @@
+//! Criterion end-to-end benchmarks of the five search methods on a
+//! mid-sized network (the Figure 5 comparison at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bcc_bench::{run_query, Method, ParamOverride, PreparedNetwork};
+use bcc_datasets::QueryConstraints;
+
+fn bench_methods(c: &mut Criterion) {
+    let prepared = PreparedNetwork::prepare(&bcc_datasets::dblp(0.5));
+    let queries = bcc_datasets::random_community_queries(
+        &prepared.net,
+        5,
+        QueryConstraints::default(),
+        7,
+    );
+    assert!(!queries.is_empty(), "workload generation failed");
+
+    let mut group = c.benchmark_group("search_methods_dblp");
+    for method in Method::all() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let outcome = run_query(&prepared, method, q, ParamOverride::default());
+                    criterion::black_box(outcome.community);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_methods
+}
+criterion_main!(benches);

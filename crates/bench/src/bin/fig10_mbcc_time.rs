@@ -1,0 +1,63 @@
+//! Figure 10 (Exp-10) — mBCC query time of the three extended methods while
+//! varying the number of query labels m ∈ {2..6} on Baidu-1, Baidu-2,
+//! DBLP-M, LiveJournal-M, Orkut-M.
+//!
+//! `cargo run -p bcc-bench --release --bin fig10_mbcc_time [--scale 1.0] [--queries 10] [--seed 7]`
+
+use bcc_bench::{evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE};
+use bcc_eval::table::fmt_seconds;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 10usize);
+    let seed = args.get("seed", 7u64);
+    let max_m = 6usize;
+
+    // Multi-label versions: the Baidu networks natively have many labels;
+    // the SNAP graphs get the paper's 6-label random assignment.
+    let specs: Vec<bcc_datasets::NetworkSpec> = vec![
+        {
+            let mut s = bcc_datasets::baidu1(scale);
+            s.config.groups_per_community = max_m;
+            s
+        },
+        {
+            let mut s = bcc_datasets::baidu2(scale);
+            s.config.groups_per_community = max_m;
+            s
+        },
+        bcc_datasets::dblp_m(scale, max_m),
+        bcc_datasets::livejournal_m(scale, max_m),
+        bcc_datasets::orkut_m(scale, max_m),
+    ];
+
+    for spec in specs {
+        let prepared = PreparedNetwork::prepare(&spec);
+        let mut headers = vec!["m".to_string()];
+        headers.extend(Method::bcc_only().iter().map(|m| m.name().to_string()));
+        let mut table = Table::new(
+            format!("Figure 10 ({}): mBCC time (s) vs #labels m", prepared.name),
+            headers,
+        );
+        for m in 2..=max_m {
+            let workload = bcc_datasets::mbcc_queries(&prepared.net, m, queries, seed);
+            if workload.is_empty() {
+                table.push_row(vec![m.to_string(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let mut cells = vec![m.to_string()];
+            for method in Method::bcc_only() {
+                let (agg, _) =
+                    evaluate_method(&prepared, method, &workload, ParamOverride::default(), true);
+                cells.push(fmt_seconds(agg.mean_seconds()));
+            }
+            table.push_row(cells);
+        }
+        println!("{}", table.render());
+        if args.has("json") {
+            println!("{}", table.to_json());
+        }
+    }
+}

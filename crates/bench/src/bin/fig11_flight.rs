@@ -1,0 +1,27 @@
+//! Figure 11 (Exp-6) — case study on the global flight network:
+//! Q = {"Toronto", "Frankfurt"}, b = 3. The BCC should return the dense
+//! Canadian and German domestic hub cores bridged by transatlantic
+//! butterflies; CTC (label-blind) mostly returns Canadian cities.
+//!
+//! `cargo run -p bcc-bench --release --bin fig11_flight [--seed 42]`
+
+use bcc_bench::{case_study_compare, Args};
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get("seed", 42u64);
+    let graph = bcc_datasets::flight_network(seed);
+    println!(
+        "Flight network: {} cities, {} routes, {} countries\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+    case_study_compare(
+        &graph,
+        "Figure 11: flight network case study",
+        "Toronto",
+        "Frankfurt",
+        3,
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 12 (Exp-7) — case study on the international trade network:
+//! Q = {"United States", "China"}, b = 3. The BCC should return the Asian
+//! and North American trade blocks bridged by the transpacific
+//! butterflies; CTC mixes continents and misses the Asian partners.
+//!
+//! `cargo run -p bcc-bench --release --bin fig12_trade [--seed 42]`
+
+use bcc_bench::{case_study_compare, Args};
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get("seed", 42u64);
+    let graph = bcc_datasets::trade_network(seed);
+    println!(
+        "Trade network: {} economies, {} trade links, {} continents\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+    case_study_compare(
+        &graph,
+        "Figure 12: trade network case study",
+        "United States",
+        "China",
+        3,
+    );
+}

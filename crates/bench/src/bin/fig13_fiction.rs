@@ -1,0 +1,26 @@
+//! Figure 13 (Exp-8) — case study on the Harry Potter character network:
+//! Q = {"Ron Weasley", "Draco Malfoy"}, b = 3. The BCC should return the
+//! Weasley family + the trio + Dumbledore on the justice side and
+//! Voldemort's inner circle on the evil side; CTC returns only the tight
+//! trio-versus-gang clique and misses Lord Voldemort and Ron's family.
+//!
+//! `cargo run -p bcc-bench --release --bin fig13_fiction`
+
+use bcc_bench::case_study_compare;
+
+fn main() {
+    let graph = bcc_datasets::fiction_network();
+    println!(
+        "Fiction network: {} characters, {} relationships, {} camps\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+    case_study_compare(
+        &graph,
+        "Figure 13: Harry Potter fiction network case study",
+        "Ron Weasley",
+        "Draco Malfoy",
+        3,
+    );
+}

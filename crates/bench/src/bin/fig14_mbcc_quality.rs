@@ -1,0 +1,53 @@
+//! Figure 14 (Exp-9) — F1 of PSA, CTC, and L2P-BCC on Baidu-1/Baidu-2 with
+//! multi-labeled ground-truth communities, varying m ∈ {2..6}.
+//!
+//! `cargo run -p bcc-bench --release --bin fig14_mbcc_quality [--scale 1.0] [--queries 20] [--seed 7]`
+
+use bcc_bench::{evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE};
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 20usize);
+    let seed = args.get("seed", 7u64);
+    let max_m = 6usize;
+    let methods = [Method::Psa, Method::Ctc, Method::L2pBcc];
+
+    for base in [bcc_datasets::baidu1(scale), bcc_datasets::baidu2(scale)] {
+        let mut spec = base;
+        spec.config.groups_per_community = max_m;
+        spec.config.community_size = (
+            spec.config.community_size.0.max(max_m * 8),
+            spec.config.community_size.1.max(max_m * 10),
+        );
+        let prepared = PreparedNetwork::prepare(&spec);
+        let mut headers = vec!["m".to_string()];
+        headers.extend(methods.iter().map(|m| m.name().to_string()));
+        let mut table = Table::new(
+            format!(
+                "Figure 14 ({}): F1 vs #labels m ({queries} queries per m)",
+                prepared.name
+            ),
+            headers,
+        );
+        for m in 2..=max_m {
+            let workload = bcc_datasets::mbcc_queries(&prepared.net, m, queries, seed);
+            if workload.is_empty() {
+                table.push_row(vec![m.to_string(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let mut cells = vec![m.to_string()];
+            for method in methods {
+                let (agg, _) =
+                    evaluate_method(&prepared, method, &workload, ParamOverride::default(), true);
+                cells.push(format!("{:.3}", agg.mean_f1()));
+            }
+            table.push_row(cells);
+        }
+        println!("{}", table.render());
+        if args.has("json") {
+            println!("{}", table.to_json());
+        }
+    }
+}

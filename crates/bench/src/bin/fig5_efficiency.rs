@@ -1,0 +1,36 @@
+//! Figure 5 (Exp-2) — mean query time of all five methods on the seven
+//! networks (log-scale bars in the paper; seconds here).
+//!
+//! `cargo run -p bcc-bench --release --bin fig5_efficiency [--scale 1.0] [--queries 40] [--seed 7]`
+
+use bcc_bench::{run_quality_suite, Args, Method, DEFAULT_QUERIES, DEFAULT_SCALE};
+use bcc_eval::table::fmt_seconds;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", DEFAULT_QUERIES);
+    let seed = args.get("seed", 7u64);
+
+    let rows = run_quality_suite(scale, queries, seed);
+    let mut headers = vec!["Network".to_string()];
+    headers.extend(Method::all().iter().map(|m| m.name().to_string()));
+    let mut table = Table::new(
+        format!(
+            "Figure 5: mean running time in seconds ({queries} queries/network, scale {scale})"
+        ),
+        headers,
+    );
+    for row in &rows {
+        let mut cells = vec![row.network.clone()];
+        for (_, agg, _) in &row.per_method {
+            cells.push(fmt_seconds(agg.mean_seconds()));
+        }
+        table.push_row(cells);
+    }
+    println!("{}", table.render());
+    if args.has("json") {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 6 (Exp-3) — query time of the three BCC methods while varying the
+//! query vertices' degree rank Q_d ∈ {20, 40, 60, 80, 100}%.
+//!
+//! `cargo run -p bcc-bench --release --bin fig6_degree_rank [--scale 1.0] [--queries 15] [--seed 7]`
+
+use bcc_bench::{
+    evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE,
+};
+use bcc_eval::table::fmt_seconds;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 15usize);
+    let seed = args.get("seed", 7u64);
+    let ranks = [20u32, 40, 60, 80, 100];
+
+    // The paper's Figure 6 uses Baidu-1, Baidu-2, DBLP, LiveJournal, Orkut.
+    let specs = vec![
+        bcc_datasets::baidu1(scale),
+        bcc_datasets::baidu2(scale),
+        bcc_datasets::dblp(scale),
+        bcc_datasets::livejournal(scale),
+        bcc_datasets::orkut(scale),
+    ];
+    for spec in specs {
+        let prepared = PreparedNetwork::prepare(&spec);
+        let mut headers = vec!["degree rank (%)".to_string()];
+        headers.extend(Method::bcc_only().iter().map(|m| m.name().to_string()));
+        let mut table = Table::new(
+            format!("Figure 6 ({}): time (s) vs degree rank", prepared.name),
+            headers,
+        );
+        for rank in ranks {
+            let workload =
+                bcc_datasets::queries_by_degree_rank(&prepared.net, rank, queries, seed);
+            if workload.is_empty() {
+                table.push_row(vec![rank.to_string(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let mut cells = vec![rank.to_string()];
+            for m in Method::bcc_only() {
+                let (agg, _) =
+                    evaluate_method(&prepared, m, &workload, ParamOverride::default(), false);
+                cells.push(fmt_seconds(agg.mean_seconds()));
+            }
+            table.push_row(cells);
+        }
+        println!("{}", table.render());
+        if args.has("json") {
+            println!("{}", table.to_json());
+        }
+    }
+}

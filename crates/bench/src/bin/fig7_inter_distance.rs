@@ -1,0 +1,52 @@
+//! Figure 7 (Exp-3) — query time of the three BCC methods while varying the
+//! inter-distance l ∈ {1..5} between the two query vertices.
+//!
+//! `cargo run -p bcc-bench --release --bin fig7_inter_distance [--scale 1.0] [--queries 15] [--seed 7]`
+
+use bcc_bench::{
+    evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE,
+};
+use bcc_eval::table::fmt_seconds;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 15usize);
+    let seed = args.get("seed", 7u64);
+
+    let specs = vec![
+        bcc_datasets::baidu1(scale),
+        bcc_datasets::baidu2(scale),
+        bcc_datasets::dblp(scale),
+        bcc_datasets::livejournal(scale),
+        bcc_datasets::orkut(scale),
+    ];
+    for spec in specs {
+        let prepared = PreparedNetwork::prepare(&spec);
+        let mut headers = vec!["l".to_string()];
+        headers.extend(Method::bcc_only().iter().map(|m| m.name().to_string()));
+        let mut table = Table::new(
+            format!("Figure 7 ({}): time (s) vs inter-distance l", prepared.name),
+            headers,
+        );
+        for l in 1u32..=5 {
+            let workload = bcc_datasets::queries_by_distance(&prepared.net, l, queries, seed);
+            if workload.is_empty() {
+                table.push_row(vec![l.to_string(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let mut cells = vec![l.to_string()];
+            for m in Method::bcc_only() {
+                let (agg, _) =
+                    evaluate_method(&prepared, m, &workload, ParamOverride::default(), false);
+                cells.push(fmt_seconds(agg.mean_seconds()));
+            }
+            table.push_row(cells);
+        }
+        println!("{}", table.render());
+        if args.has("json") {
+            println!("{}", table.to_json());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 8 (Exp-4) — query time of the three BCC methods while varying the
+//! core value k = k1 = k2 ∈ {2..6} (b fixed at 1).
+//!
+//! `cargo run -p bcc-bench --release --bin fig8_vary_k [--scale 1.0] [--queries 15] [--seed 7]`
+
+use bcc_bench::{
+    evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE,
+};
+use bcc_datasets::QueryConstraints;
+use bcc_eval::table::fmt_seconds;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 15usize);
+    let seed = args.get("seed", 7u64);
+
+    let specs = vec![
+        bcc_datasets::baidu1(scale),
+        bcc_datasets::baidu2(scale),
+        bcc_datasets::dblp(scale),
+        bcc_datasets::livejournal(scale),
+        bcc_datasets::orkut(scale),
+    ];
+    for spec in specs {
+        let prepared = PreparedNetwork::prepare(&spec);
+        let workload = bcc_datasets::random_community_queries(
+            &prepared.net,
+            queries,
+            QueryConstraints::default(),
+            seed,
+        );
+        let mut headers = vec!["k".to_string()];
+        headers.extend(Method::bcc_only().iter().map(|m| m.name().to_string()));
+        let mut table = Table::new(
+            format!("Figure 8 ({}): time (s) vs core value k (b = 1)", prepared.name),
+            headers,
+        );
+        for k in 2u32..=6 {
+            let overrides = ParamOverride {
+                k: Some(k),
+                b: Some(1),
+            };
+            let mut cells = vec![k.to_string()];
+            for m in Method::bcc_only() {
+                let (agg, _) = evaluate_method(&prepared, m, &workload, overrides, false);
+                cells.push(fmt_seconds(agg.mean_seconds()));
+            }
+            table.push_row(cells);
+        }
+        println!("{}", table.render());
+        if args.has("json") {
+            println!("{}", table.to_json());
+        }
+    }
+}

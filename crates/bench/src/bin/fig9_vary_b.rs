@@ -1,0 +1,60 @@
+//! Figure 9 (Exp-4) — query time of the three BCC methods while varying the
+//! butterfly threshold b ∈ {1..5} (k set to the queries' coreness).
+//!
+//! `cargo run -p bcc-bench --release --bin fig9_vary_b [--scale 1.0] [--queries 15] [--seed 7]`
+
+use bcc_bench::{
+    evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE,
+};
+use bcc_datasets::QueryConstraints;
+use bcc_eval::table::fmt_seconds;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 15usize);
+    let seed = args.get("seed", 7u64);
+
+    let specs = vec![
+        bcc_datasets::baidu1(scale),
+        bcc_datasets::baidu2(scale),
+        bcc_datasets::dblp(scale),
+        bcc_datasets::livejournal(scale),
+        bcc_datasets::orkut(scale),
+    ];
+    for spec in specs {
+        let prepared = PreparedNetwork::prepare(&spec);
+        let workload = bcc_datasets::random_community_queries(
+            &prepared.net,
+            queries,
+            QueryConstraints::default(),
+            seed,
+        );
+        let mut headers = vec!["b".to_string()];
+        headers.extend(Method::bcc_only().iter().map(|m| m.name().to_string()));
+        let mut table = Table::new(
+            format!(
+                "Figure 9 ({}): time (s) vs butterfly value b (k = query coreness)",
+                prepared.name
+            ),
+            headers,
+        );
+        for b in 1u64..=5 {
+            let overrides = ParamOverride {
+                k: None,
+                b: Some(b),
+            };
+            let mut cells = vec![b.to_string()];
+            for m in Method::bcc_only() {
+                let (agg, _) = evaluate_method(&prepared, m, &workload, overrides, false);
+                cells.push(fmt_seconds(agg.mean_seconds()));
+            }
+            table.push_row(cells);
+        }
+        println!("{}", table.render());
+        if args.has("json") {
+            println!("{}", table.to_json());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Runs every experiment binary in sequence and captures the output —
+//! regenerating all tables and figures of the paper's Section 8 in one go.
+//!
+//! `cargo run -p bcc-bench --release --bin run_all [--scale 1.0] [--queries 40] [--out report.md]`
+//!
+//! The per-figure flags are forwarded where meaningful; sweep experiments
+//! use smaller per-cell workloads to keep the full pass in minutes.
+
+use std::io::Write as _;
+use std::process::Command;
+
+use bcc_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", 1.0f64);
+    let queries = args.get("queries", 40usize);
+    let sweep_queries = args.get("sweep-queries", 10usize);
+    let out_path = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let scale_s = scale.to_string();
+    let queries_s = queries.to_string();
+    let sweep_s = sweep_queries.to_string();
+    let runs: Vec<(&str, Vec<&str>)> = vec![
+        ("table3_stats", vec!["--scale", &scale_s]),
+        ("fig4_quality", vec!["--scale", &scale_s, "--queries", &queries_s]),
+        ("fig5_efficiency", vec!["--scale", &scale_s, "--queries", &queries_s]),
+        ("fig6_degree_rank", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+        ("fig7_inter_distance", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+        ("fig8_vary_k", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+        ("fig9_vary_b", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+        ("table4_breakdown", vec!["--scale", &scale_s, "--queries", &queries_s]),
+        ("fig10_mbcc_time", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+        ("fig14_mbcc_quality", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+        ("fig11_flight", vec![]),
+        ("fig12_trade", vec![]),
+        ("fig13_fiction", vec![]),
+        ("fig15_academic", vec![]),
+        ("ablation_strategies", vec!["--scale", &scale_s, "--queries", &sweep_s]),
+    ];
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "# BCC reproduction report (scale = {scale}, queries = {queries})\n\n"
+    ));
+    for (bin, bin_args) in runs {
+        let path = exe_dir.join(bin);
+        eprintln!("[run_all] running {bin} {:?}", bin_args);
+        let started = std::time::Instant::now();
+        let output = Command::new(&path)
+            .args(&bin_args)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        println!("{stdout}");
+        report.push_str(&format!(
+            "## {bin} ({:.1}s)\n\n```text\n{stdout}```\n\n",
+            started.elapsed().as_secs_f64()
+        ));
+        if !output.status.success() {
+            eprintln!(
+                "[run_all] {bin} FAILED: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+        }
+    }
+
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create report file");
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("[run_all] report written to {path}");
+    }
+}

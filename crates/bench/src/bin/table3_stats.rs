@@ -1,0 +1,37 @@
+//! Table 3 — network statistics: |V|, |E|, labels, k_max, d_max.
+//!
+//! `cargo run -p bcc-bench --release --bin table3_stats [--scale 1.0]`
+
+use bcc_bench::{Args, DEFAULT_SCALE};
+use bcc_eval::Table;
+use bcc_graph::GraphView;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let mut table = Table::new(
+        format!("Table 3: network statistics (scale = {scale}; paper sizes in DESIGN.md)"),
+        ["Network", "|V|", "|E|", "Labels", "k_max", "d_max"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for spec in bcc_datasets::networks::all_two_label(scale) {
+        let net = spec.build();
+        let view = GraphView::new(&net.graph);
+        let k_max = bcc_cohesion::max_coreness(&view);
+        let d_max = net.graph.max_degree();
+        table.push_row(vec![
+            spec.name.to_string(),
+            net.graph.vertex_count().to_string(),
+            net.graph.edge_count().to_string(),
+            net.graph.label_count().to_string(),
+            k_max.to_string(),
+            d_max.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if Args::parse().has("json") {
+        println!("{}", table.to_json());
+    }
+}

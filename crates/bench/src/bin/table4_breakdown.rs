@@ -1,0 +1,95 @@
+//! Table 4 (Exp-5) — Online-BCC vs LP-BCC phase breakdown on DBLP:
+//! query-distance calculation time, leader-pair update time, number of
+//! butterfly-counting invocations, and total time, with speedup factors.
+//!
+//! `cargo run -p bcc-bench --release --bin table4_breakdown [--scale 1.0] [--queries 100] [--seed 7]`
+
+use bcc_bench::{evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE};
+use bcc_datasets::QueryConstraints;
+use bcc_eval::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", DEFAULT_SCALE);
+    let queries = args.get("queries", 100usize);
+    let seed = args.get("seed", 7u64);
+
+    let prepared = PreparedNetwork::prepare(&bcc_datasets::dblp(scale));
+    let workload = bcc_datasets::random_community_queries(
+        &prepared.net,
+        queries,
+        QueryConstraints::default(),
+        seed,
+    );
+    eprintln!("[table4] {} queries on DBLP", workload.len());
+
+    let (online_agg, online_stats) = evaluate_method(
+        &prepared,
+        Method::OnlineBcc,
+        &workload,
+        ParamOverride::default(),
+        false,
+    );
+    let (lp_agg, lp_stats) = evaluate_method(
+        &prepared,
+        Method::LpBcc,
+        &workload,
+        ParamOverride::default(),
+        false,
+    );
+
+    let speedup = |a: f64, b: f64| {
+        if b == 0.0 {
+            "inf".to_string()
+        } else {
+            format!("{:.1}x", a / b)
+        }
+    };
+    let n = workload.len().max(1) as f64;
+    let mut table = Table::new(
+        format!(
+            "Table 4: Online-BCC vs LP-BCC on DBLP (per-query means over {} queries)",
+            workload.len()
+        ),
+        ["Metric", "Online-BCC", "LP-BCC", "Speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let online_qd = online_stats.time_query_distance.as_secs_f64() / n;
+    let lp_qd = lp_stats.time_query_distance.as_secs_f64() / n;
+    table.push_row(vec![
+        "Query distance calculation (s)".into(),
+        format!("{online_qd:.5}"),
+        format!("{lp_qd:.5}"),
+        speedup(online_qd, lp_qd),
+    ]);
+    let online_lu = online_stats.time_butterfly_counting.as_secs_f64() / n;
+    let lp_lu = (lp_stats.time_leader_update + lp_stats.time_butterfly_counting).as_secs_f64() / n;
+    table.push_row(vec![
+        "Leader pair update (s)".into(),
+        format!("{online_lu:.5}"),
+        format!("{lp_lu:.5}"),
+        speedup(online_lu, lp_lu),
+    ]);
+    let online_bc = online_stats.butterfly_countings as f64 / n;
+    let lp_bc = lp_stats.butterfly_countings as f64 / n;
+    table.push_row(vec![
+        "#butterfly counting".into(),
+        format!("{online_bc:.2}"),
+        format!("{lp_bc:.2}"),
+        speedup(online_bc, lp_bc),
+    ]);
+    let online_total = online_agg.mean_seconds();
+    let lp_total = lp_agg.mean_seconds();
+    table.push_row(vec![
+        "Total time (s)".into(),
+        format!("{online_total:.5}"),
+        format!("{lp_total:.5}"),
+        speedup(online_total, lp_total),
+    ]);
+    println!("{}", table.render());
+    if args.has("json") {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,201 @@
+//! Randomized approximate butterfly counting.
+//!
+//! The paper's related work (Section 2) cites the sampling estimators of
+//! Sanei-Mehri et al. [32] as the standard way to trade accuracy for speed
+//! when exact global counting is too expensive. This module implements two
+//! of those estimators over the live cross-graph:
+//!
+//! * **pair sampling** — sample same-side vertex pairs `{v, w}` uniformly;
+//!   each pair contributes `C(|N(v) ∩ N(w)|, 2)` butterflies, so scaling the
+//!   sampled sum by `#pairs / samples` is unbiased;
+//! * **edge sparsification (ESpar)** — keep each cross edge independently
+//!   with probability `p` and count exactly on the sparsified graph; each
+//!   butterfly survives with probability `p⁴`, so `count / p⁴` is unbiased.
+//!
+//! Both take an explicit seed so estimates are reproducible.
+
+use bcc_graph::{GraphView, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::bipartite::BipartiteCross;
+use crate::counting::choose2;
+
+/// Unbiased butterfly-count estimate by uniform same-side pair sampling.
+///
+/// `samples` controls accuracy: the estimator averages `C(common, 2)` over
+/// that many uniformly drawn same-side pairs and rescales. With 0 samples or
+/// fewer than two side vertices the estimate is 0.
+pub fn approx_total_butterflies_pairs(
+    view: &GraphView<'_>,
+    cross: BipartiteCross,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    // Sample pairs on the smaller side (fewer total pairs → lower variance
+    // for the same budget).
+    let left: Vec<VertexId> = cross.side_vertices(view, cross.left).collect();
+    let right: Vec<VertexId> = cross.side_vertices(view, cross.right).collect();
+    let side = if left.len() <= right.len() { &left } else { &right };
+    let n = side.len();
+    if n < 2 || samples == 0 {
+        return 0.0;
+    }
+    let total_pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut acc = 0.0f64;
+    for _ in 0..samples {
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (v, w) = (side[i], side[j]);
+        let v_neighbors: FxHashSet<u32> = cross.cross_neighbors(view, v).map(|u| u.0).collect();
+        let common = cross
+            .cross_neighbors(view, w)
+            .filter(|u| v_neighbors.contains(&u.0))
+            .count() as u64;
+        acc += choose2(common) as f64;
+    }
+    acc / samples as f64 * total_pairs
+}
+
+/// Unbiased butterfly-count estimate by edge sparsification: keep each cross
+/// edge with probability `p`, count exactly among kept edges, rescale by
+/// `p⁻⁴`.
+pub fn approx_total_butterflies_espar(
+    view: &GraphView<'_>,
+    cross: BipartiteCross,
+    p: f64,
+    seed: u64,
+) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "keep probability must be in (0, 1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Sample the kept cross edges (each undirected edge decided once, from
+    // its left endpoint).
+    let mut kept: FxHashMap<u32, Vec<VertexId>> = FxHashMap::default();
+    for v in cross.side_vertices(view, cross.left) {
+        let kept_neighbors: Vec<VertexId> = cross
+            .cross_neighbors(view, v)
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        if !kept_neighbors.is_empty() {
+            kept.insert(v.0, kept_neighbors);
+        }
+    }
+    // Exact pair-hash count restricted to kept edges, centered on the left.
+    let mut pair_counts: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    let mut right_adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for (&v, neighbors) in &kept {
+        for u in neighbors {
+            right_adj.entry(u.0).or_default().push(v);
+        }
+    }
+    for lefts in right_adj.values() {
+        for i in 0..lefts.len() {
+            for j in (i + 1)..lefts.len() {
+                let key = if lefts[i] < lefts[j] {
+                    (lefts[i], lefts[j])
+                } else {
+                    (lefts[j], lefts[i])
+                };
+                *pair_counts.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let count: u64 = pair_counts.values().map(|&c| choose2(c as u64)).sum();
+    count as f64 / p.powi(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::total_butterflies;
+    use bcc_graph::{GraphBuilder, Label, LabeledGraph};
+    use rand::Rng;
+
+    fn random_bipartite(l: usize, r: usize, p: f64, seed: u64) -> LabeledGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let left: Vec<_> = (0..l).map(|_| b.add_vertex("L")).collect();
+        let right: Vec<_> = (0..r).map(|_| b.add_vertex("R")).collect();
+        for &x in &left {
+            for &y in &right {
+                if rng.gen_bool(p) {
+                    b.add_edge(x, y);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn cross() -> BipartiteCross {
+        BipartiteCross::new(Label(0), Label(1))
+    }
+
+    #[test]
+    fn pair_sampling_exhaustive_is_exact_in_expectation() {
+        let g = random_bipartite(12, 12, 0.4, 3);
+        let view = GraphView::new(&g);
+        let exact = total_butterflies(&view, cross()) as f64;
+        // Averaging several seeds should land near the exact count.
+        let trials = 16;
+        let mean: f64 = (0..trials)
+            .map(|s| approx_total_butterflies_pairs(&view, cross(), 600, s))
+            .sum::<f64>()
+            / trials as f64;
+        let tolerance = (exact * 0.25).max(5.0);
+        assert!(
+            (mean - exact).abs() <= tolerance,
+            "estimate {mean} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn espar_estimates_track_exact() {
+        let g = random_bipartite(14, 14, 0.4, 9);
+        let view = GraphView::new(&g);
+        let exact = total_butterflies(&view, cross()) as f64;
+        let trials = 24;
+        let mean: f64 = (0..trials)
+            .map(|s| approx_total_butterflies_espar(&view, cross(), 0.7, s))
+            .sum::<f64>()
+            / trials as f64;
+        let tolerance = (exact * 0.3).max(8.0);
+        assert!(
+            (mean - exact).abs() <= tolerance,
+            "estimate {mean} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn espar_with_p_one_is_exact() {
+        let g = random_bipartite(10, 10, 0.5, 1);
+        let view = GraphView::new(&g);
+        let exact = total_butterflies(&view, cross()) as f64;
+        let estimate = approx_total_butterflies_espar(&view, cross(), 1.0, 0);
+        assert_eq!(estimate, exact);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        let g = random_bipartite(1, 1, 1.0, 0);
+        let view = GraphView::new(&g);
+        assert_eq!(approx_total_butterflies_pairs(&view, cross(), 100, 0), 0.0);
+        assert_eq!(approx_total_butterflies_pairs(&view, cross(), 0, 0), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let g = random_bipartite(10, 10, 0.4, 5);
+        let view = GraphView::new(&g);
+        let a = approx_total_butterflies_pairs(&view, cross(), 50, 123);
+        let b = approx_total_butterflies_pairs(&view, cross(), 50, 123);
+        assert_eq!(a, b);
+        let c = approx_total_butterflies_espar(&view, cross(), 0.5, 7);
+        let d = approx_total_butterflies_espar(&view, cross(), 0.5, 7);
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,131 @@
+//! The bipartite cross-graph descriptor.
+//!
+//! Algorithm 2 line 4 forms `B = (V_B, E_B)` with `V_B = V_L ∪ V_R` and
+//! `E_B = (V_L × V_R) ∩ E`. We never materialize `B`: all butterfly routines
+//! traverse the live [`bcc_graph::GraphView`] and filter edges by label on
+//! the fly, so `B` shrinks automatically as the search peels vertices. This
+//! struct names the two sides and provides the shared iteration helpers.
+
+use bcc_graph::{GraphView, Label, VertexId};
+
+/// The two sides of a bipartite cross-graph between label groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BipartiteCross {
+    /// Label of the left group (`V_L`).
+    pub left: Label,
+    /// Label of the right group (`V_R`).
+    pub right: Label,
+}
+
+impl BipartiteCross {
+    /// Creates the descriptor. The two labels must differ.
+    pub fn new(left: Label, right: Label) -> Self {
+        assert_ne!(left, right, "a bipartite cross-graph needs two distinct labels");
+        BipartiteCross { left, right }
+    }
+
+    /// The opposite side of `label`, or `None` if `label` is not a side.
+    #[inline]
+    pub fn opposite(&self, label: Label) -> Option<Label> {
+        if label == self.left {
+            Some(self.right)
+        } else if label == self.right {
+            Some(self.left)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `v` belongs to either side.
+    #[inline]
+    pub fn contains(&self, view: &GraphView<'_>, v: VertexId) -> bool {
+        let l = view.graph().label(v);
+        l == self.left || l == self.right
+    }
+
+    /// Iterates `v`'s alive neighbors on the opposite side (its neighborhood
+    /// in `B`). Empty if `v` is on neither side.
+    pub fn cross_neighbors<'a>(
+        &self,
+        view: &'a GraphView<'_>,
+        v: VertexId,
+    ) -> impl Iterator<Item = VertexId> + 'a {
+        let other = self.opposite(view.graph().label(v));
+        view.neighbors(v)
+            .filter(move |&u| other == Some(view.graph().label(u)))
+    }
+
+    /// `v`'s degree in `B` (alive cross neighbors on the opposite side).
+    pub fn cross_degree(&self, view: &GraphView<'_>, v: VertexId) -> usize {
+        self.cross_neighbors(view, v).count()
+    }
+
+    /// Iterates the alive vertices of one side.
+    pub fn side_vertices<'a>(
+        &self,
+        view: &'a GraphView<'_>,
+        side: Label,
+    ) -> impl Iterator<Item = VertexId> + 'a {
+        view.alive_vertices()
+            .filter(move |&v| view.graph().label(v) == side)
+    }
+
+    /// Number of alive cross edges in `B`.
+    pub fn edge_count(&self, view: &GraphView<'_>) -> usize {
+        self.side_vertices(view, self.left)
+            .map(|v| self.cross_degree(view, v))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    #[test]
+    fn sides_and_opposites() {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex("A");
+        let a1 = b.add_vertex("A");
+        let c0 = b.add_vertex("B");
+        let z0 = b.add_vertex("Z");
+        b.add_edge(a0, a1); // homogeneous, not in B
+        b.add_edge(a0, c0); // cross edge in B
+        b.add_edge(a0, z0); // cross edge to a non-side label, not in B
+        let g = b.build();
+        let view = GraphView::new(&g);
+        let cross = BipartiteCross::new(g.label(a0), g.label(c0));
+
+        assert_eq!(cross.opposite(g.label(a0)), Some(g.label(c0)));
+        assert_eq!(cross.opposite(g.label(z0)), None);
+        assert!(cross.contains(&view, a1));
+        assert!(!cross.contains(&view, z0));
+        assert_eq!(cross.cross_neighbors(&view, a0).collect::<Vec<_>>(), vec![c0]);
+        assert_eq!(cross.cross_degree(&view, a1), 0);
+        assert_eq!(cross.edge_count(&view), 1);
+    }
+
+    #[test]
+    fn respects_deletions() {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex("A");
+        let c0 = b.add_vertex("B");
+        let c1 = b.add_vertex("B");
+        b.add_edge(a0, c0);
+        b.add_edge(a0, c1);
+        let g = b.build();
+        let mut view = GraphView::new(&g);
+        let cross = BipartiteCross::new(g.label(a0), g.label(c0));
+        assert_eq!(cross.cross_degree(&view, a0), 2);
+        view.remove_vertex(c1);
+        assert_eq!(cross.cross_degree(&view, a0), 1);
+        assert_eq!(cross.edge_count(&view), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct labels")]
+    fn rejects_equal_labels() {
+        BipartiteCross::new(Label(0), Label(0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Algorithm 6 — leader-pair identification.
+//!
+//! A *leader* is a vertex whose butterfly degree is large enough (w.r.t. a
+//! threshold `b_p`) that it keeps certifying the cross-group interaction
+//! condition (Definition 4(4)) across many peeling iterations, sparing the
+//! search from global butterfly recounts. Observations 1–2 of the paper:
+//! prefer vertices with large χ *and* small query distance. The algorithm
+//! binary-searches `b_p` downward from `b_max / 2` toward `b`, scanning the
+//! query vertex's ρ-hop neighborhood inside its own label group.
+
+use bcc_graph::{GraphView, Label, VertexId};
+
+/// Tuning knobs of Algorithm 6.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaderConfig {
+    /// Search radius ρ: leaders are looked up within ρ hops of the query
+    /// vertex (hops inside the query's label group).
+    pub rho: u32,
+    /// The BCC butterfly threshold b — the floor of the `b_p` halving loop.
+    pub b: u64,
+}
+
+impl Default for LeaderConfig {
+    fn default() -> Self {
+        // ρ = 3 follows Example 5 of the paper.
+        LeaderConfig { rho: 3, b: 1 }
+    }
+}
+
+/// Algorithm 6: picks a leader vertex for the side `side` containing query
+/// vertex `q`. `chi` must hold current butterfly degrees for that side
+/// (e.g. from [`crate::ButterflyCounts`]).
+///
+/// Returns `q` itself when no better-certified vertex exists in the ρ-hop
+/// neighborhood (line 16 of the algorithm) — callers must then fall back to
+/// checking the side maximum directly.
+pub fn identify_leader(
+    view: &GraphView<'_>,
+    side: Label,
+    q: VertexId,
+    chi: &[u64],
+    config: LeaderConfig,
+) -> VertexId {
+    debug_assert_eq!(view.graph().label(q), side, "query must belong to the side");
+    let p = q;
+    let b_max = view
+        .alive_vertices()
+        .filter(|&v| view.graph().label(v) == side)
+        .map(|v| chi[v.index()])
+        .max()
+        .unwrap_or(0);
+    if chi[p.index()] as f64 > b_max as f64 / 2.0 {
+        return p; // the query vertex is itself leader-biased
+    }
+    if b_max < config.b {
+        return p; // no vertex can certify the condition; caller re-checks
+    }
+    // Group the side's vertices by hop distance from q (within the label
+    // group) once; the b_p halving loop then re-scans cheaply. The paper's
+    // b_p sequence is {b_max/2, b_max/4, ..., b}: halving, floored at b.
+    let rings = distance_rings(view, side, q, config.rho);
+    let floor = config.b as f64;
+    let mut b_p = (b_max as f64 / 2.0).max(floor);
+    loop {
+        for ring in &rings {
+            if let Some(&s) = ring.iter().find(|&&s| chi[s.index()] as f64 >= b_p) {
+                return s;
+            }
+        }
+        if b_p <= floor {
+            break;
+        }
+        b_p = (b_p / 2.0).max(floor);
+    }
+    p
+}
+
+/// Vertices of `side` grouped by hop distance `1..=rho` from `q`, where hops
+/// only traverse same-label alive edges.
+fn distance_rings(view: &GraphView<'_>, side: Label, q: VertexId, rho: u32) -> Vec<Vec<VertexId>> {
+    let mut rings: Vec<Vec<VertexId>> = vec![Vec::new(); rho as usize];
+    if !view.is_alive(q) {
+        return rings;
+    }
+    let n = view.graph().vertex_count();
+    let mut dist = vec![u32::MAX; n];
+    dist[q.index()] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(q);
+    while let Some(v) = queue.pop_front() {
+        let next = dist[v.index()] + 1;
+        if next > rho {
+            continue;
+        }
+        for u in view.same_label_neighbors(v) {
+            debug_assert_eq!(view.graph().label(u), side);
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = next;
+                rings[(next - 1) as usize].push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    rings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteCross;
+    use crate::counting::butterfly_degrees;
+    use bcc_graph::{GraphBuilder, LabeledGraph};
+
+    /// Figure 3 of the paper plus the same-label edges needed for the
+    /// Example 5 walk-through (ql adjacent to v1, v2, v3; qr adjacent to
+    /// u1, u2, u3, u9).
+    fn figure3_full() -> (LabeledGraph, VertexId, VertexId) {
+        let mut b = GraphBuilder::new();
+        let ql = b.add_named_vertex("ql", "L");
+        let v: Vec<_> = (1..=3).map(|i| b.add_named_vertex(&format!("v{i}"), "L")).collect();
+        let qr = b.add_named_vertex("qr", "R");
+        let u: Vec<_> = (1..=9).map(|i| b.add_named_vertex(&format!("u{i}"), "R")).collect();
+        // Same-label edges.
+        for &x in &v {
+            b.add_edge(ql, x);
+        }
+        for &i in &[0usize, 1, 2, 8] {
+            b.add_edge(qr, u[i]);
+        }
+        // Cross edges giving χ(v1)=χ(v3)=6, χ(u2)=χ(u3)=χ(u5)=χ(u6)=3.
+        for &i in &[1usize, 2, 4, 5] {
+            b.add_edge(v[0], u[i]);
+            b.add_edge(v[2], u[i]);
+        }
+        b.add_edge(v[1], u[0]);
+        let g = b.build();
+        (g, ql, qr)
+    }
+
+    #[test]
+    fn example5_left_leader_is_v1() {
+        let (g, ql, _qr) = figure3_full();
+        let view = GraphView::new(&g);
+        let cross = BipartiteCross::new(g.label(ql), bcc_graph::Label(1));
+        let chi = butterfly_degrees(&view, cross);
+        let leader = identify_leader(&view, g.label(ql), ql, &chi, LeaderConfig { rho: 3, b: 1 });
+        // v1 and v3 both have χ = 6 ≥ b_p = 3; v1 is found first among ql's
+        // 1-hop neighbors (Example 5 returns v1).
+        assert_eq!(g.vertex_name(leader), "v1");
+    }
+
+    #[test]
+    fn example5_right_leader_is_u2() {
+        let (g, _ql, qr) = figure3_full();
+        let view = GraphView::new(&g);
+        let cross = BipartiteCross::new(bcc_graph::Label(0), g.label(qr));
+        let chi = butterfly_degrees(&view, cross);
+        let leader = identify_leader(&view, g.label(qr), qr, &chi, LeaderConfig { rho: 3, b: 1 });
+        // b_max = 3 on the right, b_p = 1.5; u2 (χ=3) is qr's 1-hop neighbor.
+        assert_eq!(g.vertex_name(leader), "u2");
+    }
+
+    #[test]
+    fn leader_biased_query_returns_itself() {
+        let (g, ql, _) = figure3_full();
+        let view = GraphView::new(&g);
+        let cross = BipartiteCross::new(g.label(ql), bcc_graph::Label(1));
+        let chi = butterfly_degrees(&view, cross);
+        let v1 = g.vertex_by_name("v1").unwrap();
+        let leader = identify_leader(&view, g.label(v1), v1, &chi, LeaderConfig::default());
+        assert_eq!(leader, v1, "χ(v1)=6 > b_max/2=3 → returns the query itself");
+    }
+
+    #[test]
+    fn falls_back_to_query_when_no_butterflies() {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex("A");
+        let a1 = b.add_vertex("A");
+        let c0 = b.add_vertex("B");
+        b.add_edge(a0, a1);
+        b.add_edge(a0, c0);
+        let g = b.build();
+        let view = GraphView::new(&g);
+        let cross = BipartiteCross::new(g.label(a0), g.label(c0));
+        let chi = butterfly_degrees(&view, cross);
+        let leader = identify_leader(&view, g.label(a1), a1, &chi, LeaderConfig::default());
+        assert_eq!(leader, a1);
+    }
+
+    #[test]
+    fn respects_rho_radius() {
+        // Chain q - x - hub, where hub holds all the butterflies. With ρ=1
+        // the hub is invisible; with ρ=2 it is found.
+        let mut b = GraphBuilder::new();
+        let q = b.add_vertex("L");
+        let x = b.add_vertex("L");
+        let hub = b.add_vertex("L");
+        let l2 = b.add_vertex("L");
+        let r: Vec<_> = (0..2).map(|_| b.add_vertex("R")).collect();
+        b.add_edge(q, x);
+        b.add_edge(x, hub);
+        for &rr in &r {
+            b.add_edge(hub, rr);
+            b.add_edge(l2, rr);
+        }
+        let g = b.build();
+        let view = GraphView::new(&g);
+        let cross = BipartiteCross::new(g.label(q), g.label(r[0]));
+        let chi = butterfly_degrees(&view, cross);
+        assert_eq!(chi[hub.index()], 1);
+        let near = identify_leader(&view, g.label(q), q, &chi, LeaderConfig { rho: 1, b: 1 });
+        assert_eq!(near, q, "hub out of ρ=1 reach");
+        let far = identify_leader(&view, g.label(q), q, &chi, LeaderConfig { rho: 2, b: 1 });
+        assert_eq!(far, hub);
+    }
+}

@@ -1,0 +1,53 @@
+//! Butterfly (2×2 biclique) analytics on the bipartite cross-graph between
+//! two label groups.
+//!
+//! The BCC model quantifies cross-group interaction with *butterflies*
+//! (Definition 2): complete 2×2 bicliques across the two labeled groups.
+//! This crate implements:
+//!
+//! * [`counting`] — the per-vertex butterfly-degree algorithm of the paper's
+//!   Algorithm 3 (hash-map wedge counting), a global pair-hash counter, and
+//!   a vertex-priority global counter in the style of Wang et al. [41];
+//! * [`update`] — Algorithm 7, the O(d²) butterfly-degree *update* for a
+//!   leader vertex when a single vertex is deleted;
+//! * [`leader`] — Algorithm 6, leader-pair identification by binary search
+//!   over the butterfly-degree threshold within ρ hops of a query vertex;
+//! * [`approx`] — randomized estimators (pair sampling, edge
+//!   sparsification) in the style of Sanei-Mehri et al. [32].
+//!
+//! ```
+//! use bcc_graph::{GraphBuilder, GraphView};
+//! use bcc_butterfly::{BipartiteCross, ButterflyCounts};
+//!
+//! // One butterfly: {l0, l1} × {r0, r1}.
+//! let mut b = GraphBuilder::new();
+//! let l0 = b.add_vertex("L");
+//! let l1 = b.add_vertex("L");
+//! let r0 = b.add_vertex("R");
+//! let r1 = b.add_vertex("R");
+//! for (x, y) in [(l0, r0), (l0, r1), (l1, r0), (l1, r1)] {
+//!     b.add_edge(x, y);
+//! }
+//! let g = b.build();
+//!
+//! let view = GraphView::new(&g);
+//! let counts = ButterflyCounts::compute(&view, BipartiteCross::new(g.label(l0), g.label(r0)));
+//! assert_eq!(counts.chi(l0), 1);
+//! assert_eq!(counts.total(), 1);
+//! assert!(counts.satisfies_leader_condition(1));
+//! ```
+
+pub mod approx;
+pub mod bipartite;
+pub mod counting;
+pub mod leader;
+pub mod update;
+
+pub use approx::{approx_total_butterflies_espar, approx_total_butterflies_pairs};
+pub use bipartite::BipartiteCross;
+pub use counting::{
+    butterfly_degree_of, butterfly_degrees, total_butterflies, total_butterflies_priority,
+    ButterflyCounts,
+};
+pub use leader::{identify_leader, LeaderConfig};
+pub use update::leader_decrement;

@@ -1,0 +1,203 @@
+//! Algorithm 7 — butterfly-degree update for a leader vertex.
+//!
+//! When Algorithm 1 deletes a vertex `v`, a leader `p`'s butterfly degree
+//! χ(p) only loses the butterflies containing *both* `p` and `v`. Algorithm 7
+//! computes that loss in O(d²) instead of recounting the whole side:
+//!
+//! * same side (`ℓ(p) = ℓ(v)`): the lost butterflies pick 2 of the
+//!   `α = |N(v) ∩ N(p)|` shared cross neighbors → `C(α, 2)`;
+//! * opposite sides (`ℓ(p) ≠ ℓ(v)`): nothing is lost unless `v ∈ N(p)`;
+//!   otherwise each wing partner `u ∈ N(v) \ {p}` contributes
+//!   `|N(u) ∩ N(p)| − 1` (the shared cross neighbors other than `v`).
+//!
+//! Neighborhoods are in the bipartite cross-graph `B`.
+
+use bcc_graph::{GraphView, VertexId};
+use rustc_hash::FxHashSet;
+
+use crate::bipartite::BipartiteCross;
+use crate::counting::choose2;
+
+/// How much χ(p) decreases when `v` is deleted. Must be called while `v` is
+/// still alive in `view` (i.e. *before* `view.remove_vertex(v)`).
+///
+/// Returns 0 when either vertex lies outside the cross-graph.
+pub fn leader_decrement(
+    view: &GraphView<'_>,
+    cross: BipartiteCross,
+    p: VertexId,
+    v: VertexId,
+) -> u64 {
+    debug_assert!(view.is_alive(v), "Algorithm 7 runs before the deletion of v");
+    if p == v {
+        return 0; // the caller is about to lose the leader entirely
+    }
+    let graph = view.graph();
+    let (lp, lv) = (graph.label(p), graph.label(v));
+    if cross.opposite(lp).is_none() || cross.opposite(lv).is_none() {
+        return 0;
+    }
+    if lp == lv {
+        // Same side: butterflies containing p and v choose 2 common cross
+        // neighbors.
+        let alpha = common_cross_neighbors(view, cross, p, v);
+        choose2(alpha as u64)
+    } else {
+        // Opposite sides: only butterflies using the edge (p, v) die.
+        if !cross.cross_neighbors(view, p).any(|u| u == v) {
+            return 0;
+        }
+        let p_neighbors: FxHashSet<u32> = cross.cross_neighbors(view, p).map(|u| u.0).collect();
+        let mut beta = 0u64;
+        for u in cross.cross_neighbors(view, v) {
+            if u == p {
+                continue;
+            }
+            // |N(u) ∩ N(p)| − 1: common cross neighbors of u and p other
+            // than v itself (v is common since u ∈ N(v) and v ∈ N(p)).
+            let common = cross
+                .cross_neighbors(view, u)
+                .filter(|w| p_neighbors.contains(&w.0))
+                .count() as u64;
+            beta += common.saturating_sub(1);
+        }
+        beta
+    }
+}
+
+/// `|N(a) ∩ N(b)|` in the cross-graph for two same-side vertices.
+fn common_cross_neighbors(
+    view: &GraphView<'_>,
+    cross: BipartiteCross,
+    a: VertexId,
+    b: VertexId,
+) -> usize {
+    let a_set: FxHashSet<u32> = cross.cross_neighbors(view, a).map(|u| u.0).collect();
+    cross
+        .cross_neighbors(view, b)
+        .filter(|u| a_set.contains(&u.0))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::{butterfly_degrees, ButterflyCounts};
+    use bcc_graph::{GraphBuilder, Label, LabeledGraph};
+    use rand::{Rng, SeedableRng};
+
+    fn cross01() -> BipartiteCross {
+        BipartiteCross::new(Label(0), Label(1))
+    }
+
+    /// The Figure 3 bipartite subgraph of the paper (used by Example 6):
+    /// L = {v1, v2, v3}, R = {u1..u9} with the example's cross edges.
+    fn figure3() -> (LabeledGraph, Vec<VertexId>, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let l: Vec<_> = (0..3).map(|i| b.add_named_vertex(&format!("v{}", i + 1), "L")).collect();
+        let r: Vec<_> = (0..9).map(|i| b.add_named_vertex(&format!("u{}", i + 1), "R")).collect();
+        // Edges chosen so that χ(v1)=χ(v3)=6 and χ(u2)=χ(u3)=χ(u5)=χ(u6)=3,
+        // the non-zero butterfly degrees quoted in Example 5.
+        // v1 and v3 share cross neighbors {u2, u3, u5, u6}; v2 has {u1}.
+        for &u in &[1usize, 2, 4, 5] {
+            b.add_edge(l[0], r[u]);
+            b.add_edge(l[2], r[u]);
+        }
+        b.add_edge(l[1], r[0]);
+        let g = b.build();
+        (g, l, r)
+    }
+
+    #[test]
+    fn figure3_butterfly_degrees_match_example5() {
+        let (g, l, r) = figure3();
+        let view = GraphView::new(&g);
+        let chi = butterfly_degrees(&view, cross01());
+        assert_eq!(chi[l[0].index()], 6, "χ(v1) = 6");
+        assert_eq!(chi[l[2].index()], 6, "χ(v3) = 6");
+        for &u in &[1usize, 2, 4, 5] {
+            assert_eq!(chi[r[u].index()], 3, "χ(u{}) = 3", u + 1);
+        }
+        assert_eq!(chi[l[1].index()], 0);
+        assert_eq!(chi[r[0].index()], 0);
+    }
+
+    #[test]
+    fn example6_same_label_update() {
+        // Deleting u6 (same side as leader u2): common neighbors {v1, v3},
+        // α = 2 → χ(u2) drops by C(2,2)... C(2,2)=1: 3 → 2.
+        let (g, _l, r) = figure3();
+        let view = GraphView::new(&g);
+        let u2 = r[1];
+        let u6 = r[5];
+        let dec = leader_decrement(&view, cross01(), u2, u6);
+        assert_eq!(dec, 1);
+    }
+
+    #[test]
+    fn example6_cross_label_update() {
+        // Deleting u6 with leader v1 (opposite sides, adjacent): β = 3,
+        // χ(v1): 6 → 3.
+        let (g, l, r) = figure3();
+        let view = GraphView::new(&g);
+        let dec = leader_decrement(&view, cross01(), l[0], r[5]);
+        assert_eq!(dec, 3);
+    }
+
+    #[test]
+    fn non_adjacent_cross_deletion_costs_nothing() {
+        let (g, l, r) = figure3();
+        let view = GraphView::new(&g);
+        // u1 is only adjacent to v2; deleting it cannot affect v1.
+        let dec = leader_decrement(&view, cross01(), l[0], r[0]);
+        assert_eq!(dec, 0);
+    }
+
+    #[test]
+    fn update_matches_recount_randomized() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for trial in 0..30 {
+            let mut b = GraphBuilder::new();
+            let left: Vec<_> = (0..7).map(|_| b.add_vertex("L")).collect();
+            let right: Vec<_> = (0..7).map(|_| b.add_vertex("R")).collect();
+            for &x in &left {
+                for &y in &right {
+                    if rng.gen_bool(0.4) {
+                        b.add_edge(x, y);
+                    }
+                }
+            }
+            let g = b.build();
+            let mut view = GraphView::new(&g);
+            let cross = cross01();
+            let before = butterfly_degrees(&view, cross);
+            // Pick a leader and a victim on random sides.
+            let all: Vec<VertexId> = left.iter().chain(&right).copied().collect();
+            let p = all[rng.gen_range(0..all.len())];
+            let mut v = all[rng.gen_range(0..all.len())];
+            while v == p {
+                v = all[rng.gen_range(0..all.len())];
+            }
+            let dec = leader_decrement(&view, cross, p, v);
+            view.remove_vertex(v);
+            let after = butterfly_degrees(&view, cross);
+            assert_eq!(
+                before[p.index()] - dec,
+                after[p.index()],
+                "trial {trial}: χ(p) {} − {dec} should equal {}",
+                before[p.index()],
+                after[p.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn counts_struct_agrees_with_figure3() {
+        let (g, l, _r) = figure3();
+        let view = GraphView::new(&g);
+        let counts = ButterflyCounts::compute(&view, cross01());
+        assert_eq!(counts.max_left, 6);
+        assert_eq!(counts.max_right, 3);
+        assert_eq!(counts.side_argmax(&view, g.label(l[0])).map(|v| counts.chi(v)), Some(6));
+    }
+}

@@ -1,0 +1,243 @@
+//! `bcc` — command-line butterfly-core community search.
+//!
+//! ```text
+//! bcc stats    <graph-file>
+//! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
+//! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N]
+//! bcc generate <output-file> [--network baidu1|baidu2|amazon|dblp|youtube|livejournal|orkut] [--scale F]
+//! bcc case     <flight|trade|fiction|academic> [--out FILE]
+//! ```
+//!
+//! Graph files use the `bcc-graph` text format (`v <id> <label> [name]` /
+//! `e <u> <v>` lines).
+
+use std::process::ExitCode;
+
+use bcc_core::{BccIndex, BccParams, BccQuery, LpBcc, MbccParams, MbccQuery, MultiLabelBcc};
+use bcc_graph::{GraphView, LabeledGraph, VertexId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bcc stats    <graph-file>
+  bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
+  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N]
+  bcc generate <output-file> [--network dblp] [--scale 1.0]
+  bcc case     <flight|trade|fiction|academic> [--out FILE]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "stats" => stats(args),
+        "search" => search(args),
+        "msearch" => msearch(args),
+        "generate" => generate(args),
+        "case" => case(args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
+fn load(args: &[String]) -> Result<LabeledGraph, String> {
+    let path = args.get(1).ok_or("missing graph file")?;
+    bcc_graph::io::read_graph_file(path).map_err(|e| e.to_string())
+}
+
+fn resolve(graph: &LabeledGraph, token: &str) -> Result<VertexId, String> {
+    if let Some(v) = graph.vertex_by_name(token) {
+        return Ok(v);
+    }
+    let id: u32 = token
+        .parse()
+        .map_err(|_| format!("`{token}` is neither a vertex name nor an id"))?;
+    if (id as usize) < graph.vertex_count() {
+        Ok(VertexId(id))
+    } else {
+        Err(format!("vertex id {id} out of range"))
+    }
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let graph = load(args)?;
+    let view = GraphView::new(&graph);
+    println!("vertices : {}", graph.vertex_count());
+    println!("edges    : {}", graph.edge_count());
+    println!("labels   : {}", graph.label_count());
+    println!("k_max    : {}", bcc_cohesion::max_coreness(&view));
+    println!("d_max    : {}", graph.max_degree());
+    let hist = graph.label_histogram();
+    for (label, name) in graph.interner().iter() {
+        println!("  label {name}: {} vertices", hist[label.index()]);
+    }
+    Ok(())
+}
+
+fn search(args: &[String]) -> Result<(), String> {
+    let graph = load(args)?;
+    let ql = resolve(&graph, flag_value(args, "--ql").ok_or("--ql required")?)?;
+    let qr = resolve(&graph, flag_value(args, "--qr").ok_or("--qr required")?)?;
+    let query = BccQuery::pair(ql, qr);
+    let mut params = BccParams::auto(&graph, &query);
+    if let Some(k1) = flag_value(args, "--k1") {
+        params.k1 = k1.parse().map_err(|_| "--k1 must be an integer")?;
+    }
+    if let Some(k2) = flag_value(args, "--k2") {
+        params.k2 = k2.parse().map_err(|_| "--k2 must be an integer")?;
+    }
+    if let Some(b) = flag_value(args, "--b") {
+        params.b = b.parse().map_err(|_| "--b must be an integer")?;
+    }
+    let method = flag_value(args, "--method").unwrap_or("lp");
+    println!(
+        "searching ({}, {}, {})-BCC for {{{}, {}}} with {method}",
+        params.k1,
+        params.k2,
+        params.b,
+        graph.vertex_name(ql),
+        graph.vertex_name(qr)
+    );
+    let result = match method {
+        "online" => bcc_core::OnlineBcc::default().search(&graph, &query, &params),
+        "lp" => LpBcc::default().search(&graph, &query, &params),
+        "l2p" => {
+            let index = BccIndex::build(&graph);
+            bcc_core::L2pBcc::default().search(&graph, &index, &query, &params)
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    match result {
+        Ok(result) => {
+            println!(
+                "community of {} members, query distance {}, {} iterations:",
+                result.community.len(),
+                result.query_distance,
+                result.iterations
+            );
+            for &v in &result.community {
+                println!(
+                    "  {} [{}]",
+                    graph.vertex_name(v),
+                    graph.interner().name(graph.label(v)).unwrap_or("?")
+                );
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn msearch(args: &[String]) -> Result<(), String> {
+    let graph = load(args)?;
+    let tokens = flag_values(args, "--q");
+    if tokens.len() < 2 {
+        return Err("msearch needs at least two --q vertices".into());
+    }
+    let queries: Result<Vec<VertexId>, String> =
+        tokens.iter().map(|t| resolve(&graph, t)).collect();
+    let query = MbccQuery::new(queries?);
+    let mut params = MbccParams::auto(&graph, &query);
+    if let Some(k) = flag_value(args, "--k") {
+        let k: u32 = k.parse().map_err(|_| "--k must be an integer")?;
+        params.ks = vec![k; query.m()];
+    }
+    if let Some(b) = flag_value(args, "--b") {
+        params.b = b.parse().map_err(|_| "--b must be an integer")?;
+    }
+    let searcher = MultiLabelBcc::default();
+    match searcher.search(&graph, None, &query, &params) {
+        Ok(result) => {
+            println!(
+                "mBCC community of {} members (m = {}):",
+                result.community.len(),
+                query.m()
+            );
+            for &v in &result.community {
+                println!(
+                    "  {} [{}]",
+                    graph.vertex_name(v),
+                    graph.interner().name(graph.label(v)).unwrap_or("?")
+                );
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let out = args.get(1).ok_or("missing output file")?;
+    let network = flag_value(args, "--network").unwrap_or("dblp");
+    let scale: f64 = flag_value(args, "--scale")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|_| "--scale must be a number")?;
+    let spec = match network {
+        "baidu1" => bcc_datasets::baidu1(scale),
+        "baidu2" => bcc_datasets::baidu2(scale),
+        "amazon" => bcc_datasets::amazon(scale),
+        "dblp" => bcc_datasets::dblp(scale),
+        "youtube" => bcc_datasets::youtube(scale),
+        "livejournal" => bcc_datasets::livejournal(scale),
+        "orkut" => bcc_datasets::orkut(scale),
+        other => return Err(format!("unknown network `{other}`")),
+    };
+    let net = spec.build();
+    bcc_graph::io::write_graph_file(&net.graph, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} vertices, {} edges, {} labels) to {out}",
+        spec.name,
+        net.graph.vertex_count(),
+        net.graph.edge_count(),
+        net.graph.label_count()
+    );
+    Ok(())
+}
+
+fn case(args: &[String]) -> Result<(), String> {
+    let which = args.get(1).ok_or("missing case-study name")?;
+    let graph = match which.as_str() {
+        "flight" => bcc_datasets::flight_network(42),
+        "trade" => bcc_datasets::trade_network(42),
+        "fiction" => bcc_datasets::fiction_network(),
+        "academic" => bcc_datasets::academic_network(42),
+        other => return Err(format!("unknown case study `{other}`")),
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            bcc_graph::io::write_graph_file(&graph, path).map_err(|e| e.to_string())?;
+            println!("wrote {which} network to {path}");
+        }
+        None => {
+            println!(
+                "{which}: {} vertices, {} edges, {} labels",
+                graph.vertex_count(),
+                graph.edge_count(),
+                graph.label_count()
+            );
+        }
+    }
+    Ok(())
+}

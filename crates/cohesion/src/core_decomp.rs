@@ -1,0 +1,210 @@
+//! k-core decomposition (Definition 1) via bucket peeling.
+//!
+//! `core_decomposition` treats all live edges equally; this produces the
+//! `k_max` column of Table 3 and drives the CTC/PSA baselines.
+//! `label_core_decomposition` only counts *same-label* edges, yielding each
+//! vertex's coreness inside its own label group — the quantity the BCC model
+//! constrains (conditions 2–3 of Definition 4) and the coreness component of
+//! the BCindex (Section 6.3). Both run in O(|V| + |E|).
+
+use bcc_graph::{GraphView, VertexId};
+
+/// Which edges a decomposition counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DegreeMode {
+    /// Degree within the whole alive subgraph.
+    All,
+    /// Degree within the alive subgraph induced by the vertex's own label.
+    SameLabelOnly,
+}
+
+fn decomposition(view: &GraphView<'_>, mode: DegreeMode) -> Vec<u32> {
+    let n = view.graph().vertex_count();
+    let mut degree = vec![0u32; n];
+    let mut max_degree = 0u32;
+    let alive: Vec<VertexId> = view.collect_vertices();
+    for &v in &alive {
+        let d = match mode {
+            DegreeMode::All => view.degree(v) as u32,
+            DegreeMode::SameLabelOnly => view.intra_degree(v) as u32,
+        };
+        degree[v.index()] = d;
+        max_degree = max_degree.max(d);
+    }
+
+    // Bucket sort vertices by degree (Batagelj–Zaversnik).
+    let mut bin_start = vec![0usize; max_degree as usize + 2];
+    for &v in &alive {
+        bin_start[degree[v.index()] as usize + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut position = vec![usize::MAX; n];
+    let mut ordered = vec![VertexId(0); alive.len()];
+    {
+        let mut cursor = bin_start.clone();
+        for &v in &alive {
+            let d = degree[v.index()] as usize;
+            position[v.index()] = cursor[d];
+            ordered[cursor[d]] = v;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut coreness = vec![0u32; n];
+    let mut current_degree = degree.clone();
+    let mut processed = vec![false; n];
+    for i in 0..ordered.len() {
+        let v = ordered[i];
+        processed[v.index()] = true;
+        coreness[v.index()] = current_degree[v.index()];
+        let neighbors: Vec<VertexId> = match mode {
+            DegreeMode::All => view.neighbors(v).collect(),
+            DegreeMode::SameLabelOnly => view.same_label_neighbors(v).collect(),
+        };
+        for u in neighbors {
+            if processed[u.index()] {
+                continue;
+            }
+            let du = current_degree[u.index()];
+            if du > current_degree[v.index()] {
+                // Move u one bucket down: swap it with the first vertex of
+                // its current bucket, then shrink the bucket boundary.
+                let bucket = du as usize;
+                let pu = position[u.index()];
+                let first = bin_start[bucket];
+                let w = ordered[first];
+                if w != u {
+                    ordered.swap(first, pu);
+                    position[u.index()] = first;
+                    position[w.index()] = pu;
+                }
+                bin_start[bucket] += 1;
+                current_degree[u.index()] = du - 1;
+            }
+        }
+    }
+    coreness
+}
+
+/// Coreness of every alive vertex counting all live edges; dead vertices get
+/// coreness 0.
+pub fn core_decomposition(view: &GraphView<'_>) -> Vec<u32> {
+    decomposition(view, DegreeMode::All)
+}
+
+/// Coreness of every alive vertex counting only same-label edges (coreness
+/// inside the vertex's label group).
+pub fn label_core_decomposition(view: &GraphView<'_>) -> Vec<u32> {
+    decomposition(view, DegreeMode::SameLabelOnly)
+}
+
+/// The maximum coreness in the view (`k_max` of Table 3).
+pub fn max_coreness(view: &GraphView<'_>) -> u32 {
+    core_decomposition(view).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::{GraphBuilder, LabeledGraph};
+
+    fn clique(n: usize, label: &str) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|_| b.add_vertex(label)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_coreness() {
+        let g = clique(5, "A");
+        let view = GraphView::new(&g);
+        let core = core_decomposition(&view);
+        assert!(core.iter().all(|&c| c == 4));
+        assert_eq!(max_coreness(&view), 4);
+    }
+
+    #[test]
+    fn path_coreness_is_one() {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_vertex("A")).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build();
+        let core = core_decomposition(&GraphView::new(&g));
+        assert!(core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // 4-clique + pendant vertex: clique members have coreness 3, pendant 1.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_vertex("A")).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+        b.add_edge(vs[0], vs[4]);
+        let g = b.build();
+        let core = core_decomposition(&GraphView::new(&g));
+        assert_eq!(core[4], 1);
+        assert_eq!(&core[..4], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn label_core_ignores_cross_edges() {
+        // Two 3-cliques with different labels fully cross-connected: label
+        // coreness stays 2 while plain coreness is 5.
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..3).map(|_| b.add_vertex("A")).collect();
+        let c: Vec<_> = (0..3).map(|_| b.add_vertex("B")).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                b.add_edge(a[i], a[j]);
+                b.add_edge(c[i], c[j]);
+            }
+        }
+        for &u in &a {
+            for &v in &c {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let view = GraphView::new(&g);
+        let label_core = label_core_decomposition(&view);
+        assert!(label_core.iter().all(|&k| k == 2));
+        let core = core_decomposition(&view);
+        assert!(core.iter().all(|&k| k == 5));
+    }
+
+    #[test]
+    fn respects_view_deletions() {
+        let g = clique(5, "A");
+        let mut view = GraphView::new(&g);
+        view.remove_vertex(bcc_graph::VertexId(0));
+        let core = core_decomposition(&view);
+        assert_eq!(core[0], 0, "dead vertices report coreness 0");
+        assert!(core[1..].iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn coreness_is_monotone_under_deletion() {
+        // Property sanity: deleting a vertex never increases anyone's coreness.
+        let g = clique(6, "A");
+        let mut view = GraphView::new(&g);
+        let before = core_decomposition(&view);
+        view.remove_vertex(bcc_graph::VertexId(3));
+        let after = core_decomposition(&view);
+        for i in 0..6 {
+            assert!(after[i] <= before[i]);
+        }
+    }
+}

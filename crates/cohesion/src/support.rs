@@ -1,0 +1,170 @@
+//! Dense edge ids and triangle-support computation.
+//!
+//! The k-truss machinery (needed by the CTC baseline) works per *edge*, so
+//! we index each undirected edge `{u, v}` with a dense `u32` id. Because CSR
+//! adjacency lists are sorted, the edges `(u, v)` with `v > u` form a
+//! contiguous suffix of `u`'s list, which lets `id_of` run in O(log deg)
+//! without any hash map.
+
+use bcc_graph::{LabeledGraph, VertexId};
+
+/// Dense ids for the undirected edges of a graph.
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    /// `upper_start[u]` = id of the first edge `(u, v)` with `v > u`.
+    upper_start: Vec<u32>,
+    /// `(min, max)` endpoints per edge id.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeIndex {
+    /// Builds the index for `graph`.
+    pub fn new(graph: &LabeledGraph) -> Self {
+        let n = graph.vertex_count();
+        let mut upper_start = Vec::with_capacity(n + 1);
+        let mut endpoints = Vec::with_capacity(graph.edge_count());
+        let mut next_id = 0u32;
+        for u in graph.vertices() {
+            upper_start.push(next_id);
+            for &v in graph.neighbors(u) {
+                if v > u {
+                    endpoints.push((u, v));
+                    next_id += 1;
+                }
+            }
+        }
+        upper_start.push(next_id);
+        EdgeIndex {
+            upper_start,
+            endpoints,
+        }
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The `(min, max)` endpoints of edge `id`.
+    #[inline]
+    pub fn endpoints(&self, id: u32) -> (VertexId, VertexId) {
+        self.endpoints[id as usize]
+    }
+
+    /// The id of edge `{u, v}`, if present in `graph`.
+    pub fn id_of(&self, graph: &LabeledGraph, u: VertexId, v: VertexId) -> Option<u32> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let neighbors = graph.neighbors(a);
+        // Edges to vertices > a occupy the sorted suffix of a's list.
+        let suffix_start = neighbors.partition_point(|&w| w <= a);
+        let suffix = &neighbors[suffix_start..];
+        let rank = suffix.binary_search(&b).ok()?;
+        Some(self.upper_start[a.index()] + rank as u32)
+    }
+}
+
+/// Triangle support per edge: `support[e]` = number of triangles containing
+/// edge `e` (common neighbors of its endpoints). Sorted-list intersection,
+/// O(Σ_e min(deg(u), deg(v))).
+pub fn triangle_supports(graph: &LabeledGraph, index: &EdgeIndex) -> Vec<u32> {
+    let mut support = vec![0u32; index.edge_count()];
+    for id in 0..index.edge_count() as u32 {
+        let (u, v) = index.endpoints(id);
+        support[id as usize] = common_neighbor_count(graph, u, v);
+    }
+    support
+}
+
+/// Number of common neighbors of `u` and `v` (sorted intersection).
+pub fn common_neighbor_count(graph: &LabeledGraph, u: VertexId, v: VertexId) -> u32 {
+    let (mut a, mut b) = (graph.neighbors(u).iter(), graph.neighbors(v).iter());
+    let (mut x, mut y) = (a.next(), b.next());
+    let mut count = 0;
+    while let (Some(&p), Some(&q)) = (x, y) {
+        match p.cmp(&q) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    fn k4() -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_invertible() {
+        let g = k4();
+        let index = EdgeIndex::new(&g);
+        assert_eq!(index.edge_count(), 6);
+        let mut seen = [false; 6];
+        for (u, v) in g.edges() {
+            let id = index.id_of(&g, u, v).unwrap();
+            assert!(!seen[id as usize], "duplicate id");
+            seen[id as usize] = true;
+            assert_eq!(index.endpoints(id), (u, v));
+            // Symmetric lookup.
+            assert_eq!(index.id_of(&g, v, u), Some(id));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn missing_edge_has_no_id() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("A");
+        let v = b.add_vertex("A");
+        let w = b.add_vertex("A");
+        b.add_edge(u, v);
+        b.add_edge(v, w);
+        let g = b.build();
+        let index = EdgeIndex::new(&g);
+        assert_eq!(index.id_of(&g, u, w), None);
+    }
+
+    #[test]
+    fn k4_supports() {
+        let g = k4();
+        let index = EdgeIndex::new(&g);
+        let support = triangle_supports(&g, &index);
+        assert!(support.iter().all(|&s| s == 2), "every K4 edge is in 2 triangles");
+    }
+
+    #[test]
+    fn triangle_free_supports_are_zero() {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+        // 4-cycle: no triangles.
+        for i in 0..4 {
+            b.add_edge(vs[i], vs[(i + 1) % 4]);
+        }
+        let g = b.build();
+        let index = EdgeIndex::new(&g);
+        let support = triangle_supports(&g, &index);
+        assert!(support.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let g = k4();
+        assert_eq!(common_neighbor_count(&g, VertexId(0), VertexId(1)), 2);
+    }
+}

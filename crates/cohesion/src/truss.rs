@@ -1,0 +1,505 @@
+//! k-truss decomposition and maintenance (substrate for the CTC baseline).
+//!
+//! A k-truss is a subgraph in which every edge is contained in at least
+//! `k − 2` triangles *within the subgraph*. `truss_decomposition` assigns
+//! each edge its trussness (the largest k for which it survives) by peeling
+//! edges in ascending support order. [`TrussState`] maintains a k-truss
+//! under the vertex deletions performed by the CTC search loop.
+
+use bcc_graph::{BitSet, LabeledGraph, VertexId};
+
+use crate::support::{triangle_supports, EdgeIndex};
+
+/// Trussness per edge id (≥ 2 for every edge; an edge in no triangle has
+/// trussness exactly 2).
+pub fn truss_decomposition(graph: &LabeledGraph, index: &EdgeIndex) -> Vec<u32> {
+    let m = index.edge_count();
+    let mut support = triangle_supports(graph, index);
+    let mut trussness = vec![2u32; m];
+    let mut removed = vec![false; m];
+
+    // Bucket peeling over edges keyed by current support.
+    let max_support = support.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_support + 1];
+    for (id, &s) in support.iter().enumerate() {
+        buckets[s as usize].push(id as u32);
+    }
+    let mut processed = 0usize;
+    let mut level = 0usize;
+    let mut k = 2u32;
+    while processed < m {
+        // Find the lowest non-empty bucket at or below the current frontier.
+        while level <= max_support && buckets[level].is_empty() {
+            level += 1;
+        }
+        if level > max_support {
+            break;
+        }
+        let id = buckets[level].pop().unwrap();
+        if removed[id as usize] {
+            continue;
+        }
+        let s = support[id as usize] as usize;
+        if s != level {
+            // Stale bucket entry; reinsert at the true level.
+            buckets[s].push(id);
+            if s < level {
+                level = s;
+            }
+            continue;
+        }
+        k = k.max(s as u32 + 2);
+        trussness[id as usize] = k;
+        removed[id as usize] = true;
+        processed += 1;
+
+        let (u, v) = index.endpoints(id);
+        for w in common_alive_neighbors(graph, index, &removed, u, v) {
+            for other in [
+                index.id_of(graph, u, w).expect("triangle edge exists"),
+                index.id_of(graph, v, w).expect("triangle edge exists"),
+            ] {
+                if !removed[other as usize] && support[other as usize] > 0 {
+                    support[other as usize] -= 1;
+                    let ns = support[other as usize] as usize;
+                    buckets[ns].push(other);
+                    if ns < level {
+                        level = ns;
+                    }
+                }
+            }
+        }
+    }
+    trussness
+}
+
+fn common_alive_neighbors(
+    graph: &LabeledGraph,
+    index: &EdgeIndex,
+    removed: &[bool],
+    u: VertexId,
+    v: VertexId,
+) -> Vec<VertexId> {
+    let (mut a, mut b) = (graph.neighbors(u).iter(), graph.neighbors(v).iter());
+    let (mut x, mut y) = (a.next(), b.next());
+    let mut out = Vec::new();
+    while let (Some(&p), Some(&q)) = (x, y) {
+        match p.cmp(&q) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                let eu = index.id_of(graph, u, p).expect("edge exists");
+                let ev = index.id_of(graph, v, p).expect("edge exists");
+                if !removed[eu as usize] && !removed[ev as usize] {
+                    out.push(p);
+                }
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    out
+}
+
+/// A maximal k-truss under vertex deletions.
+///
+/// Unlike [`bcc_graph::GraphView`], liveness here is per *edge*: a vertex is
+/// alive while it has at least one alive incident edge. Removing a vertex
+/// kills its incident edges, which may push other edges below the `k − 2`
+/// support threshold and cascade.
+#[derive(Clone)]
+pub struct TrussState<'g> {
+    graph: &'g LabeledGraph,
+    index: EdgeIndex,
+    k: u32,
+    edge_alive: Vec<bool>,
+    support: Vec<u32>,
+    degree: Vec<u32>,
+    alive: BitSet,
+    alive_count: usize,
+    /// Vertices that died since the last drain (batch + collateral), in
+    /// death order — the CTC search replays these for its best snapshot.
+    death_log: Vec<VertexId>,
+}
+
+impl<'g> TrussState<'g> {
+    /// Builds the maximal k-truss of `graph` (edges with trussness ≥ `k`).
+    pub fn k_truss(graph: &'g LabeledGraph, k: u32) -> Self {
+        let index = EdgeIndex::new(graph);
+        let trussness = truss_decomposition(graph, &index);
+        Self::from_trussness(graph, index, &trussness, k)
+    }
+
+    /// Builds the maximal k-truss from a precomputed trussness vector
+    /// (avoids redecomposition when probing several k values).
+    pub fn from_trussness(
+        graph: &'g LabeledGraph,
+        index: EdgeIndex,
+        trussness: &[u32],
+        k: u32,
+    ) -> Self {
+        let m = index.edge_count();
+        let edge_alive: Vec<bool> = (0..m).map(|e| trussness[e] >= k).collect();
+        let n = graph.vertex_count();
+        let mut degree = vec![0u32; n];
+        for e in 0..m as u32 {
+            if edge_alive[e as usize] {
+                let (u, v) = index.endpoints(e);
+                degree[u.index()] += 1;
+                degree[v.index()] += 1;
+            }
+        }
+        let mut alive = BitSet::new(n);
+        let mut alive_count = 0;
+        for (v, &deg) in degree.iter().enumerate() {
+            if deg > 0 {
+                alive.insert(v);
+                alive_count += 1;
+            }
+        }
+        // Support within the alive edge set.
+        let mut state = TrussState {
+            graph,
+            index,
+            k,
+            edge_alive,
+            support: Vec::new(),
+            degree,
+            alive,
+            alive_count,
+            death_log: Vec::new(),
+        };
+        state.support = state.recompute_support();
+        state
+    }
+
+    /// The maximal k-truss of the subgraph of `graph` induced by `keep`,
+    /// starting from precomputed global trussness (used to replay the CTC
+    /// search's best snapshot).
+    pub fn induced(
+        graph: &'g LabeledGraph,
+        index: EdgeIndex,
+        trussness: &[u32],
+        k: u32,
+        keep: &BitSet,
+    ) -> Self {
+        let mut state = Self::from_trussness(graph, index, trussness, k);
+        let outside: Vec<VertexId> = state
+            .alive_vertices()
+            .filter(|v| !keep.contains(v.index()))
+            .collect();
+        state.remove_vertices(&outside);
+        state.death_log.clear();
+        state
+    }
+
+    fn recompute_support(&self) -> Vec<u32> {
+        let m = self.index.edge_count();
+        let mut support = vec![0u32; m];
+        for e in 0..m as u32 {
+            if !self.edge_alive[e as usize] {
+                continue;
+            }
+            let (u, v) = self.index.endpoints(e);
+            support[e as usize] =
+                common_alive_neighbors(self.graph, &self.index, &self.dead_mask(), u, v).len()
+                    as u32;
+        }
+        support
+    }
+
+    fn dead_mask(&self) -> Vec<bool> {
+        self.edge_alive.iter().map(|&a| !a).collect()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g LabeledGraph {
+        self.graph
+    }
+
+    /// The truss parameter k.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Returns `true` if `v` still has an alive incident edge.
+    #[inline]
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.alive.contains(v.index())
+    }
+
+    /// Number of alive vertices.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Number of alive edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Iterates alive vertices.
+    pub fn alive_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive.iter().map(|i| VertexId(i as u32))
+    }
+
+    /// Iterates the neighbors of `v` reachable over alive edges.
+    pub fn neighbors<'a>(&'a self, v: VertexId) -> impl Iterator<Item = VertexId> + 'a {
+        self.graph.neighbors(v).iter().copied().filter(move |&u| {
+            self.index
+                .id_of(self.graph, v, u)
+                .is_some_and(|e| self.edge_alive[e as usize])
+        })
+    }
+
+    /// BFS distances over alive edges from `source`.
+    pub fn bfs_distances(&self, source: VertexId) -> Vec<u32> {
+        let n = self.graph.vertex_count();
+        let mut dist = vec![u32::MAX; n];
+        if !self.is_alive(source) {
+            return dist;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let next = dist[v.index()] + 1;
+            for u in self.neighbors(v) {
+                if dist[u.index()] == u32::MAX {
+                    dist[u.index()] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Restricts the state to the connected component of `v` (over alive
+    /// edges). Vertices outside the component are removed without cascade
+    /// (removing whole components cannot violate support constraints inside
+    /// the kept component).
+    pub fn restrict_to_component_of(&mut self, v: VertexId) {
+        let dist = self.bfs_distances(v);
+        let outside: Vec<VertexId> = self
+            .alive_vertices()
+            .filter(|u| dist[u.index()] == u32::MAX)
+            .collect();
+        for u in outside {
+            // Kill edges without cascading: both endpoints are outside.
+            let incident: Vec<u32> = self.alive_incident_edges(u);
+            for e in incident {
+                self.kill_edge(e);
+            }
+        }
+        self.death_log.clear();
+    }
+
+    fn alive_incident_edges(&self, v: VertexId) -> Vec<u32> {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .filter_map(|&u| self.index.id_of(self.graph, v, u))
+            .filter(|&e| self.edge_alive[e as usize])
+            .collect()
+    }
+
+    fn kill_edge(&mut self, e: u32) {
+        if !std::mem::replace(&mut self.edge_alive[e as usize], false) {
+            return;
+        }
+        let (u, v) = self.index.endpoints(e);
+        for w in [u, v] {
+            self.degree[w.index()] -= 1;
+            if self.degree[w.index()] == 0 && self.alive.remove(w.index()) {
+                self.alive_count -= 1;
+                self.death_log.push(w);
+            }
+        }
+    }
+
+    /// Removes vertices `batch` and cascades the k-truss condition.
+    /// Returns every vertex that died — the batch plus every collateral
+    /// death from edge cascades — in death order.
+    pub fn remove_vertices(&mut self, batch: &[VertexId]) -> Vec<VertexId> {
+        self.death_log.clear();
+        let mut dying_edges: Vec<u32> = Vec::new();
+        for &v in batch {
+            if self.is_alive(v) {
+                dying_edges.extend(self.alive_incident_edges(v));
+            }
+        }
+        self.cascade_edges(dying_edges);
+        std::mem::take(&mut self.death_log)
+    }
+
+    /// Removes the given edges, decrementing supports of triangle partners
+    /// and cascading any edge whose support drops below `k − 2`.
+    fn cascade_edges(&mut self, seeds: Vec<u32>) {
+        let threshold = self.k.saturating_sub(2);
+        let mut queue: std::collections::VecDeque<u32> = seeds.into();
+        while let Some(e) = queue.pop_front() {
+            if !self.edge_alive[e as usize] {
+                continue;
+            }
+            let (u, v) = self.index.endpoints(e);
+            // Collect triangle partners *before* killing the edge.
+            let partners = common_alive_neighbors(self.graph, &self.index, &self.dead_mask(), u, v);
+            self.kill_edge(e);
+            for w in partners {
+                for other in [
+                    self.index.id_of(self.graph, u, w).expect("edge exists"),
+                    self.index.id_of(self.graph, v, w).expect("edge exists"),
+                ] {
+                    if self.edge_alive[other as usize] {
+                        let s = &mut self.support[other as usize];
+                        *s = s.saturating_sub(1);
+                        if *s < threshold {
+                            queue.push_back(other);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies the k-truss invariant (every alive edge has ≥ k−2 alive
+    /// triangles). For tests and debugging.
+    pub fn check_invariant(&self) -> bool {
+        let threshold = self.k.saturating_sub(2);
+        let dead = self.dead_mask();
+        (0..self.index.edge_count() as u32).all(|e| {
+            if !self.edge_alive[e as usize] {
+                return true;
+            }
+            let (u, v) = self.index.endpoints(e);
+            common_alive_neighbors(self.graph, &self.index, &dead, u, v).len() as u32 >= threshold
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    fn clique(n: usize) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|_| b.add_vertex("A")).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_trussness() {
+        let g = clique(5);
+        let index = EdgeIndex::new(&g);
+        let trussness = truss_decomposition(&g, &index);
+        assert!(trussness.iter().all(|&t| t == 5), "K5 edges have trussness 5: {trussness:?}");
+    }
+
+    #[test]
+    fn triangle_chain_trussness() {
+        // Two triangles sharing an edge: the shared edge has 2 triangles but
+        // its partners have 1 each, so the whole graph is a 3-truss only.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(vs[u], vs[v]);
+        }
+        let g = b.build();
+        let index = EdgeIndex::new(&g);
+        let trussness = truss_decomposition(&g, &index);
+        assert!(trussness.iter().all(|&t| t == 3), "{trussness:?}");
+    }
+
+    #[test]
+    fn cycle_is_2_truss() {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_vertex("A")).collect();
+        for i in 0..5 {
+            b.add_edge(vs[i], vs[(i + 1) % 5]);
+        }
+        let g = b.build();
+        let index = EdgeIndex::new(&g);
+        let trussness = truss_decomposition(&g, &index);
+        assert!(trussness.iter().all(|&t| t == 2));
+    }
+
+    #[test]
+    fn k_truss_state_extraction() {
+        // K5 plus a pendant triangle: the K5 is a 5-truss, the triangle only a 3-truss.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..7).map(|_| b.add_vertex("A")).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+        b.add_edge(vs[4], vs[5]);
+        b.add_edge(vs[4], vs[6]);
+        b.add_edge(vs[5], vs[6]);
+        let g = b.build();
+        let state = TrussState::k_truss(&g, 4);
+        assert_eq!(state.alive_count(), 5);
+        assert!(!state.is_alive(vs[5]));
+        assert!(state.check_invariant());
+    }
+
+    #[test]
+    fn vertex_removal_cascades() {
+        let g = clique(5);
+        let mut state = TrussState::k_truss(&g, 5);
+        assert_eq!(state.alive_count(), 5);
+        // Removing any vertex of K5 destroys the 5-truss entirely.
+        state.remove_vertices(&[VertexId(0)]);
+        assert_eq!(state.alive_count(), 0);
+        assert!(state.check_invariant());
+    }
+
+    #[test]
+    fn removal_cascade_partial() {
+        // Two K4s sharing no vertices, joined by one edge; 4-truss = both K4s.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..8).map(|_| b.add_vertex("A")).collect();
+        for base in [0, 4] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    b.add_edge(vs[i], vs[j]);
+                }
+            }
+        }
+        b.add_edge(vs[0], vs[4]);
+        let g = b.build();
+        let mut state = TrussState::k_truss(&g, 4);
+        assert_eq!(state.alive_count(), 8);
+        // Deleting a vertex of the first K4 kills only that K4.
+        state.remove_vertices(&[VertexId(1)]);
+        assert_eq!(state.alive_count(), 4);
+        assert!(state.is_alive(VertexId(5)));
+        assert!(state.check_invariant());
+    }
+
+    #[test]
+    fn bfs_over_truss_edges() {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..6).map(|_| b.add_vertex("A")).collect();
+        // Triangle 0-1-2 and triangle 3-4-5 joined by a triangle-free edge 2-3.
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(vs[u], vs[v]);
+        }
+        let g = b.build();
+        let state = TrussState::k_truss(&g, 3);
+        // Edge 2-3 has trussness 2, so it is absent from the 3-truss: the
+        // two triangles are disconnected.
+        let dist = state.bfs_distances(VertexId(0));
+        assert_eq!(dist[2], 1);
+        assert_eq!(dist[3], u32::MAX);
+        let mut state = state;
+        state.restrict_to_component_of(VertexId(0));
+        assert_eq!(state.alive_count(), 3);
+    }
+}

@@ -1,0 +1,336 @@
+//! Algorithm 5 — fast query-distance computation.
+//!
+//! After a deletion round removes `D_i` from `G_i`, only vertices whose old
+//! distance exceeded `d_min = min_{v ∈ D_i} dist(v, q)` can change distance
+//! (any shorter path ran exclusively through vertices closer than `d_min`,
+//! all of which survived). Algorithm 5 therefore resets just that suffix
+//! (`S_u`) and re-runs a BFS from the still-settled ring at exactly `d_min`
+//! (`S_s`), instead of a full BFS from the query.
+//!
+//! To make the update touch only `|S_s| + |S_u|` vertices (and not scan the
+//! whole graph to *find* them), we bucket vertices by distance level with
+//! lazy invalidation: a bucket entry is live iff the vertex's current
+//! distance still equals the bucket level. The common case the paper points
+//! out — the query whose own farthest shell was deleted has `S_u = ∅` —
+//! then costs O(|D_i|).
+
+use bcc_graph::{GraphView, VertexId, INF_DIST};
+
+use crate::stats::{timed, SearchStats};
+
+/// Per-query BFS distance arrays maintained incrementally across deletions.
+#[derive(Clone, Debug)]
+pub struct IncrementalDistances {
+    /// The query vertices, aligned with `dist`.
+    pub queries: Vec<VertexId>,
+    /// `dist[i][v]` = hop distance from query `i` to vertex `v`
+    /// ([`INF_DIST`] for dead/unreachable vertices).
+    pub dist: Vec<Vec<u32>>,
+    /// `buckets[i][d]` = vertices that were assigned distance `d` from
+    /// query `i` (lazy: entries whose current distance differs are stale).
+    buckets: Vec<Vec<Vec<VertexId>>>,
+}
+
+impl IncrementalDistances {
+    /// Full BFS from every query (the expensive baseline that Algorithm 5
+    /// avoids repeating).
+    pub fn compute(view: &GraphView<'_>, queries: &[VertexId], stats: &mut SearchStats) -> Self {
+        let (dist, buckets) = timed(&mut stats.time_query_distance, || {
+            let mut dist = Vec::with_capacity(queries.len());
+            let mut buckets = Vec::with_capacity(queries.len());
+            for &q in queries {
+                let d = bcc_graph::bfs_distances(view, q);
+                let max = view
+                    .alive_vertices()
+                    .map(|v| d[v.index()])
+                    .filter(|&x| x != INF_DIST)
+                    .max()
+                    .unwrap_or(0);
+                let mut levels: Vec<Vec<VertexId>> = vec![Vec::new(); max as usize + 1];
+                for v in view.alive_vertices() {
+                    let dv = d[v.index()];
+                    if dv != INF_DIST {
+                        levels[dv as usize].push(v);
+                    }
+                }
+                dist.push(d);
+                buckets.push(levels);
+            }
+            (dist, buckets)
+        });
+        stats.full_bfs_runs += queries.len() as u64;
+        IncrementalDistances {
+            queries: queries.to_vec(),
+            dist,
+            buckets,
+        }
+    }
+
+    /// Algorithm 5: refreshes the distance arrays after `removed` vertices
+    /// were deleted from `view` (call *after* the deletion).
+    pub fn update_after_removal(
+        &mut self,
+        view: &GraphView<'_>,
+        removed: &[VertexId],
+        stats: &mut SearchStats,
+    ) {
+        timed(&mut stats.time_query_distance, || {
+            for qi in 0..self.queries.len() {
+                self.update_one(view, qi, removed);
+            }
+        });
+        stats.incremental_dist_updates += 1;
+    }
+
+    fn update_one(&mut self, view: &GraphView<'_>, qi: usize, removed: &[VertexId]) {
+        let q = self.queries[qi];
+        let dist = &mut self.dist[qi];
+        let buckets = &mut self.buckets[qi];
+        if !view.is_alive(q) {
+            dist.fill(INF_DIST);
+            buckets.clear();
+            return;
+        }
+        // d_min over the deleted set (line 2).
+        let d_min = removed
+            .iter()
+            .map(|v| dist[v.index()])
+            .min()
+            .unwrap_or(INF_DIST);
+        for v in removed {
+            dist[v.index()] = INF_DIST;
+        }
+        if d_min == INF_DIST {
+            // Only unreachable vertices died: S_u = ∅, nothing to update.
+            return;
+        }
+        let d_min = d_min as usize;
+        // S_u (line 4): every alive vertex farther than d_min — exactly the
+        // live entries of the buckets above d_min. Reset them to ∞. A
+        // vertex may also appear as a *stale* entry at a level above its
+        // current distance (BFS improvements leave the old entry behind);
+        // the level check skips those so settled distances survive.
+        for (level_idx, level) in buckets.iter_mut().enumerate().skip(d_min + 1) {
+            for &v in level.iter() {
+                if view.is_alive(v) && dist[v.index()] == level_idx as u32 {
+                    dist[v.index()] = INF_DIST;
+                }
+            }
+            level.clear();
+        }
+        // S_s (line 3): the settled ring at exactly d_min.
+        buckets[d_min].retain(|&v| view.is_alive(v) && dist[v.index()] == d_min as u32);
+        let mut queue: std::collections::VecDeque<VertexId> = buckets[d_min].iter().copied().collect();
+        // BFS restart (line 5). Settled vertices have dist ≤ d_min < any
+        // proposed distance, so the `next < dist` check leaves them alone.
+        while let Some(v) = queue.pop_front() {
+            let next = dist[v.index()] + 1;
+            for u in view.neighbors(v) {
+                if next < dist[u.index()] {
+                    dist[u.index()] = next;
+                    if buckets.len() <= next as usize {
+                        buckets.resize(next as usize + 1, Vec::new());
+                    }
+                    buckets[next as usize].push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+
+    /// `dist(v, Q)` of Definition 5 (maximum over queries).
+    #[inline]
+    pub fn vertex_query_distance(&self, v: VertexId) -> u32 {
+        self.dist
+            .iter()
+            .map(|d| d[v.index()])
+            .max()
+            .unwrap_or(INF_DIST)
+    }
+
+    /// The candidate's query distance `dist(G, Q)`.
+    pub fn graph_query_distance(&self, view: &GraphView<'_>) -> u32 {
+        view.alive_vertices()
+            .map(|v| self.vertex_query_distance(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All alive vertices at the maximum query distance, and that distance.
+    pub fn farthest_vertices(&self, view: &GraphView<'_>) -> (Vec<VertexId>, u32) {
+        let mut best = 0u32;
+        let mut out = Vec::new();
+        for v in view.alive_vertices() {
+            let d = self.vertex_query_distance(v);
+            match d.cmp(&best) {
+                std::cmp::Ordering::Greater => {
+                    best = d;
+                    out.clear();
+                    out.push(v);
+                }
+                std::cmp::Ordering::Equal => out.push(v),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        (out, best)
+    }
+
+    /// Returns `true` if every query can reach every other query.
+    pub fn queries_connected(&self) -> bool {
+        let first = &self.dist[0];
+        self.queries.iter().all(|q| first[q.index()] != INF_DIST)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::{GraphBuilder, LabeledGraph};
+    use rand::{Rng, SeedableRng};
+
+    fn grid(w: usize, h: usize) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<Vec<VertexId>> = (0..h)
+            .map(|_| (0..w).map(|_| b.add_vertex("A")).collect())
+            .collect();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    b.add_edge(vs[y][x], vs[y][x + 1]);
+                }
+                if y + 1 < h {
+                    b.add_edge(vs[y][x], vs[y + 1][x]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn assert_matches_fresh(view: &GraphView<'_>, inc: &IncrementalDistances) {
+        for (qi, &q) in inc.queries.iter().enumerate() {
+            let fresh = bcc_graph::bfs_distances(view, q);
+            assert_eq!(inc.dist[qi], fresh, "query {q} distances diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_on_grid() {
+        let g = grid(5, 5);
+        let mut view = GraphView::new(&g);
+        let mut stats = SearchStats::default();
+        let queries = [VertexId(0), VertexId(24)];
+        let mut inc = IncrementalDistances::compute(&view, &queries, &mut stats);
+        assert_eq!(stats.full_bfs_runs, 2);
+        // Delete the grid center, forcing detours.
+        let center = VertexId(12);
+        view.remove_vertex(center);
+        inc.update_after_removal(&view, &[center], &mut stats);
+        assert_matches_fresh(&view, &inc);
+        assert_eq!(stats.incremental_dist_updates, 1);
+    }
+
+    #[test]
+    fn randomized_deletion_equivalence() {
+        let g = grid(6, 6);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut view = GraphView::new(&g);
+        let mut stats = SearchStats::default();
+        let queries = [VertexId(0), VertexId(35)];
+        let mut inc = IncrementalDistances::compute(&view, &queries, &mut stats);
+        for _round in 0..12 {
+            // Remove a random batch of 1–3 alive non-query vertices.
+            let alive: Vec<VertexId> = view
+                .alive_vertices()
+                .filter(|v| !queries.contains(v))
+                .collect();
+            if alive.len() <= 2 {
+                break;
+            }
+            let k = rng.gen_range(1..=3.min(alive.len()));
+            let mut batch = Vec::new();
+            for _ in 0..k {
+                let v = alive[rng.gen_range(0..alive.len())];
+                if view.is_alive(v) {
+                    view.remove_vertex(v);
+                    batch.push(v);
+                }
+            }
+            inc.update_after_removal(&view, &batch, &mut stats);
+            assert_matches_fresh(&view, &inc);
+        }
+    }
+
+    #[test]
+    fn unreachable_deletion_is_noop() {
+        // Two disconnected edges; deleting a vertex of the far component
+        // leaves the query's distances untouched (d_min = ∞ path).
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex("A");
+        let a1 = b.add_vertex("A");
+        let c0 = b.add_vertex("A");
+        let c1 = b.add_vertex("A");
+        b.add_edge(a0, a1);
+        b.add_edge(c0, c1);
+        let g = b.build();
+        let mut view = GraphView::new(&g);
+        let mut stats = SearchStats::default();
+        let mut inc = IncrementalDistances::compute(&view, &[a0], &mut stats);
+        view.remove_vertex(c0);
+        inc.update_after_removal(&view, &[c0], &mut stats);
+        assert_eq!(inc.dist[0][a1.index()], 1);
+        assert_eq!(inc.dist[0][c0.index()], INF_DIST);
+        assert_matches_fresh(&view, &inc);
+    }
+
+    #[test]
+    fn dead_query_blanks_distances() {
+        let g = grid(3, 3);
+        let mut view = GraphView::new(&g);
+        let mut stats = SearchStats::default();
+        let q = VertexId(0);
+        let mut inc = IncrementalDistances::compute(&view, &[q], &mut stats);
+        view.remove_vertex(q);
+        inc.update_after_removal(&view, &[q], &mut stats);
+        assert!(inc.dist[0].iter().all(|&d| d == INF_DIST));
+        assert!(!inc.queries_connected());
+    }
+
+    #[test]
+    fn distances_can_grow_across_repeated_updates() {
+        // A ring: deleting vertices forces ever-longer detours, exercising
+        // the bucket resize path (new levels beyond the initial maximum).
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..12).map(|_| b.add_vertex("A")).collect();
+        for i in 0..12 {
+            b.add_edge(vs[i], vs[(i + 1) % 12]);
+        }
+        let g = b.build();
+        let mut view = GraphView::new(&g);
+        let mut stats = SearchStats::default();
+        let mut inc = IncrementalDistances::compute(&view, &[vs[0]], &mut stats);
+        // Cut the short arc step by step: distances to the far side grow.
+        for &cut in &[vs[1], vs[2], vs[3]] {
+            view.remove_vertex(cut);
+            inc.update_after_removal(&view, &[cut], &mut stats);
+            assert_matches_fresh(&view, &inc);
+        }
+        assert_eq!(inc.dist[0][vs[4].index()], 8, "forced the long way round");
+    }
+
+    #[test]
+    fn farthest_and_query_distance_agree_with_fresh() {
+        let g = grid(4, 4);
+        let view = GraphView::new(&g);
+        let mut stats = SearchStats::default();
+        let queries = [VertexId(0), VertexId(5)];
+        let inc = IncrementalDistances::compute(&view, &queries, &mut stats);
+        let fresh = bcc_graph::traversal::QueryDistances::compute(&view, &queries);
+        assert_eq!(
+            inc.graph_query_distance(&view),
+            fresh.graph_query_distance(&view)
+        );
+        let (fi, di) = inc.farthest_vertices(&view);
+        let (ff, df) = fresh.farthest_vertices(&view);
+        assert_eq!((fi, di), (ff, df));
+    }
+}

@@ -1,0 +1,394 @@
+//! The BCC model: parameters, queries, results, and errors.
+//!
+//! A `(k1, k2, b)`-butterfly-core community (Definition 4) over two labels
+//! `A_l`, `A_r` is a subgraph `H` whose vertex set splits into `V_L` (all
+//! labeled `A_l`) and `V_R` (labeled `A_r`) such that
+//!
+//! 1. `V_L ∪ V_R = V_H` and the two groups are disjoint;
+//! 2. the subgraph induced by `V_L` is a `k1`-core;
+//! 3. the subgraph induced by `V_R` is a `k2`-core;
+//! 4. each side contains a vertex with butterfly degree ≥ `b` in the
+//!    bipartite cross-graph (a *leader pair*).
+//!
+//! The BCC-Problem (Problem 1) asks for a connected BCC containing both
+//! query vertices with the smallest diameter; Section 7 generalizes to `m`
+//! labels (Definition 8), replacing condition 4 with cross-group
+//! *connectivity* over the label groups.
+
+use bcc_cohesion::LabelCoreThresholds;
+use bcc_graph::{GraphView, LabeledGraph, VertexId};
+
+use crate::stats::SearchStats;
+
+/// The `(k1, k2, b)` parameters of a two-label BCC query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BccParams {
+    /// Minimum intra-group degree of the left (first query's) group.
+    pub k1: u32,
+    /// Minimum intra-group degree of the right (second query's) group.
+    pub k2: u32,
+    /// Butterfly-degree threshold each side's leader must reach.
+    pub b: u64,
+}
+
+impl BccParams {
+    /// Creates `(k1, k2, b)` parameters.
+    pub fn new(k1: u32, k2: u32, b: u64) -> Self {
+        BccParams { k1, k2, b }
+    }
+
+    /// The paper's default parameterization (Section 8, "Queries and
+    /// parameters"): `k1`, `k2` are set to the coreness of the query
+    /// vertices inside their label groups, and `b = 1`.
+    pub fn auto(graph: &LabeledGraph, query: &BccQuery) -> Self {
+        let view = GraphView::new(graph);
+        let coreness = bcc_cohesion::label_core_decomposition(&view);
+        BccParams {
+            k1: coreness[query.ql.index()],
+            k2: coreness[query.qr.index()],
+            b: 1,
+        }
+    }
+}
+
+/// A two-label BCC query `{q_l, q_r}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BccQuery {
+    /// The left query vertex.
+    pub ql: VertexId,
+    /// The right query vertex.
+    pub qr: VertexId,
+}
+
+impl BccQuery {
+    /// Creates the query pair.
+    pub fn pair(ql: VertexId, qr: VertexId) -> Self {
+        BccQuery { ql, qr }
+    }
+
+    /// The queries as a slice-friendly vector.
+    pub fn as_vec(&self) -> Vec<VertexId> {
+        vec![self.ql, self.qr]
+    }
+}
+
+/// A multi-label BCC query `{q_1, …, q_m}` (Section 7); each query vertex
+/// must carry a distinct label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MbccQuery {
+    /// The query vertices, one per label group.
+    pub queries: Vec<VertexId>,
+}
+
+impl MbccQuery {
+    /// Creates an m-label query.
+    pub fn new(queries: Vec<VertexId>) -> Self {
+        MbccQuery { queries }
+    }
+
+    /// Number of query vertices (the `m` of Definition 8).
+    pub fn m(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+/// Per-label core parameters for an mBCC query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MbccParams {
+    /// `k_i` for the i-th query's label group, aligned with
+    /// [`MbccQuery::queries`].
+    pub ks: Vec<u32>,
+    /// Butterfly-degree threshold for cross-group interactions.
+    pub b: u64,
+}
+
+impl MbccParams {
+    /// Creates per-label parameters.
+    pub fn new(ks: Vec<u32>, b: u64) -> Self {
+        MbccParams { ks, b }
+    }
+
+    /// Uniform `k` for all labels.
+    pub fn uniform(m: usize, k: u32, b: u64) -> Self {
+        MbccParams { ks: vec![k; m], b }
+    }
+
+    /// Coreness-of-query defaults, mirroring [`BccParams::auto`].
+    pub fn auto(graph: &LabeledGraph, query: &MbccQuery) -> Self {
+        let view = GraphView::new(graph);
+        let coreness = bcc_cohesion::label_core_decomposition(&view);
+        MbccParams {
+            ks: query.queries.iter().map(|q| coreness[q.index()]).collect(),
+            b: 1,
+        }
+    }
+}
+
+/// Why a search produced no community.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchError {
+    /// A query vertex id exceeds the graph's vertex range.
+    QueryOutOfRange(VertexId),
+    /// Two query vertices share a label (the BCC model needs one query per
+    /// label group).
+    DuplicateLabels,
+    /// Fewer than two query vertices were supplied.
+    TooFewQueries,
+    /// No `(k1, k2, b)`-BCC containing the queries exists (Algorithm 2
+    /// returned ∅, or a query vertex was peeled away).
+    NoCandidate,
+    /// The query vertices are not connected inside the maximal candidate.
+    Disconnected,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::QueryOutOfRange(v) => write!(f, "query vertex {v} is out of range"),
+            SearchError::DuplicateLabels => {
+                write!(f, "query vertices must carry pairwise distinct labels")
+            }
+            SearchError::TooFewQueries => write!(f, "a BCC query needs at least two vertices"),
+            SearchError::NoCandidate => {
+                write!(f, "no butterfly-core community satisfies the parameters")
+            }
+            SearchError::Disconnected => {
+                write!(f, "the query vertices are not connected in the candidate community")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// A discovered community plus search metadata.
+#[derive(Clone, Debug)]
+pub struct BccResult {
+    /// The community's vertices, sorted ascending.
+    pub community: Vec<VertexId>,
+    /// The community's query distance `dist(H, Q)` (Definition 5).
+    pub query_distance: u32,
+    /// Peeling iterations the search performed.
+    pub iterations: usize,
+    /// The certified leader vertices: for each label group, the member with
+    /// the maximum butterfly degree toward the other group(s) — the
+    /// "leaders or liaisons" of Section 3.3 (one entry per query label, in
+    /// query order).
+    pub leaders: Vec<VertexId>,
+    /// Instrumentation collected during the search.
+    pub stats: SearchStats,
+}
+
+impl BccResult {
+    /// Returns `true` if `v` is in the community (binary search).
+    pub fn contains(&self, v: &VertexId) -> bool {
+        self.community.binary_search(v).is_ok()
+    }
+
+    /// Number of community members.
+    pub fn len(&self) -> usize {
+        self.community.len()
+    }
+
+    /// Returns `true` for an empty community (never produced by a
+    /// successful search).
+    pub fn is_empty(&self) -> bool {
+        self.community.is_empty()
+    }
+
+    /// Exact diameter of the community's induced subgraph.
+    pub fn diameter(&self, graph: &LabeledGraph) -> u32 {
+        let view = GraphView::from_vertices(graph, self.community.iter().copied());
+        bcc_graph::traversal::diameter_exact(&view)
+    }
+}
+
+/// Checks whether the alive subgraph of `view` is a valid connected BCC
+/// containing the queries: used by tests and debug assertions, not by the
+/// search hot path.
+pub fn is_valid_bcc(
+    view: &GraphView<'_>,
+    query: &BccQuery,
+    params: &BccParams,
+) -> bool {
+    let graph = view.graph();
+    let (ll, lr) = (graph.label(query.ql), graph.label(query.qr));
+    if ll == lr || !view.is_alive(query.ql) || !view.is_alive(query.qr) {
+        return false;
+    }
+    // Exactly two labels.
+    if view
+        .alive_vertices()
+        .any(|v| graph.label(v) != ll && graph.label(v) != lr)
+    {
+        return false;
+    }
+    // Connectivity of the whole community.
+    let comp = view.component_of(query.ql);
+    if comp.count() != view.alive_count() || !comp.contains(query.qr.index()) {
+        return false;
+    }
+    // Core conditions.
+    let mut thresholds = LabelCoreThresholds::new(graph.label_count());
+    thresholds.require(ll, params.k1);
+    thresholds.require(lr, params.k2);
+    let satisfied = view.alive_vertices().all(|v| match thresholds.get(graph.label(v)) {
+        Some(k) => view.intra_degree(v) as u32 >= k,
+        None => false,
+    });
+    if !satisfied {
+        return false;
+    }
+    // Leader-pair condition.
+    let cross = bcc_butterfly::BipartiteCross::new(ll, lr);
+    let counts = bcc_butterfly::ButterflyCounts::compute(view, cross);
+    counts.satisfies_leader_condition(params.b)
+}
+
+/// Checks whether the alive subgraph of `view` is a valid connected mBCC
+/// containing all queries (Definition 8). Test/debug helper.
+pub fn is_valid_mbcc(
+    view: &GraphView<'_>,
+    query: &MbccQuery,
+    params: &MbccParams,
+) -> bool {
+    let graph = view.graph();
+    let labels: Vec<_> = query.queries.iter().map(|&q| graph.label(q)).collect();
+    let m = labels.len();
+    if m < 2 {
+        return false;
+    }
+    for i in 0..m {
+        for j in (i + 1)..m {
+            if labels[i] == labels[j] {
+                return false;
+            }
+        }
+    }
+    if query.queries.iter().any(|&q| !view.is_alive(q)) {
+        return false;
+    }
+    // Exactly the m labels (condition 1).
+    if view
+        .alive_vertices()
+        .any(|v| !labels.contains(&graph.label(v)))
+    {
+        return false;
+    }
+    // Connectivity of the whole community.
+    let comp = view.component_of(query.queries[0]);
+    if comp.count() != view.alive_count()
+        || query.queries.iter().any(|&q| !comp.contains(q.index()))
+    {
+        return false;
+    }
+    // Core conditions (condition 2).
+    let mut thresholds = LabelCoreThresholds::new(graph.label_count());
+    for (label, &k) in labels.iter().zip(&params.ks) {
+        thresholds.require(*label, k);
+    }
+    let cores_ok = view.alive_vertices().all(|v| match thresholds.get(graph.label(v)) {
+        Some(k) => view.intra_degree(v) as u32 >= k,
+        None => false,
+    });
+    if !cores_ok {
+        return false;
+    }
+    // Cross-group connectivity (condition 3, Definition 7): union-find over
+    // label pairs with certified leader pairs.
+    let mut uf = bcc_graph::UnionFind::new(m);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let cross = bcc_butterfly::BipartiteCross::new(labels[i], labels[j]);
+            let counts = bcc_butterfly::ButterflyCounts::compute(view, cross);
+            if counts.satisfies_leader_condition(params.b) {
+                uf.union(i as u32, j as u32);
+            }
+        }
+    }
+    uf.component_count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    /// Two 4-cliques joined by a butterfly: a (3, 3, 1)-BCC.
+    fn bcc_graph() -> (LabeledGraph, BccQuery) {
+        let mut b = GraphBuilder::new();
+        let l: Vec<_> = (0..4).map(|_| b.add_vertex("L")).collect();
+        let r: Vec<_> = (0..4).map(|_| b.add_vertex("R")).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(l[i], l[j]);
+                b.add_edge(r[i], r[j]);
+            }
+        }
+        for &x in &l[..2] {
+            for &y in &r[..2] {
+                b.add_edge(x, y);
+            }
+        }
+        let g = b.build();
+        (g, BccQuery::pair(l[0], r[0]))
+    }
+
+    #[test]
+    fn valid_bcc_passes_checker() {
+        let (g, q) = bcc_graph();
+        let view = GraphView::new(&g);
+        assert!(is_valid_bcc(&view, &q, &BccParams::new(3, 3, 1)));
+        assert!(!is_valid_bcc(&view, &q, &BccParams::new(4, 3, 1)), "k1 too large");
+        assert!(!is_valid_bcc(&view, &q, &BccParams::new(3, 3, 2)), "b too large");
+    }
+
+    #[test]
+    fn checker_rejects_third_label() {
+        let (g, q) = bcc_graph();
+        let mut b = GraphBuilder::new();
+        // Rebuild with an extra PM vertex attached.
+        for v in g.vertices() {
+            b.add_vertex(g.interner().name(g.label(v)).unwrap());
+        }
+        let z = b.add_vertex("Z");
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        b.add_edge(z, VertexId(0));
+        let g2 = b.build();
+        let view = GraphView::new(&g2);
+        assert!(!is_valid_bcc(&view, &q, &BccParams::new(3, 3, 1)));
+    }
+
+    #[test]
+    fn auto_params_use_label_coreness() {
+        let (g, q) = bcc_graph();
+        let params = BccParams::auto(&g, &q);
+        assert_eq!(params.k1, 3);
+        assert_eq!(params.k2, 3);
+        assert_eq!(params.b, 1);
+    }
+
+    #[test]
+    fn result_helpers() {
+        let (g, _q) = bcc_graph();
+        let result = BccResult {
+            community: vec![VertexId(0), VertexId(1), VertexId(4)],
+            query_distance: 1,
+            iterations: 0,
+            leaders: vec![VertexId(0), VertexId(4)],
+            stats: SearchStats::default(),
+        };
+        assert!(result.contains(&VertexId(4)));
+        assert!(!result.contains(&VertexId(2)));
+        assert_eq!(result.len(), 3);
+        assert!(result.diameter(&g) <= 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SearchError::NoCandidate.to_string().contains("no butterfly-core"));
+        assert!(SearchError::DuplicateLabels.to_string().contains("distinct"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The four case-study networks of Sections 8.2–8.3.
+//!
+//! The paper's case studies use OpenFlights routes, World Bank WITS trade
+//! data, the `potter-network` character graph, and the Aminer DBLP citation
+//! dump — none of which are available offline. Each builder here synthesizes
+//! a network with the same labeled structure the paper's figures rely on
+//! (dense domestic cores + international butterflies; continental trade
+//! blocks; two fiction camps; field-labeled collaboration clusters), with
+//! the *named* vertices of the paper's narratives placed deterministically
+//! so the case-study binaries can run the exact queries of Exp-6/7/8/11.
+//! See DESIGN.md §4 for the substitution table.
+
+use bcc_graph::{GraphBuilder, LabeledGraph, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn connect_clique(b: &mut GraphBuilder, vs: &[VertexId]) {
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            b.add_edge(vs[i], vs[j]);
+        }
+    }
+}
+
+/// A scaled global flight network: vertices are cities labeled by country;
+/// dense domestic hub cores; international edges concentrated on hub
+/// cities. The Canadian K7 hub core, the German K6 hub core, and the
+/// Toronto/Vancouver/Montreal × Frankfurt/Munich/Duesseldorf butterflies of
+/// Figure 11 are planted verbatim.
+pub fn flight_network(seed: u64) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+
+    // Canada: the 7 hub cities of Figure 11(a) form a complete K7 (6-core).
+    let canada_hubs: Vec<VertexId> = [
+        "Toronto", "Vancouver", "Montreal", "Calgary", "Ottawa", "Edmonton", "Winnipeg",
+    ]
+    .iter()
+    .map(|c| b.add_named_vertex(c, "Canada"))
+    .collect();
+    connect_clique(&mut b, &canada_hubs);
+
+    // Germany: the 6 hub cities form a complete K6 (5-core).
+    let germany_hubs: Vec<VertexId> = [
+        "Frankfurt", "Munich", "Duesseldorf", "Hamburg", "Stuttgart", "Westerland",
+    ]
+    .iter()
+    .map(|c| b.add_named_vertex(c, "Germany"))
+    .collect();
+    connect_clique(&mut b, &germany_hubs);
+
+    // Transatlantic butterflies: 3 Canadian × 3 German hubs, fully
+    // connected → χ = 6 on both sides (≥ b = 3, Exp-6's setting).
+    for &cc in &canada_hubs[..3] {
+        for &gg in &germany_hubs[..3] {
+            b.add_edge(cc, gg);
+        }
+    }
+
+    // Domestic spokes: smaller cities attach to 1–3 hubs of their country.
+    let attach_spokes = |b: &mut GraphBuilder,
+                             rng: &mut ChaCha8Rng,
+                             hubs: &[VertexId],
+                             country: &str,
+                             count: usize| {
+        for i in 0..count {
+            let v = b.add_named_vertex(&format!("{country} City {i:02}"), country);
+            let links = rng.gen_range(1..=3usize);
+            for _ in 0..links {
+                b.add_edge(v, hubs[rng.gen_range(0..hubs.len())]);
+            }
+        }
+    };
+    attach_spokes(&mut b, &mut rng, &canada_hubs, "Canada", 18);
+    attach_spokes(&mut b, &mut rng, &germany_hubs, "Germany", 14);
+
+    // Other countries: a hub triangle-or-clique plus spokes; first hubs get
+    // international edges.
+    let countries = [
+        ("United States", 6usize, 24usize),
+        ("United Kingdom", 4, 12),
+        ("France", 4, 12),
+        ("China", 5, 20),
+        ("Japan", 4, 12),
+        ("Brazil", 4, 12),
+        ("Australia", 3, 8),
+        ("India", 4, 14),
+        ("Mexico", 3, 8),
+        ("Spain", 3, 8),
+        ("Italy", 3, 8),
+        ("Netherlands", 2, 4),
+    ];
+    let mut first_hubs = vec![canada_hubs[0], germany_hubs[0]];
+    for (country, hub_count, spoke_count) in countries {
+        let hubs: Vec<VertexId> = (0..hub_count)
+            .map(|i| b.add_named_vertex(&format!("{country} Hub {i}"), country))
+            .collect();
+        connect_clique(&mut b, &hubs);
+        attach_spokes(&mut b, &mut rng, &hubs, country, spoke_count);
+        first_hubs.push(hubs[0]);
+    }
+    // International mesh between first hubs (sparse random).
+    for i in 0..first_hubs.len() {
+        for j in (i + 1)..first_hubs.len() {
+            if rng.gen_bool(0.35) {
+                b.add_edge(first_hubs[i], first_hubs[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A full-size international trade network (the paper's has 249 vertices):
+/// countries labeled by continent, edges between top trade partners. The
+/// Asian and North American blocks of Figure 12(a) are planted with their
+/// named members; the United States × China butterflies certify the
+/// cross-group interaction.
+pub fn trade_network(seed: u64) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+
+    // Figure 12(a)'s Asian block: a dense core of Asian economies.
+    let asia_named = [
+        "China", "Singapore", "Philippines", "Malaysia", "Brunei", "Hong Kong",
+        "United Arab Emirates", "India", "Maldives", "Japan", "Saudi Arabia", "Korea",
+        "Thailand",
+    ];
+    let asia: Vec<VertexId> = asia_named
+        .iter()
+        .map(|c| b.add_named_vertex(c, "Asia"))
+        .collect();
+    // Circulant C13(1,2,3): 6-regular, so every named Asian economy sits in
+    // the same 6-core (and the coreness default k2 = 6 keeps all of them).
+    for i in 0..asia.len() {
+        for d in 1..=3usize {
+            b.add_edge(asia[i], asia[(i + d) % asia.len()]);
+        }
+    }
+
+    // North American block: C9(1,2) — a uniform 4-core.
+    let na_named = [
+        "United States", "Costa Rica", "Guatemala", "Mexico", "Nicaragua", "El Salvador",
+        "Canada", "Honduras", "Panama",
+    ];
+    let na: Vec<VertexId> = na_named
+        .iter()
+        .map(|c| b.add_named_vertex(c, "North America"))
+        .collect();
+    for i in 0..na.len() {
+        for d in 1..=2usize {
+            b.add_edge(na[i], na[(i + d) % na.len()]);
+        }
+    }
+
+    // Transpacific butterflies: US, Mexico, Canada × China, Japan, Korea —
+    // all six inside their blocks' cores.
+    for &x in &[na[0], na[3], na[6]] {
+        for &y in &[asia[0], asia[9], asia[11]] {
+            b.add_edge(x, y);
+        }
+    }
+
+    // Remaining continents: block per continent with generated names.
+    let continents = [
+        ("Europe", 45usize),
+        ("Africa", 50),
+        ("South America", 13),
+        ("Oceania", 14),
+        ("Asia", 30),          // remaining Asian economies
+        ("North America", 14), // Caribbean etc.
+        ("Europe", 8),
+    ];
+    let mut block_reps: Vec<VertexId> = vec![asia[0], na[0]];
+    for (bi, (continent, size)) in continents.iter().enumerate() {
+        let vs: Vec<VertexId> = (0..*size)
+            .map(|i| b.add_named_vertex(&format!("{continent} Economy {bi}-{i:02}"), continent))
+            .collect();
+        // Hub core + attachments.
+        let hubs = vs.len().min(5);
+        connect_clique(&mut b, &vs[..hubs]);
+        for &v in &vs[hubs..] {
+            for _ in 0..3 {
+                b.add_edge(v, vs[rng.gen_range(0..hubs)]);
+            }
+        }
+        block_reps.push(vs[0]);
+    }
+    // Inter-block trade edges.
+    for i in 0..block_reps.len() {
+        for j in (i + 1)..block_reps.len() {
+            if rng.gen_bool(0.5) {
+                b.add_edge(block_reps[i], block_reps[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Harry Potter character network (deterministic, no RNG): two camps
+/// ("justice" / "evil"), family-and-ally edges inside camps, hostility
+/// edges across. The 18 members of Figure 13(a)'s BCC — the Weasley family,
+/// Harry, Hermione, Dumbledore on one side; Voldemort, the Malfoys, the
+/// Crabbes, Goyle, Bellatrix on the other — are wired so that
+/// {Harry, Ron, Hermione} × {Draco, Crabbe, Goyle} carry the butterflies.
+pub fn fiction_network() -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let justice = |b: &mut GraphBuilder, n: &str| b.add_named_vertex(n, "justice");
+    let evil = |b: &mut GraphBuilder, n: &str| b.add_named_vertex(n, "evil");
+
+    // Figure 13(a) members.
+    let harry = justice(&mut b, "Harry Potter");
+    let ron = justice(&mut b, "Ron Weasley");
+    let hermione = justice(&mut b, "Hermione Granger");
+    let dumbledore = justice(&mut b, "Albus Dumbledore");
+    let ginny = justice(&mut b, "Ginny Weasley");
+    let fred = justice(&mut b, "Fred Weasley");
+    let george = justice(&mut b, "George Weasley");
+    let bill = justice(&mut b, "Bill Weasley");
+    let charlie = justice(&mut b, "Charlie Weasley");
+    let arthur = justice(&mut b, "Arthur Weasley");
+    let molly = justice(&mut b, "Molly Weasley");
+
+    let voldemort = evil(&mut b, "Lord Voldemort");
+    let draco = evil(&mut b, "Draco Malfoy");
+    let lucius = evil(&mut b, "Lucius Malfoy");
+    let crabbe = evil(&mut b, "Vincent Crabbe");
+    let crabbe_sr = evil(&mut b, "Vincent Crabbe Sr.");
+    let goyle = evil(&mut b, "Gregory Goyle");
+    let bellatrix = evil(&mut b, "Bellatrix Lestrange");
+
+    // Justice camp: the 11 members of Figure 13(a) wired as a circulant
+    // C11(1,2) ring (4-regular → a clean 4-core), ordered so that ring
+    // adjacency follows the story's closest relationships. Keeping the core
+    // exactly 4-regular makes coreness(Ron) = 4 with Harry, Hermione, and
+    // Dumbledore *inside* Ron's 4-core — the paper's community.
+    let justice_ring = [
+        harry, ron, hermione, ginny, molly, arthur, bill, charlie, fred, george, dumbledore,
+    ];
+    for i in 0..justice_ring.len() {
+        let n = justice_ring.len();
+        b.add_edge(justice_ring[i], justice_ring[(i + 1) % n]);
+        b.add_edge(justice_ring[i], justice_ring[(i + 2) % n]);
+    }
+
+    // Evil camp: Voldemort's inner circle as a C7(1,2) ring (again a
+    // 4-regular 4-core).
+    let evil_ring = [voldemort, lucius, draco, crabbe, goyle, crabbe_sr, bellatrix];
+    for i in 0..evil_ring.len() {
+        let n = evil_ring.len();
+        b.add_edge(evil_ring[i], evil_ring[(i + 1) % n]);
+        b.add_edge(evil_ring[i], evil_ring[(i + 2) % n]);
+    }
+
+    // Hostility (cross) edges: the trio versus Draco's gang form the
+    // butterflies; the leaders clash too.
+    for &j in &[harry, ron, hermione] {
+        for &e in &[draco, crabbe, goyle] {
+            b.add_edge(j, e);
+        }
+    }
+    b.add_edge(harry, voldemort);
+    b.add_edge(harry, lucius);
+    b.add_edge(harry, bellatrix);
+    b.add_edge(dumbledore, voldemort);
+    b.add_edge(ginny, voldemort);
+    b.add_edge(arthur, lucius);
+    b.add_edge(fred, draco);
+    b.add_edge(george, draco);
+    b.add_edge(molly, bellatrix);
+
+    // Supporting cast outside the Figure 13(a) community: loosely attached,
+    // so the search peels them away.
+    let neville = justice(&mut b, "Neville Longbottom");
+    let luna = justice(&mut b, "Luna Lovegood");
+    let sirius = justice(&mut b, "Sirius Black");
+    let lupin = justice(&mut b, "Remus Lupin");
+    let hagrid = justice(&mut b, "Rubeus Hagrid");
+    let mcgonagall = justice(&mut b, "Minerva McGonagall");
+    let snape = evil(&mut b, "Severus Snape");
+    let wormtail = evil(&mut b, "Peter Pettigrew");
+    let quirrell = evil(&mut b, "Quirinus Quirrell");
+    let umbridge = evil(&mut b, "Dolores Umbridge");
+    let dementor = evil(&mut b, "Barty Crouch Jr.");
+
+    // Periphery stays below justice-degree 4 so the 4-core excludes it.
+    b.add_edge(neville, harry);
+    b.add_edge(neville, luna);
+    b.add_edge(luna, hermione);
+    b.add_edge(hagrid, harry);
+    b.add_edge(hagrid, ron);
+    b.add_edge(sirius, harry);
+    b.add_edge(sirius, lupin);
+    b.add_edge(lupin, harry);
+    b.add_edge(mcgonagall, dumbledore);
+    b.add_edge(mcgonagall, harry);
+    b.add_edge(snape, voldemort);
+    b.add_edge(snape, lucius);
+    b.add_edge(snape, dumbledore); // the double agent
+    b.add_edge(snape, harry);
+    b.add_edge(wormtail, voldemort);
+    b.add_edge(wormtail, sirius);
+    b.add_edge(wormtail, lupin);
+    b.add_edge(quirrell, voldemort);
+    b.add_edge(quirrell, harry);
+    b.add_edge(umbridge, harry);
+    b.add_edge(umbridge, mcgonagall);
+    b.add_edge(dementor, voldemort);
+    b.add_edge(dementor, harry);
+
+    b.build()
+}
+
+/// A field-labeled academic collaboration network (scaled stand-in for the
+/// Aminer DBLP-v12 graph of Exp-11): seven research-field labels, clustered
+/// collaboration groups, and the two planted interdisciplinary communities
+/// of Figure 15 — a Database × Machine Learning group around Tim Kraska and
+/// Michael I. Jordan, and a three-field group adding Ion Stoica's Systems
+/// community (bridged via Michael J. Franklin).
+pub fn academic_network(seed: u64) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let fields = [
+        "Database",
+        "Machine Learning",
+        "Systems and Networking",
+        "Theory",
+        "Computer Vision",
+        "NLP",
+        "Security",
+    ];
+
+    // --- Figure 15 anchors -------------------------------------------------
+    // Database group: a 3-core of 13 scholars around Franklin and Kraska.
+    let franklin = b.add_named_vertex("Michael J. Franklin", "Database");
+    let kraska = b.add_named_vertex("Tim Kraska", "Database");
+    let mut db_group = vec![franklin, kraska];
+    for i in 0..11 {
+        db_group.push(b.add_named_vertex(&format!("DB Scholar {i:02}"), "Database"));
+    }
+    // Ring + chords to get a 3-core of 13 vertices.
+    for i in 0..db_group.len() {
+        b.add_edge(db_group[i], db_group[(i + 1) % db_group.len()]);
+        b.add_edge(db_group[i], db_group[(i + 2) % db_group.len()]);
+        b.add_edge(db_group[i], db_group[(i + 4) % db_group.len()]);
+    }
+
+    // Machine Learning group: a 4-clique around Jordan.
+    let jordan = b.add_named_vertex("Michael I. Jordan", "Machine Learning");
+    let mut ml_group = vec![jordan];
+    for i in 0..5 {
+        ml_group.push(b.add_named_vertex(&format!("ML Scholar {i:02}"), "Machine Learning"));
+    }
+    connect_clique(&mut b, &ml_group);
+
+    // Systems group: a 3-core around Stoica.
+    let stoica = b.add_named_vertex("Ion Stoica", "Systems and Networking");
+    let mut sys_group = vec![stoica];
+    for i in 0..7 {
+        sys_group.push(b.add_named_vertex(&format!("SYS Scholar {i:02}"), "Systems and Networking"));
+    }
+    connect_clique(&mut b, &sys_group[..5]);
+    let anchors: Vec<VertexId> = sys_group[..3].to_vec();
+    for &v in &sys_group[5..] {
+        for &u in &anchors {
+            b.add_edge(v, u);
+        }
+    }
+
+    // DB × ML butterflies (ML4DB/DB4ML): Kraska and two DB colleagues
+    // collaborate with Jordan and two ML colleagues — χ(Kraska) = 6,
+    // χ(Jordan) = 6 ≥ b = 3.
+    for &d in &[kraska, db_group[2], db_group[3]] {
+        for &m in &[jordan, ml_group[1], ml_group[2]] {
+            b.add_edge(d, m);
+        }
+    }
+    // DB × SYS butterflies through Franklin/Stoica (AMPLab style).
+    for &d in &[franklin, db_group[4], db_group[5]] {
+        for &s in &[stoica, sys_group[1], sys_group[2]] {
+            b.add_edge(d, s);
+        }
+    }
+    // ML × SYS: one shared project (butterfly) so the 3-label community can
+    // also be certified directly where needed.
+    for &m in &[ml_group[3], ml_group[4]] {
+        for &s in &[sys_group[3], sys_group[4]] {
+            b.add_edge(m, s);
+        }
+    }
+
+    // --- Background collaboration clusters ---------------------------------
+    for cluster in 0..60 {
+        let field = fields[rng.gen_range(0..fields.len())];
+        let size = rng.gen_range(6..16usize);
+        let vs: Vec<VertexId> = (0..size)
+            .map(|i| b.add_named_vertex(&format!("{field} Author {cluster:02}-{i:02}"), field))
+            .collect();
+        for i in 0..vs.len() {
+            b.add_edge(vs[i], vs[(i + 1) % vs.len()]);
+            b.add_edge(vs[i], vs[(i + 2) % vs.len()]);
+            if rng.gen_bool(0.3) {
+                let j = rng.gen_range(0..vs.len());
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+        // Occasional interdisciplinary edge into the anchor groups.
+        if rng.gen_bool(0.3) {
+            let anchor = [db_group[6], ml_group[3], sys_group[3]][rng.gen_range(0..3)];
+            b.add_edge(vs[0], anchor);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphView;
+
+    #[test]
+    fn flight_network_has_planted_structure() {
+        let g = flight_network(7);
+        let toronto = g.vertex_by_name("Toronto").unwrap();
+        let frankfurt = g.vertex_by_name("Frankfurt").unwrap();
+        assert_ne!(g.label(toronto), g.label(frankfurt));
+        // Canadian hubs form a 6-core within their label.
+        let view = GraphView::new(&g);
+        let coreness = bcc_cohesion::label_core_decomposition(&view);
+        assert!(coreness[toronto.index()] >= 6, "{}", coreness[toronto.index()]);
+        assert!(coreness[frankfurt.index()] >= 5);
+        // The transatlantic butterflies exist with χ ≥ 3 on both sides.
+        let cross = bcc_butterfly::BipartiteCross::new(g.label(toronto), g.label(frankfurt));
+        let counts = bcc_butterfly::ButterflyCounts::compute(&view, cross);
+        assert!(counts.chi(toronto) >= 3, "χ(Toronto) = {}", counts.chi(toronto));
+        assert!(counts.chi(frankfurt) >= 3);
+    }
+
+    #[test]
+    fn trade_network_names_resolve() {
+        let g = trade_network(7);
+        let us = g.vertex_by_name("United States").unwrap();
+        let china = g.vertex_by_name("China").unwrap();
+        assert_eq!(g.interner().name(g.label(us)), Some("North America"));
+        assert_eq!(g.interner().name(g.label(china)), Some("Asia"));
+        assert!(g.label_count() >= 6);
+        assert!(g.vertex_count() >= 150, "{}", g.vertex_count());
+    }
+
+    #[test]
+    fn fiction_network_camps_and_butterflies() {
+        let g = fiction_network();
+        let ron = g.vertex_by_name("Ron Weasley").unwrap();
+        let draco = g.vertex_by_name("Draco Malfoy").unwrap();
+        assert_ne!(g.label(ron), g.label(draco));
+        let view = GraphView::new(&g);
+        let cross = bcc_butterfly::BipartiteCross::new(g.label(ron), g.label(draco));
+        let counts = bcc_butterfly::ButterflyCounts::compute(&view, cross);
+        assert!(counts.max_left >= 3 && counts.max_right >= 3);
+        // Voldemort must be findable (the vertex CTC famously misses).
+        assert!(g.vertex_by_name("Lord Voldemort").is_some());
+    }
+
+    #[test]
+    fn academic_network_anchors() {
+        let g = academic_network(7);
+        for name in [
+            "Tim Kraska",
+            "Michael I. Jordan",
+            "Michael J. Franklin",
+            "Ion Stoica",
+        ] {
+            assert!(g.vertex_by_name(name).is_some(), "{name} missing");
+        }
+        let kraska = g.vertex_by_name("Tim Kraska").unwrap();
+        let jordan = g.vertex_by_name("Michael I. Jordan").unwrap();
+        let view = GraphView::new(&g);
+        let cross = bcc_butterfly::BipartiteCross::new(g.label(kraska), g.label(jordan));
+        let counts = bcc_butterfly::ButterflyCounts::compute(&view, cross);
+        assert!(counts.chi(kraska) >= 3, "χ(Kraska) = {}", counts.chi(kraska));
+        assert!(counts.chi(jordan) >= 3);
+        assert_eq!(g.label_count(), 7);
+    }
+
+    #[test]
+    fn case_studies_are_deterministic() {
+        let a = flight_network(1);
+        let b = flight_network(1);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let f1 = fiction_network();
+        let f2 = fiction_network();
+        assert_eq!(f1.edge_count(), f2.edge_count());
+    }
+}

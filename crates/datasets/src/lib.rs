@@ -1,0 +1,34 @@
+//! Labeled-graph datasets with ground-truth communities, case-study
+//! networks, and query workloads.
+//!
+//! The paper evaluates on two proprietary Baidu professional networks and
+//! five SNAP graphs with ground-truth communities, synthesizing labels by
+//! splitting each community into two labeled halves, adding 10% cross edges
+//! inside communities and 10% global noise cross edges (Section 8,
+//! "Datasets"). None of those inputs ship with this repository, so
+//! [`planted`] implements exactly that construction as a seeded generator,
+//! and [`networks`] instantiates it at laptop scale for each of the seven
+//! networks of Table 3 (relative sizes and densities preserved; see
+//! DESIGN.md §4 for the substitution rationale).
+//!
+//! [`case_studies`] rebuilds the four narrative networks of Section 8.2
+//! (global flights, international trade, the Harry Potter character graph,
+//! and an academic collaboration network), and [`queries`] generates the
+//! degree-rank / inter-distance / multi-label query workloads of the
+//! efficiency experiments.
+
+pub mod case_studies;
+pub mod networks;
+pub mod planted;
+pub mod queries;
+
+pub use case_studies::{academic_network, fiction_network, flight_network, trade_network};
+pub use networks::{
+    amazon, baidu1, baidu2, dblp, dblp_m, livejournal, livejournal_m, orkut, orkut_m, youtube,
+    NetworkSpec,
+};
+pub use planted::{PlantedConfig, PlantedNetwork};
+pub use queries::{
+    mbcc_queries, queries_by_degree_rank, queries_by_distance, random_community_queries,
+    QueryConstraints,
+};

@@ -1,0 +1,256 @@
+//! Laptop-scale instantiations of the seven evaluation networks (Table 3).
+//!
+//! The paper's graphs range from 30K to 3.1M vertices; a full reproduction
+//! of its query workloads over all five methods must run on one machine in
+//! minutes, so each named network here is a scaled-down planted-community
+//! build that preserves the *relative* ordering of sizes, densities, and
+//! label counts across the seven networks (|V| ratios, avg-degree ratios,
+//! many-label vs two-label structure). The `scale` knob lets callers grow
+//! any network toward the paper's size on bigger hardware.
+//!
+//! | Network | paper \|V\|/\|E\|/labels | here (scale = 1) |
+//! |---|---|---|
+//! | Baidu-1 | 30K / 508K / 383 | ~2.3K vertices, 383-label pool |
+//! | Baidu-2 | 41K / 2M / 346 | ~3.2K vertices, denser, 346 labels |
+//! | Amazon | 335K / 926K / 2 | ~6K vertices, sparse, small communities |
+//! | DBLP | 317K / 1M / 2 | ~6K vertices, mid density |
+//! | Youtube | 1.1M / 3M / 2 | ~9K vertices, sparse + noisy |
+//! | LiveJournal | 4M / 35M / 2 | ~13K vertices, dense |
+//! | Orkut | 3.1M / 117M / 2 | ~16K vertices, densest |
+
+use crate::planted::{PlantedConfig, PlantedNetwork};
+
+/// A named network specification (used by the bench harness to iterate the
+/// evaluation suite).
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// Generator configuration.
+    pub config: PlantedConfig,
+}
+
+impl NetworkSpec {
+    /// Builds the network.
+    pub fn build(&self) -> PlantedNetwork {
+        PlantedNetwork::generate(self.config.clone())
+    }
+}
+
+fn sized(base_communities: usize, scale: f64) -> usize {
+    ((base_communities as f64 * scale).round() as usize).max(2)
+}
+
+/// Baidu-1: many labels (383 departments), three months of logs — smallest
+/// of the pair.
+pub fn baidu1(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "Baidu-1",
+        config: PlantedConfig {
+            communities: sized(60, scale),
+            community_size: (24, 52),
+            groups_per_community: 2,
+            label_pool: 383,
+            intra_prob: 0.30,
+            cross_fraction: 0.10,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0xBA1D01,
+        },
+    }
+}
+
+/// Baidu-2: one year of logs — denser and slightly larger, 346 labels.
+pub fn baidu2(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "Baidu-2",
+        config: PlantedConfig {
+            communities: sized(70, scale),
+            community_size: (32, 60),
+            groups_per_community: 2,
+            label_pool: 346,
+            intra_prob: 0.45,
+            cross_fraction: 0.12,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0xBA1D02,
+        },
+    }
+}
+
+/// Amazon: sparse co-purchase graph, many small communities, 2 labels.
+pub fn amazon(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "Amazon",
+        config: PlantedConfig {
+            communities: sized(300, scale),
+            community_size: (12, 28),
+            groups_per_community: 2,
+            label_pool: 2,
+            intra_prob: 0.18,
+            cross_fraction: 0.10,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0xA3A201,
+        },
+    }
+}
+
+/// DBLP: collaboration graph, mid-sized communities, 2 labels.
+pub fn dblp(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "DBLP",
+        config: PlantedConfig {
+            communities: sized(220, scale),
+            community_size: (16, 40),
+            groups_per_community: 2,
+            label_pool: 2,
+            intra_prob: 0.28,
+            cross_fraction: 0.10,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0xDB1901,
+        },
+    }
+}
+
+/// Youtube: large, sparse, noisy — the network where every method scores
+/// lowest in the paper's Figure 4.
+pub fn youtube(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "Youtube",
+        config: PlantedConfig {
+            communities: sized(320, scale),
+            community_size: (14, 36),
+            groups_per_community: 2,
+            label_pool: 2,
+            intra_prob: 0.16,
+            cross_fraction: 0.10,
+            noise_fraction: 0.17,
+            plant_butterflies: true,
+            hubs_per_group: 1,
+            seed: 0x707B01,
+        },
+    }
+}
+
+/// LiveJournal: large and dense.
+pub fn livejournal(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "LiveJournal",
+        config: PlantedConfig {
+            communities: sized(360, scale),
+            community_size: (20, 52),
+            groups_per_community: 2,
+            label_pool: 2,
+            intra_prob: 0.35,
+            cross_fraction: 0.10,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0x111701,
+        },
+    }
+}
+
+/// Orkut: the largest and densest network of the suite.
+pub fn orkut(scale: f64) -> NetworkSpec {
+    NetworkSpec {
+        name: "Orkut",
+        config: PlantedConfig {
+            communities: sized(380, scale),
+            community_size: (24, 60),
+            groups_per_community: 2,
+            label_pool: 2,
+            intra_prob: 0.42,
+            cross_fraction: 0.12,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0x04C701,
+        },
+    }
+}
+
+/// The five two-label quality/efficiency networks plus the two Baidu
+/// networks — the full Figure 4/5 suite in paper order.
+pub fn all_two_label(scale: f64) -> Vec<NetworkSpec> {
+    vec![
+        baidu1(scale),
+        baidu2(scale),
+        amazon(scale),
+        dblp(scale),
+        youtube(scale),
+        livejournal(scale),
+        orkut(scale),
+    ]
+}
+
+fn multi_labeled(base: NetworkSpec, name: &'static str, m: usize) -> NetworkSpec {
+    let mut config = base.config;
+    config.groups_per_community = m;
+    config.label_pool = config.label_pool.max(m);
+    config.community_size = (config.community_size.0.max(m * 8), config.community_size.1.max(m * 10));
+    NetworkSpec { name, config }
+}
+
+/// DBLP-M: six labels assigned for the mBCC experiments (Exp-10).
+pub fn dblp_m(scale: f64, m: usize) -> NetworkSpec {
+    multi_labeled(dblp(scale), "DBLP-M", m)
+}
+
+/// LiveJournal-M: six-label variant.
+pub fn livejournal_m(scale: f64, m: usize) -> NetworkSpec {
+    multi_labeled(livejournal(scale), "LiveJournal-M", m)
+}
+
+/// Orkut-M: six-label variant.
+pub fn orkut_m(scale: f64, m: usize) -> NetworkSpec {
+    multi_labeled(orkut(scale), "Orkut-M", m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_sizes_preserved() {
+        let nets: Vec<_> = all_two_label(0.2).iter().map(|s| s.build()).collect();
+        let v: Vec<usize> = nets.iter().map(|n| n.graph.vertex_count()).collect();
+        // Baidu-1 < Baidu-2; Amazon <= DBLP <= Youtube <= LiveJournal <= Orkut
+        assert!(v[0] < v[2], "Baidu-1 is the smallest: {v:?}");
+        assert!(v[2] <= v[3] + v[3] / 2, "Amazon ~ DBLP: {v:?}");
+        assert!(v[4] <= v[5], "Youtube <= LiveJournal: {v:?}");
+        assert!(v[5] <= v[6], "LiveJournal <= Orkut: {v:?}");
+    }
+
+    #[test]
+    fn baidu_networks_have_many_labels() {
+        let net = baidu1(0.2).build();
+        assert!(net.graph.label_count() > 50, "{}", net.graph.label_count());
+        let amazon = amazon(0.1).build();
+        assert_eq!(amazon.graph.label_count(), 2);
+    }
+
+    #[test]
+    fn orkut_is_densest() {
+        let o = orkut(0.1).build();
+        let a = amazon(0.1).build();
+        let davg = |n: &PlantedNetwork| 2.0 * n.graph.edge_count() as f64 / n.graph.vertex_count() as f64;
+        assert!(davg(&o) > davg(&a), "orkut {} vs amazon {}", davg(&o), davg(&a));
+    }
+
+    #[test]
+    fn m_variant_has_m_groups() {
+        let net = dblp_m(0.05, 4).build();
+        let labels: std::collections::HashSet<_> = net.communities[0]
+            .iter()
+            .map(|&v| net.graph.label(v))
+            .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,343 @@
+//! The planted cross-group community generator.
+//!
+//! Mirrors the paper's dataset construction (Section 8, "Datasets"): each
+//! ground-truth community is split into labeled groups; group members are
+//! densely connected internally (homogeneous edges); ~10% of each
+//! community's edges cross between its groups (the collaboration behaviour);
+//! and ~10% global noise cross edges are sprinkled over the whole graph.
+//! Additionally every community plants one butterfly between each pair of
+//! adjacent groups so that a leader pair exists by construction — the
+//! analogue of the paper's observation that real collaboration communities
+//! have leaders/liaisons.
+//!
+//! All randomness flows from a single seed through ChaCha, so every build of
+//! a named network is reproducible.
+
+use bcc_graph::{GraphBuilder, LabeledGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the planted generator.
+#[derive(Clone, Debug)]
+pub struct PlantedConfig {
+    /// Number of ground-truth communities.
+    pub communities: usize,
+    /// Inclusive range of community sizes (vertices per community).
+    pub community_size: (usize, usize),
+    /// Labeled groups per community (2 for the two-label experiments, up to
+    /// 6 for the mBCC experiments).
+    pub groups_per_community: usize,
+    /// Number of distinct labels in the pool (383/346 for the Baidu-style
+    /// networks, exactly `groups_per_community` for SNAP-style networks).
+    pub label_pool: usize,
+    /// Probability of an intra-group edge beyond the connectivity backbone.
+    pub intra_prob: f64,
+    /// Cross-group edges inside a community, as a fraction of its
+    /// homogeneous edge count (the paper uses 10%).
+    pub cross_fraction: f64,
+    /// Global noise cross edges as a fraction of total edges (paper: 10%).
+    pub noise_fraction: f64,
+    /// Plant one butterfly per adjacent group pair (guaranteed leader pair).
+    pub plant_butterflies: bool,
+    /// Number of *hub* vertices per group: hubs connect to every member of
+    /// their group, producing the heavy-tailed degree distributions of
+    /// networks like Youtube (Table 3's d_max column).
+    pub hubs_per_group: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            communities: 40,
+            community_size: (20, 60),
+            groups_per_community: 2,
+            label_pool: 2,
+            intra_prob: 0.25,
+            cross_fraction: 0.10,
+            noise_fraction: 0.10,
+            plant_butterflies: true,
+            hubs_per_group: 0,
+            seed: 0xBCC,
+        }
+    }
+}
+
+/// A generated labeled graph plus its ground-truth communities.
+#[derive(Clone, Debug)]
+pub struct PlantedNetwork {
+    /// The labeled graph.
+    pub graph: LabeledGraph,
+    /// Ground-truth communities (each the union of its labeled groups),
+    /// sorted vertex lists.
+    pub communities: Vec<Vec<VertexId>>,
+    /// `membership[v]` = community index of vertex v (every generated
+    /// vertex belongs to exactly one community).
+    pub membership: Vec<u32>,
+    /// The configuration that produced this network.
+    pub config: PlantedConfig,
+}
+
+impl PlantedNetwork {
+    /// Generates a network from `config`.
+    pub fn generate(config: PlantedConfig) -> Self {
+        assert!(config.groups_per_community >= 2, "need at least two groups");
+        assert!(
+            config.label_pool >= config.groups_per_community,
+            "label pool must cover one label per group"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut builder = GraphBuilder::new();
+        // Fix the label universe up front so label ids are stable.
+        let labels: Vec<_> = (0..config.label_pool)
+            .map(|i| builder.intern_label(&format!("L{i:03}")))
+            .collect();
+
+        let mut communities: Vec<Vec<VertexId>> = Vec::with_capacity(config.communities);
+        let mut membership: Vec<u32> = Vec::new();
+        let mut groups_of: Vec<Vec<Vec<VertexId>>> = Vec::with_capacity(config.communities);
+
+        for c in 0..config.communities {
+            let size = rng.gen_range(config.community_size.0..=config.community_size.1);
+            // Pick distinct labels for this community's groups.
+            let mut pool: Vec<usize> = (0..config.label_pool).collect();
+            pool.shuffle(&mut rng);
+            let group_labels: Vec<_> = pool[..config.groups_per_community]
+                .iter()
+                .map(|&i| labels[i])
+                .collect();
+
+            // Split the community into groups (sizes as even as possible,
+            // minimum 4 so small cores exist).
+            let g = config.groups_per_community;
+            let base = (size / g).max(4);
+            let mut members: Vec<Vec<VertexId>> = Vec::with_capacity(g);
+            for label in group_labels.iter().copied() {
+                let group: Vec<VertexId> = (0..base)
+                    .map(|_| {
+                        let v = builder.add_vertex_with_label(label);
+                        membership.push(c as u32);
+                        v
+                    })
+                    .collect();
+                // Hubs: the first few members link to the whole group.
+                for h in 0..config.hubs_per_group.min(group.len()) {
+                    for i in 0..group.len() {
+                        if i != h {
+                            builder.add_edge(group[h], group[i]);
+                        }
+                    }
+                }
+                // Intra-group backbone: ring, then random chords.
+                for i in 0..group.len() {
+                    builder.add_edge(group[i], group[(i + 1) % group.len()]);
+                    builder.add_edge(group[i], group[(i + 2) % group.len()]);
+                }
+                for i in 0..group.len() {
+                    for j in (i + 3)..group.len() {
+                        if rng.gen_bool(config.intra_prob) {
+                            builder.add_edge(group[i], group[j]);
+                        }
+                    }
+                }
+                members.push(group);
+            }
+
+            // Cross edges between every group pair: a joint project's teams
+            // all interact (for g = 2 this is the single left/right pair).
+            let intra_edges: usize = members
+                .iter()
+                .map(|grp| grp.len() * 2 + (grp.len() * grp.len()) / 8)
+                .sum();
+            let cross_budget =
+                ((intra_edges as f64 * config.cross_fraction).ceil() as usize).max(2);
+            let pair_list: Vec<(usize, usize)> = (0..g)
+                .flat_map(|i| ((i + 1)..g).map(move |j| (i, j)))
+                .collect();
+            for &(a, b) in &pair_list {
+                if config.plant_butterflies {
+                    // A guaranteed butterfly: the two lowest-id members of
+                    // each side form the 2×2 biclique (the "leader pair").
+                    for &x in &members[a][..2] {
+                        for &y in &members[b][..2] {
+                            builder.add_edge(x, y);
+                        }
+                    }
+                }
+                for _ in 0..cross_budget / pair_list.len() {
+                    let x = members[a][rng.gen_range(0..members[a].len())];
+                    let y = members[b][rng.gen_range(0..members[b].len())];
+                    builder.add_edge(x, y);
+                }
+            }
+
+            let mut all: Vec<VertexId> = members.iter().flatten().copied().collect();
+            all.sort_unstable();
+            communities.push(all);
+            groups_of.push(members);
+        }
+
+        // Global noise: random cross-label edges across communities.
+        let n = builder.vertex_count();
+        let approx_edges: usize = communities.iter().map(|c| c.len() * 4).sum();
+        let noise = (approx_edges as f64 * config.noise_fraction).ceil() as usize;
+        let flat: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        for _ in 0..noise {
+            let u = flat[rng.gen_range(0..n)];
+            let v = flat[rng.gen_range(0..n)];
+            builder.add_edge(u, v);
+        }
+
+        let graph = builder.build();
+        PlantedNetwork {
+            graph,
+            communities,
+            membership,
+            config,
+        }
+    }
+
+    /// The ground-truth community index of `v`.
+    pub fn community_of(&self, v: VertexId) -> usize {
+        self.membership[v.index()] as usize
+    }
+
+    /// The members of community `idx`.
+    pub fn community(&self, idx: usize) -> &[VertexId] {
+        &self.communities[idx]
+    }
+
+    /// Number of planted communities.
+    pub fn community_count(&self) -> usize {
+        self.communities.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphView;
+
+    fn small() -> PlantedNetwork {
+        PlantedNetwork::generate(PlantedConfig {
+            communities: 6,
+            community_size: (16, 24),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = PlantedNetwork::generate(PlantedConfig {
+            communities: 6,
+            community_size: (16, 24),
+            seed: 999,
+            ..Default::default()
+        });
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn membership_is_consistent() {
+        let net = small();
+        for (idx, community) in net.communities.iter().enumerate() {
+            for &v in community {
+                assert_eq!(net.community_of(v), idx);
+            }
+        }
+        let total: usize = net.communities.iter().map(Vec::len).sum();
+        assert_eq!(total, net.graph.vertex_count());
+    }
+
+    #[test]
+    fn each_community_has_two_labels_and_a_butterfly() {
+        let net = small();
+        let view = GraphView::new(&net.graph);
+        for community in &net.communities {
+            let labels: std::collections::HashSet<_> =
+                community.iter().map(|&v| net.graph.label(v)).collect();
+            assert_eq!(labels.len(), 2);
+            // The planted butterfly: the two lowest-id vertices per group.
+            let mut by_label: std::collections::HashMap<_, Vec<VertexId>> = Default::default();
+            for &v in community {
+                by_label.entry(net.graph.label(v)).or_default().push(v);
+            }
+            let sides: Vec<_> = by_label.values().collect();
+            let cross = bcc_butterfly_probe(&view, sides[0], sides[1]);
+            assert!(cross >= 1, "each community must contain a butterfly");
+        }
+    }
+
+    /// Counts butterflies between two vertex sets by brute force on the
+    /// first few members (the planted ones are at the lowest ids).
+    fn bcc_butterfly_probe(
+        view: &GraphView<'_>,
+        a: &[VertexId],
+        b: &[VertexId],
+    ) -> usize {
+        let g = view.graph();
+        let mut a = a.to_vec();
+        let mut b = b.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut count = 0;
+        for i in 0..a.len().min(4) {
+            for j in (i + 1)..a.len().min(4) {
+                for x in 0..b.len().min(4) {
+                    for y in (x + 1)..b.len().min(4) {
+                        if g.has_edge(a[i], b[x])
+                            && g.has_edge(a[i], b[y])
+                            && g.has_edge(a[j], b[x])
+                            && g.has_edge(a[j], b[y])
+                        {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn multi_group_communities() {
+        let net = PlantedNetwork::generate(PlantedConfig {
+            communities: 4,
+            community_size: (24, 30),
+            groups_per_community: 3,
+            label_pool: 6,
+            ..Default::default()
+        });
+        for community in &net.communities {
+            let labels: std::collections::HashSet<_> =
+                community.iter().map(|&v| net.graph.label(v)).collect();
+            assert_eq!(labels.len(), 3);
+        }
+    }
+
+    #[test]
+    fn groups_are_internally_connected() {
+        let net = small();
+        let view = GraphView::new(&net.graph);
+        // Ring + chord backbone ⇒ every vertex has intra-degree ≥ 2.
+        for v in net.graph.vertices() {
+            assert!(view.intra_degree(v) >= 2, "vertex {v} under-connected");
+        }
+    }
+}

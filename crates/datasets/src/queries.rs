@@ -1,0 +1,260 @@
+//! Query-workload generators (Section 8, "Queries and parameters").
+//!
+//! The paper varies two knobs when generating query pairs:
+//!
+//! * **degree rank** `Q_d`: a query vertex "has a degree higher than the
+//!   degree of X% vertices in the whole network" (default 80%);
+//! * **inter-distance** `l`: the shortest-path distance between the two
+//!   query vertices (default 1 — directly connected).
+//!
+//! Quality experiments additionally need pairs drawn from inside one
+//! ground-truth community (F1 is measured against that community). All
+//! generators are seeded and deterministic.
+
+use bcc_graph::{GraphView, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::planted::PlantedNetwork;
+
+/// Constraints for query generation.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryConstraints {
+    /// Degree-rank threshold `Q_d` in percent: query vertices must have a
+    /// degree above this percentile of the degree distribution.
+    pub degree_rank: u32,
+    /// Required shortest-path distance between the two query vertices
+    /// (`None` = any finite distance).
+    pub inter_distance: Option<u32>,
+}
+
+impl Default for QueryConstraints {
+    fn default() -> Self {
+        QueryConstraints {
+            degree_rank: 80,
+            inter_distance: Some(1),
+        }
+    }
+}
+
+/// A generated query: the pair plus the ground-truth community it was drawn
+/// from.
+#[derive(Clone, Debug)]
+pub struct CommunityQuery {
+    /// The query vertices (2 for pair queries, m for mBCC queries).
+    pub vertices: Vec<VertexId>,
+    /// Index of the ground-truth community the vertices belong to.
+    pub community: usize,
+}
+
+/// The degree value at percentile `rank` (0–100) of the degree distribution.
+fn degree_threshold(net: &PlantedNetwork, rank: u32) -> usize {
+    let mut degrees: Vec<usize> = net.graph.vertices().map(|v| net.graph.degree(v)).collect();
+    degrees.sort_unstable();
+    let idx = ((rank.min(100) as usize) * degrees.len().saturating_sub(1)) / 100;
+    degrees[idx]
+}
+
+/// Random query pairs from inside ground-truth communities, with different
+/// labels, honoring `constraints`. Returns up to `count` queries (fewer if
+/// the constraints are hard to satisfy).
+pub fn random_community_queries(
+    net: &PlantedNetwork,
+    count: usize,
+    constraints: QueryConstraints,
+    seed: u64,
+) -> Vec<CommunityQuery> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let threshold = degree_threshold(net, constraints.degree_rank);
+    let view = GraphView::new(&net.graph);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count * 400;
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let c = rng.gen_range(0..net.community_count());
+        let members = net.community(c);
+        if members.len() < 2 {
+            continue;
+        }
+        let a = members[rng.gen_range(0..members.len())];
+        let b = members[rng.gen_range(0..members.len())];
+        if a == b || net.graph.label(a) == net.graph.label(b) {
+            continue;
+        }
+        if net.graph.degree(a) < threshold || net.graph.degree(b) < threshold {
+            continue;
+        }
+        if let Some(l) = constraints.inter_distance {
+            let d = bcc_graph::bfs_distances(&view, a)[b.index()];
+            if d != l {
+                continue;
+            }
+        }
+        out.push(CommunityQuery {
+            vertices: vec![a, b],
+            community: c,
+        });
+    }
+    out
+}
+
+/// Query pairs for the degree-rank sweep of Figure 6 (inter-distance
+/// unconstrained so higher ranks stay satisfiable).
+pub fn queries_by_degree_rank(
+    net: &PlantedNetwork,
+    rank: u32,
+    count: usize,
+    seed: u64,
+) -> Vec<CommunityQuery> {
+    random_community_queries(
+        net,
+        count,
+        QueryConstraints {
+            degree_rank: rank,
+            inter_distance: None,
+        },
+        seed,
+    )
+}
+
+/// Query pairs for the inter-distance sweep of Figure 7.
+pub fn queries_by_distance(
+    net: &PlantedNetwork,
+    l: u32,
+    count: usize,
+    seed: u64,
+) -> Vec<CommunityQuery> {
+    random_community_queries(
+        net,
+        count,
+        QueryConstraints {
+            degree_rank: 0,
+            inter_distance: Some(l),
+        },
+        seed,
+    )
+}
+
+/// m-label queries for the mBCC experiments: m vertices with pairwise
+/// distinct labels drawn from a single ground-truth community.
+pub fn mbcc_queries(
+    net: &PlantedNetwork,
+    m: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<CommunityQuery> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count * 400;
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let c = rng.gen_range(0..net.community_count());
+        let members = net.community(c);
+        // Bucket by label, then take one representative per label.
+        let mut by_label: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+        for &v in members {
+            by_label.entry(net.graph.label(v).0).or_default().push(v);
+        }
+        if by_label.len() < m {
+            continue;
+        }
+        let mut labels: Vec<u32> = by_label.keys().copied().collect();
+        labels.shuffle(&mut rng);
+        let vertices: Vec<VertexId> = labels[..m]
+            .iter()
+            .map(|l| {
+                let bucket = &by_label[l];
+                bucket[rng.gen_range(0..bucket.len())]
+            })
+            .collect();
+        out.push(CommunityQuery {
+            vertices,
+            community: c,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planted::PlantedConfig;
+
+    fn net() -> PlantedNetwork {
+        PlantedNetwork::generate(PlantedConfig {
+            communities: 10,
+            community_size: (20, 30),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn community_queries_have_distinct_labels() {
+        let n = net();
+        let queries = random_community_queries(&n, 20, QueryConstraints::default(), 1);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            let [a, b] = q.vertices[..] else { panic!("pair") };
+            assert_ne!(n.graph.label(a), n.graph.label(b));
+            assert_eq!(n.community_of(a), q.community);
+            assert_eq!(n.community_of(b), q.community);
+        }
+    }
+
+    #[test]
+    fn inter_distance_respected() {
+        let n = net();
+        let view = GraphView::new(&n.graph);
+        for l in 1..=2u32 {
+            let queries = queries_by_distance(&n, l, 5, 7);
+            for q in &queries {
+                let d = bcc_graph::bfs_distances(&view, q.vertices[0])[q.vertices[1].index()];
+                assert_eq!(d, l);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_rank_filters_low_degree_vertices() {
+        let n = net();
+        let q_high = queries_by_degree_rank(&n, 95, 10, 3);
+        let threshold = super::degree_threshold(&n, 95);
+        for q in &q_high {
+            for &v in &q.vertices {
+                assert!(n.graph.degree(v) >= threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn mbcc_queries_have_m_distinct_labels() {
+        let n = PlantedNetwork::generate(PlantedConfig {
+            communities: 8,
+            community_size: (30, 40),
+            groups_per_community: 3,
+            label_pool: 6,
+            ..Default::default()
+        });
+        let queries = mbcc_queries(&n, 3, 10, 5);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            let labels: std::collections::HashSet<_> =
+                q.vertices.iter().map(|&v| n.graph.label(v)).collect();
+            assert_eq!(labels.len(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let n = net();
+        let a = random_community_queries(&n, 10, QueryConstraints::default(), 42);
+        let b = random_community_queries(&n, 10, QueryConstraints::default(), 42);
+        assert_eq!(
+            a.iter().map(|q| q.vertices.clone()).collect::<Vec<_>>(),
+            b.iter().map(|q| q.vertices.clone()).collect::<Vec<_>>()
+        );
+    }
+}

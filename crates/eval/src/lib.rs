@@ -1,0 +1,17 @@
+//! Evaluation harness: quality metrics, result aggregation, and table
+//! formatting.
+//!
+//! The paper's quality metric is the F1-score between a discovered
+//! community `C` and a ground-truth community `Ĉ`:
+//! `F1 = 2·prec·recall / (prec + recall)` with `prec = |C ∩ Ĉ| / |C|` and
+//! `recall = |C ∩ Ĉ| / |Ĉ|` (Section 8, "Evaluation metrics"). The paper
+//! reports per-method averages over query workloads; [`MethodAggregate`]
+//! accumulates those. [`table`] renders the aligned text tables the
+//! experiment binaries print; rows serialize to JSON for EXPERIMENTS.md.
+
+pub mod metrics;
+pub mod table;
+
+pub use bcc_core::SearchStats;
+pub use metrics::{f1_score, precision_recall, MethodAggregate};
+pub use table::{render_table, Table};

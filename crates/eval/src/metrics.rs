@@ -1,0 +1,163 @@
+//! F1 / precision / recall and per-method workload aggregation.
+
+use std::time::Duration;
+
+use bcc_graph::VertexId;
+
+/// `(precision, recall)` of discovered community `found` against ground
+/// truth `truth`. Both slices must be sorted ascending (the search APIs
+/// return sorted communities).
+pub fn precision_recall(found: &[VertexId], truth: &[VertexId]) -> (f64, f64) {
+    debug_assert!(found.windows(2).all(|w| w[0] < w[1]), "found must be sorted");
+    debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "truth must be sorted");
+    if found.is_empty() || truth.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut overlap = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < found.len() && j < truth.len() {
+        match found[i].cmp(&truth[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                overlap += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (
+        overlap as f64 / found.len() as f64,
+        overlap as f64 / truth.len() as f64,
+    )
+}
+
+/// The F1-score of the paper's Section 8 (0.0 when either set is empty or
+/// the overlap is empty).
+pub fn f1_score(found: &[VertexId], truth: &[VertexId]) -> f64 {
+    let (precision, recall) = precision_recall(found, truth);
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Accumulates per-query outcomes for one method over a workload; failed
+/// queries count as F1 = 0 and their elapsed time still accrues (matching
+/// the paper's averaged reporting).
+#[derive(Clone, Debug, Default)]
+pub struct MethodAggregate {
+    /// Sum of F1 scores (failed queries contribute 0).
+    pub f1_sum: f64,
+    /// Total wall time over all queries.
+    pub time_sum: Duration,
+    /// Queries attempted.
+    pub queries: usize,
+    /// Queries that produced a community.
+    pub successes: usize,
+    /// Sum of community sizes over successes.
+    pub size_sum: usize,
+}
+
+impl MethodAggregate {
+    /// Records one successful query.
+    pub fn record_success(&mut self, f1: f64, elapsed: Duration, community_size: usize) {
+        self.f1_sum += f1;
+        self.time_sum += elapsed;
+        self.queries += 1;
+        self.successes += 1;
+        self.size_sum += community_size;
+    }
+
+    /// Records a failed query (no community found).
+    pub fn record_failure(&mut self, elapsed: Duration) {
+        self.time_sum += elapsed;
+        self.queries += 1;
+    }
+
+    /// Mean F1 over all attempted queries.
+    pub fn mean_f1(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.f1_sum / self.queries as f64
+        }
+    }
+
+    /// Mean wall time per query in seconds.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.time_sum.as_secs_f64() / self.queries as f64
+        }
+    }
+
+    /// Mean community size over successful queries.
+    pub fn mean_size(&self) -> f64 {
+        if self.successes == 0 {
+            0.0
+        } else {
+            self.size_sum as f64 / self.successes as f64
+        }
+    }
+
+    /// Fraction of queries that produced a community.
+    pub fn success_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_match_is_one() {
+        let c = vs(&[1, 2, 3]);
+        assert_eq!(f1_score(&c, &c), 1.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(f1_score(&vs(&[1, 2]), &vs(&[3, 4])), 0.0);
+        assert_eq!(f1_score(&vs(&[]), &vs(&[3])), 0.0);
+        assert_eq!(f1_score(&vs(&[1]), &vs(&[])), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // found {1,2,3,4}, truth {3,4,5,6}: overlap 2, prec 0.5, recall 0.5.
+        let (p, r) = precision_recall(&vs(&[1, 2, 3, 4]), &vs(&[3, 4, 5, 6]));
+        assert_eq!((p, r), (0.5, 0.5));
+        assert!((f1_score(&vs(&[1, 2, 3, 4]), &vs(&[3, 4, 5, 6])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_vs_recall_asymmetry() {
+        // found = subset of truth: precision 1, recall 0.5.
+        let (p, r) = precision_recall(&vs(&[1, 2]), &vs(&[1, 2, 3, 4]));
+        assert_eq!((p, r), (1.0, 0.5));
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let mut agg = MethodAggregate::default();
+        agg.record_success(1.0, Duration::from_millis(10), 10);
+        agg.record_success(0.5, Duration::from_millis(30), 20);
+        agg.record_failure(Duration::from_millis(20));
+        assert!((agg.mean_f1() - 0.5).abs() < 1e-12);
+        assert!((agg.mean_seconds() - 0.02).abs() < 1e-9);
+        assert_eq!(agg.mean_size(), 15.0);
+        assert!((agg.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Aligned text tables + JSON rows for the experiment binaries.
+//!
+//! Every experiment binary prints one paper-style table to stdout and can
+//! serialize the same rows as JSON (used to assemble EXPERIMENTS.md).
+
+use serde::Serialize;
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Table caption (e.g. "Figure 5: running time (s)").
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Row cells (first cell = row label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        render_table(&self.title, &self.headers, &self.rows)
+    }
+
+    /// Serializes to a JSON object string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+/// Renders `headers` + `rows` as an aligned text table under `title`.
+pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        s
+    };
+    out.push_str(&line(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a seconds value the way the paper's log-scale plots read
+/// (3 significant-ish digits, scientific for very small).
+pub fn fmt_seconds(secs: f64) -> String {
+    if secs == 0.0 {
+        "0".into()
+    } else if secs < 0.001 {
+        format!("{secs:.2e}")
+    } else if secs < 1.0 {
+        format!("{secs:.4}")
+    } else {
+        format!("{secs:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(
+            "Demo",
+            vec!["Network".into(), "F1".into()],
+        );
+        t.push_row(vec!["Baidu-1".into(), "0.85".into()]);
+        t.push_row(vec!["LongNetworkName".into(), "0.9".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and both rows align on the first column width.
+        assert!(lines[1].starts_with("Network        "));
+        assert!(lines[3].starts_with("Baidu-1        "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"title\": \"T\""));
+        assert!(json.contains("\"rows\""));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(0.0), "0");
+        assert!(fmt_seconds(0.0000123).contains('e'));
+        assert_eq!(fmt_seconds(0.1234), "0.1234");
+        assert_eq!(fmt_seconds(12.345), "12.35");
+    }
+}

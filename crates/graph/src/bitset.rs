@@ -1,0 +1,196 @@
+//! A compact fixed-capacity bitset.
+//!
+//! Used for alive/dead vertex masks in [`crate::GraphView`] and for visited
+//! sets in traversals. We implement our own rather than pulling in a crate:
+//! the required surface is tiny and the hot paths (`contains`, `insert`,
+//! `remove`) must inline into peeling loops.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a bitset with all indices `0..capacity` present.
+    pub fn full(capacity: usize) -> Self {
+        let mut words = vec![!0u64; capacity.div_ceil(64)];
+        // Clear the bits beyond `capacity` in the last word so that
+        // `count()` and iteration never see phantom members.
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        BitSet { words, capacity }
+    }
+
+    /// Number of indices this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` if `idx` is in the set.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.capacity, "index {idx} out of capacity {}", self.capacity);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Inserts `idx`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.capacity);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `idx`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.capacity);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Removes all indices.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of indices currently in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no index is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// In-place intersection with `other` (same capacity required).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other` (same capacity required).
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference: removes every index present in `other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let empty = BitSet::new(130);
+        assert_eq!(empty.count(), 0);
+        assert!(empty.is_empty());
+        let full = BitSet::full(130);
+        assert_eq!(full.count(), 130);
+        assert!(full.contains(0));
+        assert!(full.contains(129));
+    }
+
+    #[test]
+    fn full_does_not_overflow_last_word() {
+        for cap in [1usize, 63, 64, 65, 127, 128, 129] {
+            let full = BitSet::full(cap);
+            assert_eq!(full.count(), cap, "cap={cap}");
+            assert_eq!(full.iter().count(), cap, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut s = BitSet::new(300);
+        for idx in [250, 3, 64, 65, 128, 0] {
+            s.insert(idx);
+        }
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![0, 3, 64, 65, 128, 250]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(64);
+        for i in 0..32 {
+            a.insert(i);
+        }
+        for i in 16..48 {
+            b.insert(i);
+        }
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.count(), 16);
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.count(), 48);
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(diff.count(), 16);
+        assert!(diff.contains(0) && !diff.contains(16));
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Incremental construction of [`LabeledGraph`]s.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::labels::{Label, LabelInterner};
+
+/// Builds a [`LabeledGraph`] incrementally, deduplicating edges and
+/// rejecting self-loops.
+#[derive(Default)]
+pub struct GraphBuilder {
+    interner: LabelInterner,
+    labels: Vec<Label>,
+    names: Vec<String>,
+    any_named: bool,
+    adjacency: Vec<Vec<VertexId>>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an unnamed vertex with label `label_name`, returning its id.
+    pub fn add_vertex(&mut self, label_name: &str) -> VertexId {
+        self.push_vertex(label_name, None)
+    }
+
+    /// Adds a named vertex (case-study graphs use display names).
+    pub fn add_named_vertex(&mut self, name: &str, label_name: &str) -> VertexId {
+        self.push_vertex(label_name, Some(name))
+    }
+
+    /// Adds a vertex with an already-interned label.
+    pub fn add_vertex_with_label(&mut self, label: Label) -> VertexId {
+        assert!(
+            label.index() < self.interner.len(),
+            "label {label} was not interned via this builder"
+        );
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.names.push(String::new());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    fn push_vertex(&mut self, label_name: &str, name: Option<&str>) -> VertexId {
+        let label = self.interner.intern(label_name);
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label);
+        match name {
+            Some(n) => {
+                self.any_named = true;
+                self.names.push(n.to_owned());
+            }
+            None => self.names.push(String::new()),
+        }
+        self.adjacency.push(id_placeholder());
+        id
+    }
+
+    /// Interns a label without adding a vertex (useful to fix label ids
+    /// before bulk vertex insertion).
+    pub fn intern_label(&mut self, label_name: &str) -> Label {
+        self.interner.intern(label_name)
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored; duplicate
+    /// edges are deduplicated at [`build`](Self::build) time. Returns `true`
+    /// unless the edge was a self-loop.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(
+            u.index() < self.labels.len() && v.index() < self.labels.len(),
+            "edge endpoint out of range"
+        );
+        if u == v {
+            return false;
+        }
+        self.adjacency[u.index()].push(v);
+        self.adjacency[v.index()].push(u);
+        true
+    }
+
+    /// Finalizes into a CSR [`LabeledGraph`]: sorts adjacency lists,
+    /// removes duplicates, and freezes the label interner.
+    pub fn build(mut self) -> LabeledGraph {
+        let n = self.labels.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        for list in &mut self.adjacency {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        let names = if self.any_named {
+            Some(
+                self.names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| {
+                        if n.is_empty() {
+                            format!("v{i}")
+                        } else {
+                            n.clone()
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        LabeledGraph::from_parts(offsets, neighbors, self.labels, self.interner, names)
+    }
+}
+
+fn id_placeholder() -> Vec<VertexId> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_parallel_edges_and_ignores_self_loops() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("A");
+        let v = b.add_vertex("B");
+        assert!(b.add_edge(u, v));
+        assert!(b.add_edge(v, u));
+        assert!(!b.add_edge(u, u));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(u), 1);
+    }
+
+    #[test]
+    fn named_vertices_resolve() {
+        let mut b = GraphBuilder::new();
+        let toronto = b.add_named_vertex("Toronto", "Canada");
+        let frankfurt = b.add_named_vertex("Frankfurt", "Germany");
+        b.add_edge(toronto, frankfurt);
+        let g = b.build();
+        assert_eq!(g.vertex_by_name("Toronto"), Some(toronto));
+        assert_eq!(g.vertex_name(frankfurt), "Frankfurt");
+        assert_eq!(g.vertex_by_name("Berlin"), None);
+    }
+
+    #[test]
+    fn unnamed_graph_falls_back_to_ids() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex("A");
+        let g = b.build();
+        assert_eq!(g.vertex_name(v), "v0");
+        assert_eq!(g.vertex_by_name("v0"), None, "unnamed graphs have no name table");
+    }
+
+    #[test]
+    fn adjacency_lists_sorted() {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_vertex("A")).collect();
+        b.add_edge(vs[0], vs[4]);
+        b.add_edge(vs[0], vs[2]);
+        b.add_edge(vs[0], vs[1]);
+        b.add_edge(vs[0], vs[3]);
+        let g = b.build();
+        let ns: Vec<u32> = g.neighbors(vs[0]).iter().map(|v| v.0).collect();
+        assert_eq!(ns, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn interned_label_bulk_insertion() {
+        let mut b = GraphBuilder::new();
+        let a = b.intern_label("A");
+        let v0 = b.add_vertex_with_label(a);
+        let v1 = b.add_vertex_with_label(a);
+        b.add_edge(v0, v1);
+        let g = b.build();
+        assert_eq!(g.label(v0), g.label(v1));
+        assert_eq!(g.label_count(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! The immutable CSR-encoded labeled graph.
+
+use crate::labels::{Label, LabelInterner};
+
+/// A vertex identifier: a dense index into the graph's vertex arrays.
+///
+/// Stored as `u32` to halve the memory traffic of adjacency scans compared
+/// with `usize` (the evaluation graphs fit comfortably in `u32`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The dense index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The two edge kinds of a labeled graph (Section 3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Both endpoints share a label (a within-group collaboration).
+    Homogeneous,
+    /// Endpoints carry different labels (a cross-group collaboration).
+    Heterogeneous,
+}
+
+/// An immutable undirected labeled graph `G = (V, E, ℓ)` in CSR form.
+///
+/// Invariants (upheld by [`crate::GraphBuilder`]):
+/// * no self-loops, no parallel edges;
+/// * each undirected edge `{u, v}` appears in both adjacency lists;
+/// * every adjacency list is sorted ascending.
+#[derive(Clone, Debug)]
+pub struct LabeledGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    labels: Vec<Label>,
+    interner: LabelInterner,
+    names: Option<Vec<String>>,
+    edge_count: usize,
+}
+
+impl LabeledGraph {
+    /// Assembles a graph from pre-validated CSR parts. Callers outside this
+    /// crate should use [`crate::GraphBuilder`].
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        labels: Vec<Label>,
+        interner: LabelInterner,
+        names: Option<Vec<String>>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), labels.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
+        let edge_count = neighbors.len() / 2;
+        LabeledGraph {
+            offsets,
+            neighbors,
+            labels,
+            interner,
+            names,
+            edge_count,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates all vertex ids `0..|V|`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertex_count() as u32).map(VertexId)
+    }
+
+    /// The label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// All vertex labels, indexed by vertex.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The label interner (names of labels).
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Number of distinct labels that occur in the graph.
+    pub fn label_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Display name of vertex `v` if the graph carries names, else `v{id}`.
+    pub fn vertex_name(&self, v: VertexId) -> String {
+        match &self.names {
+            Some(names) => names[v.index()].clone(),
+            None => format!("v{}", v.0),
+        }
+    }
+
+    /// Finds a vertex by display name (linear scan; intended for small
+    /// case-study graphs and tests).
+    pub fn vertex_by_name(&self, name: &str) -> Option<VertexId> {
+        let names = self.names.as_ref()?;
+        names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VertexId(i as u32))
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Degree of `v` in the full graph.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Maximum degree over all vertices (`d_max` of Table 3).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if `{u, v}` is an edge (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (small, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(small).binary_search(&target).is_ok()
+    }
+
+    /// Classifies `{u, v}` per Section 3.1. The edge need not exist; the
+    /// classification is purely label-based.
+    #[inline]
+    pub fn edge_kind(&self, u: VertexId, v: VertexId) -> EdgeKind {
+        if self.label(u) == self.label(v) {
+            EdgeKind::Homogeneous
+        } else {
+            EdgeKind::Heterogeneous
+        }
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Neighbors of `v` that share `v`'s label (walk partners inside the
+    /// same group).
+    pub fn same_label_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let label = self.label(v);
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&u| self.label(u) == label)
+    }
+
+    /// Neighbors of `v` with a different label (cross/heterogeneous edges).
+    pub fn cross_label_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let label = self.label(v);
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&u| self.label(u) != label)
+    }
+
+    /// All vertices carrying `label`.
+    pub fn vertices_with_label(&self, label: Label) -> Vec<VertexId> {
+        self.vertices().filter(|&v| self.label(v) == label).collect()
+    }
+
+    /// Per-label vertex counts, indexed by label id.
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut histogram = vec![0usize; self.label_count()];
+        for &label in &self.labels {
+            histogram[label.index()] += 1;
+        }
+        histogram
+    }
+
+    /// Degree counts: `histogram[d]` = number of vertices with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut histogram = vec![0usize; self.max_degree() + 1];
+        for v in self.vertices() {
+            histogram[self.degree(v)] += 1;
+        }
+        histogram
+    }
+
+    /// Edge density `2|E| / (|V|(|V|−1))`; 0 for graphs with < 2 vertices.
+    pub fn density(&self) -> f64 {
+        let n = self.vertex_count() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / (n * (n - 1.0))
+    }
+
+    /// Materializes the subgraph induced by `members` as a standalone graph
+    /// with dense ids. Returns the new graph plus the mapping from new ids
+    /// back to the originals (`mapping[new.index()] = old`). Labels and
+    /// names are carried over; duplicate members are deduplicated.
+    pub fn induced_subgraph(
+        &self,
+        members: impl IntoIterator<Item = VertexId>,
+    ) -> (LabeledGraph, Vec<VertexId>) {
+        let mut mapping: Vec<VertexId> = members.into_iter().collect();
+        mapping.sort_unstable();
+        mapping.dedup();
+        let mut new_id = vec![u32::MAX; self.vertex_count()];
+        for (new, &old) in mapping.iter().enumerate() {
+            new_id[old.index()] = new as u32;
+        }
+        let mut builder = crate::builder::GraphBuilder::new();
+        let named = self.names.is_some();
+        for &old in &mapping {
+            let label_name = self
+                .interner
+                .name(self.label(old))
+                .expect("labels of an existing graph are interned");
+            if named {
+                builder.add_named_vertex(&self.vertex_name(old), label_name);
+            } else {
+                builder.add_vertex(label_name);
+            }
+        }
+        for &old in &mapping {
+            for &neighbor in self.neighbors(old) {
+                if neighbor > old && new_id[neighbor.index()] != u32::MAX {
+                    builder.add_edge(
+                        VertexId(new_id[old.index()]),
+                        VertexId(new_id[neighbor.index()]),
+                    );
+                }
+            }
+        }
+        (builder.build(), mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    /// The running example of Figure 1 boiled down: two labeled triangles
+    /// joined by one cross edge.
+    fn two_triangles() -> crate::LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex("SE");
+        let a1 = b.add_vertex("SE");
+        let a2 = b.add_vertex("SE");
+        let c0 = b.add_vertex("UI");
+        let c1 = b.add_vertex("UI");
+        let c2 = b.add_vertex("UI");
+        for (u, v) in [(a0, a1), (a1, a2), (a0, a2), (c0, c1), (c1, c2), (c0, c2), (a0, c0)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = two_triangles();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.label_count(), 2);
+        assert_eq!(g.degree(crate::VertexId(0)), 3);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = two_triangles();
+        let (v0, v3, v5) = (crate::VertexId(0), crate::VertexId(3), crate::VertexId(5));
+        assert!(g.has_edge(v0, v3));
+        assert!(!g.has_edge(v0, v5));
+        assert_eq!(g.edge_kind(v0, v3), crate::EdgeKind::Heterogeneous);
+        assert_eq!(g.edge_kind(v0, crate::VertexId(1)), crate::EdgeKind::Homogeneous);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = two_triangles();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn label_partitioned_neighbors() {
+        let g = two_triangles();
+        let v0 = crate::VertexId(0);
+        assert_eq!(g.same_label_neighbors(v0).count(), 2);
+        assert_eq!(g.cross_label_neighbors(v0).count(), 1);
+        let hist = g.label_histogram();
+        assert_eq!(hist, vec![3, 3]);
+    }
+
+    #[test]
+    fn density_and_degree_histogram() {
+        let g = two_triangles();
+        // 6 vertices, 7 edges: density = 14 / 30.
+        assert!((g.density() - 14.0 / 30.0).abs() < 1e-12);
+        let hist = g.degree_histogram();
+        // Two endpoints of the cross edge have degree 3; the rest degree 2.
+        assert_eq!(hist[2], 4);
+        assert_eq!(hist[3], 2);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = two_triangles();
+        // Take the first triangle plus one vertex of the second.
+        let members = [0u32, 1, 2, 3].map(crate::VertexId);
+        let (sub, mapping) = g.induced_subgraph(members);
+        assert_eq!(sub.vertex_count(), 4);
+        assert_eq!(mapping.len(), 4);
+        // Triangle edges survive; the cross edge (0, 3) survives too.
+        assert_eq!(sub.edge_count(), 4);
+        for (new, &old) in mapping.iter().enumerate() {
+            assert_eq!(sub.label(crate::VertexId(new as u32)), g.label(old));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_members() {
+        let g = two_triangles();
+        let (sub, mapping) =
+            g.induced_subgraph([crate::VertexId(0), crate::VertexId(0), crate::VertexId(1)]);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(mapping, vec![crate::VertexId(0), crate::VertexId(1)]);
+        assert_eq!(sub.edge_count(), 1);
+    }
+}

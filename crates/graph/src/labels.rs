@@ -1,0 +1,113 @@
+//! Vertex labels and a string interner for them.
+//!
+//! The paper's label function `ℓ : V → A` maps vertices to labels such as
+//! roles ("SE", "UI", "PM"), countries, or research fields. We intern label
+//! strings to dense `u32` ids so the hot paths compare integers.
+
+use rustc_hash::FxHashMap;
+
+/// An interned vertex label. Dense ids starting at 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The dense index of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between label strings and dense [`Label`] ids.
+#[derive(Clone, Debug, Default)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: FxHashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its label (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&label) = self.ids.get(name) {
+            return label;
+        }
+        let label = Label(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), label);
+        label
+    }
+
+    /// Looks up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.ids.get(name).copied()
+    }
+
+    /// The display name of `label`, if it was interned here.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(Label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let se = interner.intern("SE");
+        let ui = interner.intern("UI");
+        assert_ne!(se, ui);
+        assert_eq!(interner.intern("SE"), se);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut interner = LabelInterner::new();
+        let pm = interner.intern("PM");
+        assert_eq!(interner.get("PM"), Some(pm));
+        assert_eq!(interner.get("nope"), None);
+        assert_eq!(interner.name(pm), Some("PM"));
+        assert_eq!(interner.name(Label(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut interner = LabelInterner::new();
+        interner.intern("a");
+        interner.intern("b");
+        interner.intern("c");
+        let names: Vec<_> = interner.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

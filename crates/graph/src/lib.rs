@@ -1,0 +1,57 @@
+//! Labeled-graph substrate for butterfly-core community search.
+//!
+//! This crate provides the storage and traversal layer that every other crate
+//! in the workspace builds on:
+//!
+//! * [`LabeledGraph`] — an immutable, CSR-encoded undirected graph whose
+//!   vertices carry interned labels (and optional display names).
+//! * [`GraphBuilder`] — incremental construction with edge deduplication.
+//! * [`GraphView`] — a mutable overlay over a [`LabeledGraph`] supporting O(1)
+//!   vertex deletion with live degree counters, the workhorse of every
+//!   peeling algorithm in the paper.
+//! * [`traversal`] — BFS distances, query distance (Definition 5 of the
+//!   paper), connectivity, connected components, and diameter computation.
+//! * [`BitSet`] / [`UnionFind`] — small utility structures used across the
+//!   workspace (union-find implements the cross-group connectivity check of
+//!   Section 7).
+//! * [`io`] — a plain-text edge-list + label-file format for persisting
+//!   datasets and loading them from the CLI.
+//!
+//! The graph model follows Section 3.1 of the paper: an undirected labeled
+//! graph `G = (V, E, ℓ)` where an edge between equal-labeled endpoints is
+//! *homogeneous* and an edge between differently-labeled endpoints is
+//! *heterogeneous* (cross).
+//!
+//! ```
+//! use bcc_graph::{GraphBuilder, GraphView, bfs_distances};
+//!
+//! let mut b = GraphBuilder::new();
+//! let se = b.add_vertex("SE");
+//! let ui = b.add_vertex("UI");
+//! let pm = b.add_vertex("PM");
+//! b.add_edge(se, ui);
+//! b.add_edge(ui, pm);
+//! let g = b.build();
+//!
+//! let mut view = GraphView::new(&g);
+//! assert_eq!(view.cross_degree(ui), 2);
+//! view.remove_vertex(pm);
+//! assert_eq!(bfs_distances(&view, se)[ui.index()], 1);
+//! ```
+
+pub mod bitset;
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod labels;
+pub mod traversal;
+pub mod unionfind;
+pub mod view;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use graph::{EdgeKind, LabeledGraph, VertexId};
+pub use labels::{Label, LabelInterner};
+pub use traversal::{bfs_distances, query_distance, QueryDistances, INF_DIST};
+pub use unionfind::UnionFind;
+pub use view::GraphView;

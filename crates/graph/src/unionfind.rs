@@ -1,0 +1,113 @@
+//! Disjoint-set (union-find) with path halving and union by size.
+//!
+//! Section 7 of the paper notes that the cross-group connectivity check of
+//! the multi-labeled BCC model "can be further optimized in O(m) time using
+//! the union-find algorithm"; this is that structure. It is also used by the
+//! dataset generators to guarantee connected planted communities.
+
+/// Disjoint-set forest over `0..len` with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`, halving the path on the way.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        self.size[root as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(3), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.component_count(), 4);
+        assert_eq!(uf.set_size(2), 3);
+    }
+
+    #[test]
+    fn chain_unions_collapse_to_one_component() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, n as u32 - 1));
+        assert_eq!(uf.set_size(50), n);
+    }
+}

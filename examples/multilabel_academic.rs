@@ -1,0 +1,69 @@
+//! Multi-labeled BCC search (Section 7) on the academic collaboration
+//! network: the Figure 15(b) three-field query {Franklin, Jordan, Stoica}
+//! across Database × Machine Learning × Systems, comparing all three mBCC
+//! engine strategies.
+//!
+//! `cargo run --release --example multilabel_academic`
+
+use bcc::core::{MultiStrategy, PathWeights};
+use bcc::prelude::*;
+
+fn main() {
+    let graph = bcc::datasets::academic_network(42);
+    let queries: Vec<_> = ["Michael J. Franklin", "Michael I. Jordan", "Ion Stoica"]
+        .iter()
+        .map(|n| graph.vertex_by_name(n).expect("anchor scholars exist"))
+        .collect();
+    println!(
+        "academic network: {} authors, {} collaborations, {} fields",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+
+    let index = BccIndex::build(&graph);
+    let query = MbccQuery::new(queries.clone());
+    let params = bcc::core::MbccParams::uniform(3, 3, 3);
+
+    for (name, strategy) in [
+        ("Online (Alg. 9)", MultiStrategy::Online),
+        ("LeaderPair", MultiStrategy::LeaderPair),
+        (
+            "Local (L2P)",
+            MultiStrategy::Local {
+                eta: 512,
+                weights: PathWeights::default(),
+            },
+        ),
+    ] {
+        let searcher = MultiLabelBcc::with_strategy(strategy);
+        match searcher.search(&graph, Some(&index), &query, &params) {
+            Ok(result) => {
+                let mut per_field: std::collections::BTreeMap<&str, usize> = Default::default();
+                for &v in &result.community {
+                    *per_field
+                        .entry(graph.interner().name(graph.label(v)).unwrap())
+                        .or_default() += 1;
+                }
+                let breakdown: Vec<String> = per_field
+                    .iter()
+                    .map(|(f, n)| format!("{f}: {n}"))
+                    .collect();
+                println!(
+                    "{name:<18} -> {} members (qd {}) [{}]",
+                    result.len(),
+                    result.query_distance,
+                    breakdown.join(", ")
+                );
+                for &q in &queries {
+                    assert!(result.contains(&q));
+                }
+            }
+            Err(e) => println!("{name:<18} -> failed: {e}"),
+        }
+    }
+
+    println!("\nCross-group connectivity (Def. 7): the ML and Systems groups are only");
+    println!("linked through the Database group's butterflies — the mBCC keeps all");
+    println!("three fields in one connected community.");
+}

@@ -1,0 +1,102 @@
+//! Quickstart: build the paper's Figure 1 professional network by hand and
+//! search the (4, 3, 1)-BCC of Figure 2 with all three methods.
+//!
+//! `cargo run --release --example quickstart`
+
+use bcc::prelude::*;
+
+fn main() {
+    // Figure 1: an IT professional network with three roles. Vertices are
+    // named after the paper's figure (ql, v1..v10 are SE; qr, u1..u9 are UI;
+    // z1 is PM).
+    let mut b = GraphBuilder::new();
+    let ql = b.add_named_vertex("ql", "SE");
+    let v: Vec<_> = (1..=10)
+        .map(|i| b.add_named_vertex(&format!("v{i}"), "SE"))
+        .collect();
+    let qr = b.add_named_vertex("qr", "UI");
+    let u: Vec<_> = (1..=9)
+        .map(|i| b.add_named_vertex(&format!("u{i}"), "UI"))
+        .collect();
+    let z1 = b.add_named_vertex("z1", "PM");
+
+    // SE side: ql and v1..v5 form a dense 4-core team; v6..v10 are a second
+    // SE team further away.
+    let left_team = [ql, v[0], v[1], v[2], v[3], v[4]];
+    for i in 0..left_team.len() {
+        for j in (i + 1)..left_team.len() {
+            if !(i == 1 && j == 3) {
+                // one missing edge keeps it a 4-core, not a clique
+                b.add_edge(left_team[i], left_team[j]);
+            }
+        }
+    }
+    let far_team = [v[5], v[6], v[7], v[8], v[9]];
+    for i in 0..far_team.len() {
+        for j in (i + 1)..far_team.len() {
+            b.add_edge(far_team[i], far_team[j]);
+        }
+    }
+    b.add_edge(v[4], v[5]); // bridge between the SE teams
+
+    // UI side: qr and u1..u5 form a 3-core; u6..u9 hang off it.
+    let right_team = [qr, u[0], u[1], u[2], u[4]];
+    for i in 0..right_team.len() {
+        for j in (i + 1)..right_team.len() {
+            if !(i == 0 && j == 4) {
+                b.add_edge(right_team[i], right_team[j]);
+            }
+        }
+    }
+    b.add_edge(u[2], u[3]);
+    b.add_edge(u[3], u[4]);
+    b.add_edge(u[5], u[0]);
+    b.add_edge(u[5], u[6]);
+    b.add_edge(u[6], u[7]);
+    b.add_edge(u[7], u[8]);
+
+    // Cross-role collaborations (dashed edges): the butterfly of Figure 2 is
+    // {ql, v5} x {qr, u3} — here v[4] is "v5" and u[2] is "u3".
+    b.add_edge(ql, qr);
+    b.add_edge(ql, u[2]);
+    b.add_edge(v[4], qr);
+    b.add_edge(v[4], u[2]);
+    // The PM vertex touches both teams but has the wrong label.
+    b.add_edge(z1, ql);
+    b.add_edge(z1, qr);
+
+    let graph = b.build();
+    println!(
+        "graph: {} vertices, {} edges, {} labels",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+
+    // The paper's Example 3: Q = {ql, qr}, k1 = 4, k2 = 3, b = 1.
+    let query = BccQuery::pair(ql, qr);
+    let params = BccParams::new(4, 3, 1);
+
+    let online = OnlineBcc::default().search(&graph, &query, &params).unwrap();
+    let lp = LpBcc::default().search(&graph, &query, &params).unwrap();
+    let index = BccIndex::build(&graph);
+    let l2p = L2pBcc::default().search(&graph, &index, &query, &params).unwrap();
+
+    for (name, result) in [("Online-BCC", &online), ("LP-BCC", &lp), ("L2P-BCC", &l2p)] {
+        let members: Vec<String> = result.community.iter().map(|&v| graph.vertex_name(v)).collect();
+        println!(
+            "{name:>10}: {} members, query distance {}, diameter {} -> {}",
+            result.len(),
+            result.query_distance,
+            result.diameter(&graph),
+            members.join(", ")
+        );
+    }
+
+    // The answer is the Figure 2 community: both query teams, no PM vertex,
+    // no far SE team.
+    assert!(online.contains(&ql) && online.contains(&qr));
+    assert!(!online.contains(&z1), "PM vertex must be excluded");
+    assert!(!online.contains(&v[7]), "the far SE team must be peeled");
+    println!("\nFigure 2 community recovered.");
+}

@@ -1,0 +1,72 @@
+//! # bcc — Butterfly-Core Community Search over Labeled Graphs
+//!
+//! A full Rust reproduction of *Butterfly-Core Community Search over Labeled
+//! Graphs* (Dong, Huang, Yuan, Zhu, Xiong — PVLDB 14(1), 2021).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`graph`] — labeled-graph storage, views, traversal, I/O.
+//! * [`cohesion`] — k-core and k-truss decomposition/maintenance.
+//! * [`butterfly`] — butterfly counting, degree updates, leader pairs.
+//! * [`core`] — the BCC model and the Online-BCC / LP-BCC / L2P-BCC / mBCC
+//!   search algorithms.
+//! * [`baselines`] — CTC (closest truss community) and PSA (progressive
+//!   minimum k-core) comparison methods.
+//! * [`datasets`] — labeled-graph generators with ground-truth communities,
+//!   the paper's case-study networks, and query workloads.
+//! * [`eval`] — F1 metrics, instrumentation, and table formatting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bcc::prelude::*;
+//!
+//! // Build a small professional network: two dense teams + cross edges.
+//! let mut b = GraphBuilder::new();
+//! let se: Vec<_> = (0..4).map(|_| b.add_vertex("SE")).collect();
+//! let ui: Vec<_> = (0..4).map(|_| b.add_vertex("UI")).collect();
+//! for i in 0..4 {
+//!     for j in (i + 1)..4 {
+//!         b.add_edge(se[i], se[j]);
+//!         b.add_edge(ui[i], ui[j]);
+//!     }
+//! }
+//! // A butterfly between the teams: {se0, se1} x {ui0, ui1}.
+//! for &s in &se[..2] {
+//!     for &u in &ui[..2] {
+//!         b.add_edge(s, u);
+//!     }
+//! }
+//! let g = b.build();
+//!
+//! let params = BccParams::new(3, 3, 1);
+//! let query = BccQuery::pair(se[0], ui[0]);
+//! let result = OnlineBcc::default().search(&g, &query, &params).unwrap();
+//! assert!(result.community.contains(&se[0]));
+//! assert!(result.community.contains(&ui[0]));
+//! ```
+
+pub use bcc_baselines as baselines;
+pub use bcc_butterfly as butterfly;
+pub use bcc_cohesion as cohesion;
+pub use bcc_core as core;
+pub use bcc_datasets as datasets;
+pub use bcc_eval as eval;
+pub use bcc_graph as graph;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use bcc_baselines::{AcqSearch, CtcSearch, PsaSearch};
+    pub use bcc_butterfly::{BipartiteCross, ButterflyCounts};
+    pub use bcc_cohesion::{core_decomposition, truss_decomposition};
+    pub use bcc_core::{
+        BccIndex, BccParams, BccQuery, BccResult, L2pBcc, LpBcc, MbccQuery, MultiLabelBcc,
+        OnlineBcc, SearchError,
+    };
+    pub use bcc_datasets::{PlantedConfig, PlantedNetwork};
+    pub use bcc_eval::{f1_score, SearchStats};
+    pub use bcc_graph::{
+        GraphBuilder, GraphView, Label, LabeledGraph, VertexId, INF_DIST,
+    };
+}

@@ -1,0 +1,174 @@
+//! Narrative assertions for the four case studies (Exps 6–8 and 11): the
+//! communities the paper's figures show must be recovered by the library.
+
+use bcc::core::{MbccParams, MbccQuery, MultiLabelBcc};
+use bcc::prelude::*;
+
+fn lp_search(graph: &bcc::graph::LabeledGraph, ql: &str, qr: &str, b: u64) -> BccResult {
+    let ql = graph.vertex_by_name(ql).expect("query exists");
+    let qr = graph.vertex_by_name(qr).expect("query exists");
+    let index = BccIndex::build(graph);
+    let params = BccParams {
+        k1: index.coreness(ql),
+        k2: index.coreness(qr),
+        b,
+    };
+    LpBcc::default()
+        .search(graph, &BccQuery::pair(ql, qr), &params)
+        .expect("case-study community exists")
+}
+
+#[test]
+fn flight_community_matches_figure_11() {
+    let graph = bcc::datasets::flight_network(42);
+    let result = lp_search(&graph, "Toronto", "Frankfurt", 3);
+    // Figure 11(a): the 7 Canadian hubs and 6 German hubs, nothing else.
+    let expected = [
+        "Toronto", "Vancouver", "Montreal", "Calgary", "Ottawa", "Edmonton", "Winnipeg",
+        "Frankfurt", "Munich", "Duesseldorf", "Hamburg", "Stuttgart", "Westerland",
+    ];
+    assert_eq!(result.len(), expected.len());
+    for name in expected {
+        let v = graph.vertex_by_name(name).unwrap();
+        assert!(result.contains(&v), "{name} missing from the flight BCC");
+    }
+}
+
+#[test]
+fn flight_ctc_mixes_or_shrinks() {
+    // The contrast of Figure 11(b): CTC cannot recover both full hub cores.
+    let graph = bcc::datasets::flight_network(42);
+    let toronto = graph.vertex_by_name("Toronto").unwrap();
+    let frankfurt = graph.vertex_by_name("Frankfurt").unwrap();
+    let index = bcc::baselines::CtcIndex::build(&graph);
+    let ctc = CtcSearch::default()
+        .search(&graph, &index, &[toronto, frankfurt])
+        .unwrap();
+    assert!(ctc.len() < 13, "CTC should miss part of the 13-city community");
+}
+
+#[test]
+fn trade_community_contains_both_blocks() {
+    let graph = bcc::datasets::trade_network(42);
+    let result = lp_search(&graph, "United States", "China", 3);
+    for name in [
+        "United States", "China", "Japan", "Korea", "Mexico", "Canada", "Singapore",
+        "Hong Kong", "India",
+    ] {
+        let v = graph.vertex_by_name(name).unwrap();
+        assert!(result.contains(&v), "{name} missing from the trade BCC");
+    }
+    // Only the two queried continents appear (condition 1 of Def. 4).
+    let labels: std::collections::HashSet<_> =
+        result.community.iter().map(|&v| graph.label(v)).collect();
+    assert_eq!(labels.len(), 2);
+}
+
+#[test]
+fn fiction_community_matches_figure_13() {
+    let graph = bcc::datasets::fiction_network();
+    let result = lp_search(&graph, "Ron Weasley", "Draco Malfoy", 3);
+    // Figure 13(a): the 18-member cross-camp community.
+    let expected = [
+        "Harry Potter", "Ron Weasley", "Hermione Granger", "Albus Dumbledore",
+        "Ginny Weasley", "Fred Weasley", "George Weasley", "Bill Weasley",
+        "Charlie Weasley", "Arthur Weasley", "Molly Weasley",
+        "Lord Voldemort", "Draco Malfoy", "Lucius Malfoy", "Vincent Crabbe",
+        "Vincent Crabbe Sr.", "Gregory Goyle", "Bellatrix Lestrange",
+    ];
+    assert_eq!(result.len(), expected.len(), "{:?}", named(&graph, &result));
+    for name in expected {
+        let v = graph.vertex_by_name(name).unwrap();
+        assert!(result.contains(&v), "{name} missing from the fiction BCC");
+    }
+}
+
+#[test]
+fn fiction_ctc_finds_only_the_trio_clique() {
+    // Figure 13(b): CTC returns {Harry, Ron, Hermione} × {Draco, Crabbe,
+    // Goyle} and misses Lord Voldemort and the Weasley family.
+    let graph = bcc::datasets::fiction_network();
+    let ron = graph.vertex_by_name("Ron Weasley").unwrap();
+    let draco = graph.vertex_by_name("Draco Malfoy").unwrap();
+    let index = bcc::baselines::CtcIndex::build(&graph);
+    let ctc = CtcSearch::default().search(&graph, &index, &[ron, draco]).unwrap();
+    let names = named(&graph, &BccResult {
+        community: ctc.community.clone(),
+        query_distance: ctc.query_distance,
+        iterations: ctc.iterations,
+        leaders: Vec::new(),
+        stats: Default::default(),
+    });
+    assert_eq!(ctc.len(), 6, "{names:?}");
+    let voldemort = graph.vertex_by_name("Lord Voldemort").unwrap();
+    let molly = graph.vertex_by_name("Molly Weasley").unwrap();
+    assert!(!ctc.contains(&voldemort), "CTC famously misses Voldemort");
+    assert!(!ctc.contains(&molly), "CTC misses Ron's family");
+}
+
+#[test]
+fn academic_two_label_community_matches_figure_15a() {
+    let graph = bcc::datasets::academic_network(42);
+    let kraska = graph.vertex_by_name("Tim Kraska").unwrap();
+    let jordan = graph.vertex_by_name("Michael I. Jordan").unwrap();
+    let index = BccIndex::build(&graph);
+    let result = MultiLabelBcc::default()
+        .search(
+            &graph,
+            Some(&index),
+            &MbccQuery::new(vec![kraska, jordan]),
+            &MbccParams::uniform(2, 3, 3),
+        )
+        .expect("ML4DB community exists");
+    assert!(result.contains(&kraska) && result.contains(&jordan));
+    // Two fields only; the DB side is a 3-core.
+    let db_members = result
+        .community
+        .iter()
+        .filter(|&&v| graph.interner().name(graph.label(v)) == Some("Database"))
+        .count();
+    assert!(db_members >= 10, "DB group should be a sizable 3-core");
+}
+
+#[test]
+fn academic_three_label_community_matches_figure_15b() {
+    let graph = bcc::datasets::academic_network(42);
+    let queries: Vec<_> = ["Michael J. Franklin", "Michael I. Jordan", "Ion Stoica"]
+        .iter()
+        .map(|n| graph.vertex_by_name(n).unwrap())
+        .collect();
+    let index = BccIndex::build(&graph);
+    let result = MultiLabelBcc::default()
+        .search(
+            &graph,
+            Some(&index),
+            &MbccQuery::new(queries.clone()),
+            &MbccParams::uniform(3, 3, 3),
+        )
+        .expect("3-field community exists");
+    for q in &queries {
+        assert!(result.contains(q));
+    }
+    let fields: std::collections::HashSet<_> = result
+        .community
+        .iter()
+        .map(|&v| graph.interner().name(graph.label(v)).unwrap())
+        .collect();
+    assert_eq!(
+        fields,
+        ["Database", "Machine Learning", "Systems and Networking"]
+            .into_iter()
+            .collect()
+    );
+    // The paper: "The database group is a 3-core and there are 13 vertices".
+    let db_members = result
+        .community
+        .iter()
+        .filter(|&&v| graph.interner().name(graph.label(v)) == Some("Database"))
+        .count();
+    assert_eq!(db_members, 13);
+}
+
+fn named(graph: &bcc::graph::LabeledGraph, result: &BccResult) -> Vec<String> {
+    result.community.iter().map(|&v| graph.vertex_name(v)).collect()
+}

@@ -1,0 +1,305 @@
+//! Cross-crate integration tests: the full search pipeline on generated
+//! networks, validity of every method's answers, and the approximation
+//! property of Theorem 3.
+
+use bcc::prelude::*;
+
+fn planted(communities: usize, seed: u64) -> PlantedNetwork {
+    PlantedNetwork::generate(PlantedConfig {
+        communities,
+        community_size: (18, 36),
+        seed,
+        ..Default::default()
+    })
+}
+
+fn default_params(index: &BccIndex, q: &BccQuery) -> BccParams {
+    BccParams {
+        k1: index.coreness(q.ql),
+        k2: index.coreness(q.qr),
+        b: 1,
+    }
+}
+
+#[test]
+fn every_method_returns_valid_bccs_on_planted_networks() {
+    let net = planted(12, 101);
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        15,
+        bcc::datasets::QueryConstraints::default(),
+        3,
+    );
+    assert!(queries.len() >= 5, "workload too small: {}", queries.len());
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        for (name, result) in [
+            ("online", OnlineBcc::default().search(&net.graph, &pair, &params)),
+            ("lp", LpBcc::default().search(&net.graph, &pair, &params)),
+            ("l2p", L2pBcc::default().search(&net.graph, &index, &pair, &params)),
+        ] {
+            let result = result.unwrap_or_else(|e| panic!("{name} failed on {pair:?}: {e}"));
+            let view = GraphView::from_vertices(&net.graph, result.community.iter().copied());
+            assert!(
+                bcc::core::is_valid_bcc(&view, &pair, &params),
+                "{name} returned an invalid BCC for {pair:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn online_and_lp_produce_identical_answers() {
+    // LP's fast strategies change *how* the candidate is maintained, never
+    // the candidate itself — the peel order and answers must match exactly.
+    let net = planted(10, 55);
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        20,
+        bcc::datasets::QueryConstraints {
+            degree_rank: 0,
+            inter_distance: None,
+        },
+        9,
+    );
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        let online = OnlineBcc::default().search(&net.graph, &pair, &params);
+        let lp = LpBcc::default().search(&net.graph, &pair, &params);
+        match (online, lp) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.community, b.community, "answers diverged for {pair:?}");
+                assert_eq!(a.query_distance, b.query_distance);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("online = {a:?} but lp = {b:?} for {pair:?}"),
+        }
+    }
+}
+
+#[test]
+fn diameter_within_twice_query_distance() {
+    // Theorem 3's key inequality: diam(O) ≤ 2·dist_O(O, Q). Check the
+    // diameter of every returned community against its query distance
+    // measured inside the community.
+    let net = planted(10, 77);
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        10,
+        bcc::datasets::QueryConstraints::default(),
+        5,
+    );
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        if let Ok(result) = OnlineBcc::default().search(&net.graph, &pair, &params) {
+            let view = GraphView::from_vertices(&net.graph, result.community.iter().copied());
+            let qd = bcc::graph::traversal::QueryDistances::compute(
+                &view,
+                &[pair.ql, pair.qr],
+            )
+            .graph_query_distance(&view);
+            let diameter = bcc::graph::traversal::diameter_exact(&view);
+            assert!(
+                diameter <= 2 * qd,
+                "diam {diameter} > 2 × query distance {qd} for {pair:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bcc_beats_label_blind_baselines_on_cross_group_truth() {
+    // The headline Figure 4 claim at test scale: averaged F1 of LP-BCC
+    // exceeds both PSA and CTC on a planted cross-group network.
+    let net = planted(15, 202);
+    let index = BccIndex::build(&net.graph);
+    let ctc_index = CtcSearch::default();
+    let truss = bcc::baselines::CtcIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        25,
+        bcc::datasets::QueryConstraints::default(),
+        11,
+    );
+    let mut f1 = std::collections::HashMap::from([("bcc", 0.0), ("ctc", 0.0), ("psa", 0.0)]);
+    for q in &queries {
+        let truth = net.community(q.community);
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        if let Ok(r) = LpBcc::default().search(&net.graph, &pair, &params) {
+            *f1.get_mut("bcc").unwrap() += f1_score(&r.community, truth);
+        }
+        if let Ok(r) = ctc_index.search(&net.graph, &truss, &q.vertices) {
+            *f1.get_mut("ctc").unwrap() += f1_score(&r.community, truth);
+        }
+        if let Ok(r) = PsaSearch::default().search(&net.graph, &q.vertices) {
+            *f1.get_mut("psa").unwrap() += f1_score(&r.community, truth);
+        }
+    }
+    assert!(
+        f1["bcc"] > f1["ctc"],
+        "LP-BCC ({}) should beat CTC ({})",
+        f1["bcc"],
+        f1["ctc"]
+    );
+    assert!(
+        f1["bcc"] > f1["psa"] * 0.95,
+        "LP-BCC ({}) should be at least on par with PSA ({})",
+        f1["bcc"],
+        f1["psa"]
+    );
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_search_results() {
+    let net = planted(6, 31);
+    let mut buf = Vec::new();
+    bcc::graph::io::write_graph(&net.graph, &mut buf).unwrap();
+    let reloaded = bcc::graph::io::read_graph(&buf[..]).unwrap();
+    assert_eq!(reloaded.vertex_count(), net.graph.vertex_count());
+    assert_eq!(reloaded.edge_count(), net.graph.edge_count());
+
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        5,
+        bcc::datasets::QueryConstraints::default(),
+        1,
+    );
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        let original = OnlineBcc::default().search(&net.graph, &pair, &params);
+        let reread = OnlineBcc::default().search(&reloaded, &pair, &params);
+        match (original, reread) {
+            (Ok(a), Ok(b)) => assert_eq!(a.community, b.community),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("io roundtrip changed the result: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn mbcc_reduces_to_bcc_for_two_labels() {
+    let net = planted(8, 404);
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        8,
+        bcc::datasets::QueryConstraints::default(),
+        13,
+    );
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        let two = LpBcc::default().search(&net.graph, &pair, &params);
+        let multi = MultiLabelBcc::default().search(
+            &net.graph,
+            Some(&index),
+            &MbccQuery::new(q.vertices.clone()),
+            &bcc::core::MbccParams::new(vec![params.k1, params.k2], params.b),
+        );
+        match (two, multi) {
+            (Ok(a), Ok(b)) => assert_eq!(a.community, b.community),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("m=2 mBCC diverged from BCC: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn reported_leaders_certify_the_butterfly_condition() {
+    let net = planted(10, 606);
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        10,
+        bcc::datasets::QueryConstraints::default(),
+        21,
+    );
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        if let Ok(result) = LpBcc::default().search(&net.graph, &pair, &params) {
+            assert_eq!(result.leaders.len(), 2);
+            let view = GraphView::from_vertices(&net.graph, result.community.iter().copied());
+            let cross = BipartiteCross::new(
+                net.graph.label(pair.ql),
+                net.graph.label(pair.qr),
+            );
+            let counts = ButterflyCounts::compute(&view, cross);
+            for (leader, query_vertex) in result.leaders.iter().zip([pair.ql, pair.qr]) {
+                assert!(result.contains(leader), "leader must be a member");
+                assert_eq!(
+                    net.graph.label(*leader),
+                    net.graph.label(query_vertex),
+                    "leaders are reported in query-label order"
+                );
+                assert!(
+                    counts.chi(*leader) >= params.b,
+                    "leader χ = {} below b = {}",
+                    counts.chi(*leader),
+                    params.b
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mbcc_answers_are_valid_mbccs() {
+    let net = PlantedNetwork::generate(PlantedConfig {
+        communities: 8,
+        community_size: (30, 40),
+        groups_per_community: 3,
+        label_pool: 6,
+        seed: 777,
+        ..Default::default()
+    });
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::mbcc_queries(&net, 3, 8, 4);
+    assert!(!queries.is_empty());
+    for q in &queries {
+        let query = MbccQuery::new(q.vertices.clone());
+        let params = bcc::core::MbccParams {
+            ks: q.vertices.iter().map(|&v| index.coreness(v).max(1)).collect(),
+            b: 1,
+        };
+        if let Ok(result) = MultiLabelBcc::default().search(&net.graph, Some(&index), &query, &params) {
+            let view = GraphView::from_vertices(&net.graph, result.community.iter().copied());
+            assert!(
+                bcc::core::is_valid_mbcc(&view, &query, &params),
+                "invalid mBCC for {:?}",
+                q.vertices
+            );
+        }
+    }
+}
+
+#[test]
+fn search_stats_are_plausible() {
+    let net = planted(8, 909);
+    let index = BccIndex::build(&net.graph);
+    let queries = bcc::datasets::random_community_queries(
+        &net,
+        5,
+        bcc::datasets::QueryConstraints::default(),
+        17,
+    );
+    for q in &queries {
+        let pair = BccQuery::pair(q.vertices[0], q.vertices[1]);
+        let params = default_params(&index, &pair);
+        if let Ok(result) = LpBcc::default().search(&net.graph, &pair, &params) {
+            let stats: &SearchStats = &result.stats;
+            assert!(stats.butterfly_countings >= 1, "G0 always counts once");
+            assert!(stats.time_total >= stats.time_butterfly_counting);
+            assert_eq!(stats.iterations as usize, result.iterations);
+        }
+    }
+}
