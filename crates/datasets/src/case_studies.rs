@@ -405,7 +405,7 @@ pub fn academic_network(seed: u64) -> LabeledGraph {
         }
         // Occasional interdisciplinary edge into the anchor groups.
         if rng.gen_bool(0.3) {
-            let anchor = [db_group[6], ml_group[3], sys_group[3]][rng.gen_range(0..3)];
+            let anchor = [db_group[6], ml_group[3], sys_group[3]][rng.gen_range(0..3usize)];
             b.add_edge(vs[0], anchor);
         }
     }

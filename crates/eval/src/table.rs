@@ -3,10 +3,8 @@
 //! Every experiment binary prints one paper-style table to stdout and can
 //! serialize the same rows as JSON (used to assemble EXPERIMENTS.md).
 
-use serde::Serialize;
-
 /// A simple column-aligned table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table caption (e.g. "Figure 5: running time (s)").
     pub title: String,
@@ -41,10 +39,53 @@ impl Table {
         render_table(&self.title, &self.headers, &self.rows)
     }
 
-    /// Serializes to a JSON object string.
+    /// Serializes to a pretty-printed JSON object string. Hand-rolled
+    /// because this workspace builds without serde (see vendor/README.md);
+    /// the cells are plain strings, so escaping is the only subtlety.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"headers\": ");
+        out.push_str(&json_string_array(&self.headers));
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_string_array(row));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
+}
+
+/// JSON string literal with the escapes required by RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One-line JSON array of strings.
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Renders `headers` + `rows` as an aligned text table under `title`.

@@ -211,7 +211,7 @@ pub fn read_snap<R1: Read, R2: Read>(
     let mut builder = GraphBuilder::new();
     let mut dense: FxHashMap<u64, VertexId> = FxHashMap::default();
     let mut original: Vec<u64> = Vec::new();
-    let mut intern = |builder: &mut GraphBuilder,
+    let intern = |builder: &mut GraphBuilder,
                       dense: &mut FxHashMap<u64, VertexId>,
                       original: &mut Vec<u64>,
                       id: u64|

@@ -1,0 +1,97 @@
+//! Workspace-wiring smoke test: exercises the `examples/quickstart.rs` flow
+//! end-to-end **through the `bcc::prelude` facade re-exports only**, so a
+//! missing re-export or broken cross-crate wiring fails here even if the
+//! member crates' own tests still pass.
+
+use bcc::prelude::*;
+
+/// The quickstart graph: two dense 4-member teams plus a bridging butterfly
+/// between `{se0, se1}` and `{ui0, ui1}` (same construction as the crate
+/// docs of `src/lib.rs`).
+fn quickstart_graph() -> (LabeledGraph, Vec<VertexId>, Vec<VertexId>) {
+    let mut b = GraphBuilder::new();
+    let se: Vec<_> = (0..4).map(|_| b.add_vertex("SE")).collect();
+    let ui: Vec<_> = (0..4).map(|_| b.add_vertex("UI")).collect();
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.add_edge(se[i], se[j]);
+            b.add_edge(ui[i], ui[j]);
+        }
+    }
+    for &s in &se[..2] {
+        for &u in &ui[..2] {
+            b.add_edge(s, u);
+        }
+    }
+    (b.build(), se, ui)
+}
+
+#[test]
+fn quickstart_flow_end_to_end() {
+    let (g, se, ui) = quickstart_graph();
+    assert_eq!(g.vertex_count(), 8);
+
+    let params = BccParams::new(3, 3, 1);
+    let query = BccQuery::pair(se[0], ui[0]);
+    let result = OnlineBcc::default()
+        .search(&g, &query, &params)
+        .expect("the quickstart community exists");
+    assert!(!result.community.is_empty());
+    assert!(result.community.contains(&se[0]));
+    assert!(result.community.contains(&ui[0]));
+}
+
+#[test]
+fn facade_reexports_cover_the_full_pipeline() {
+    let (g, se, ui) = quickstart_graph();
+
+    // graph layer: views, labels, distances.
+    let view = GraphView::new(&g);
+    assert_eq!(g.label(se[0]), Label(0));
+    assert_eq!(g.label(ui[0]), Label(1));
+    assert!(bcc::graph::bfs_distances(&view, se[0])[ui[3].index()] < INF_DIST);
+
+    // cohesion layer: decompositions.
+    let coreness = core_decomposition(&view);
+    assert!(coreness.iter().all(|&c| c >= 3), "{coreness:?}");
+    let edge_index = bcc::cohesion::EdgeIndex::new(&g);
+    let trussness = truss_decomposition(&g, &edge_index);
+    assert!(!trussness.is_empty());
+
+    // butterfly layer: the bridging butterfly is counted.
+    let cross = BipartiteCross::new(g.label(se[0]), g.label(ui[0]));
+    let counts = ButterflyCounts::compute(&view, cross);
+    assert_eq!(counts.total(), 1);
+
+    // core layer: all three searchers through the prelude types.
+    let query = BccQuery::pair(se[0], ui[0]);
+    let params = BccParams::new(3, 3, 1);
+    let online = OnlineBcc::default().search(&g, &query, &params).unwrap();
+    let lp = LpBcc::default().search(&g, &query, &params).unwrap();
+    assert_eq!(online.community, lp.community);
+    let index = BccIndex::build(&g);
+    let l2p = L2pBcc::default().search(&g, &index, &query, &params).unwrap();
+    assert!(!l2p.community.is_empty());
+
+    // multi-label entry point and error type are reachable.
+    let mquery = MbccQuery::new(vec![se[0], ui[0]]);
+    let mparams = bcc::core::MbccParams::auto(&g, &mquery);
+    let mresult = MultiLabelBcc::default().search(&g, Some(&index), &mquery, &mparams);
+    assert!(
+        !matches!(mresult, Err(SearchError::QueryOutOfRange(_))),
+        "in-range query misreported"
+    );
+
+    // baselines + eval layers.
+    let psa = PsaSearch::default().search(&g, &[se[0], ui[0]]).unwrap();
+    assert!(f1_score(&psa.community, &online.community) > 0.0);
+    let _ = (CtcSearch::default(), AcqSearch::default(), SearchStats::default());
+
+    // datasets layer: a tiny planted network builds and yields queries.
+    let net = PlantedNetwork::generate(PlantedConfig {
+        communities: 2,
+        community_size: (8, 10),
+        ..Default::default()
+    });
+    assert!(net.graph.vertex_count() >= 16);
+}

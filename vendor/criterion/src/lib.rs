@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate (this workspace builds with no
+//! network access; see `vendor/README.md`). Implements the API shape the
+//! benches use — [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`black_box`], `criterion_group!`/`criterion_main!` — over a simple
+//! median-of-samples wall-clock harness. No statistics, plots, or baselines;
+//! swap the path dependency for real criterion to get them back.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Per-sample duration of one iteration (timed-batch total ÷ batch).
+    samples: Vec<Duration>,
+    /// Iterations per timed batch; 0 until calibrated by the first sample.
+    batch: u32,
+}
+
+/// A timed batch must span at least this long so per-iteration times are
+/// not quantized to `Instant` granularity.
+const MIN_BATCH_TIME: Duration = Duration::from_micros(200);
+
+impl Bencher {
+    /// Times `f` over a calibrated batch of iterations per sample,
+    /// recording the mean per-iteration duration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.batch == 0 {
+            // First sample calibrates: warm up once, then grow the batch
+            // until it fills MIN_BATCH_TIME.
+            black_box(f());
+            let mut batch = 1u32;
+            loop {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= MIN_BATCH_TIME || batch >= u32::MAX / 2 {
+                    self.batch = batch;
+                    self.samples.push(elapsed / batch);
+                    return;
+                }
+                batch *= 2;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed() / self.batch);
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        batch: 0,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench: {label:<60} median {median:>12.2?} ({} samples × {} iters)",
+        bencher.samples.len(),
+        bencher.batch.max(1)
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        // A closure slow enough that calibration settles on a small batch.
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::thread::sleep(std::time::Duration::from_micros(250));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // 1 warm-up + 1-iteration calibration batch + 2 more samples.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `rand_chacha` crate (this workspace builds with
+//! no network access; see `vendor/README.md`). [`ChaCha8Rng`] runs a genuine
+//! ChaCha block function with 8 rounds, so output quality matches the real
+//! generator; the word stream is not guaranteed bit-identical to upstream
+//! `rand_chacha` (nothing in the workspace depends on that).
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Constants ‖ 8 key words ‖ 64-bit block counter ‖ 64-bit stream id.
+    state: [u32; 16],
+    /// Current 16-word output block.
+    buffer: [u32; 16],
+    /// Next unread index into `buffer` (16 = exhausted).
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // One double round = column round + diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&mixed, &initial)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = mixed.wrapping_add(initial);
+        }
+        // Advance the 64-bit block counter (words 12–13).
+        let counter = ((self.state[13] as u64) << 32 | self.state[12] as u64).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Counter and stream id start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Coarse sanity check: mean of 4096 unit samples near 0.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 4096;
+        let sum: f64 = (0..n)
+            .map(|_| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_works_through_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let counts = (0..1000).fold([0usize; 5], |mut acc, _| {
+            acc[rng.gen_range(0..5usize)] += 1;
+            acc
+        });
+        assert!(counts.iter().all(|&c| c > 100), "{counts:?}");
+    }
+}

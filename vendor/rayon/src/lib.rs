@@ -1,0 +1,53 @@
+//! Offline stand-in for the `rayon` crate (this workspace builds with no
+//! network access; see `vendor/README.md`). `par_iter()` returns a plain
+//! sequential iterator, so the downstream `.map(..).collect()` chains
+//! compile and run unchanged — serially. Swap this path dependency for real
+//! rayon to restore parallelism; no call sites change.
+
+pub mod iter {
+    //! Parallel-iterator entry points (sequential here).
+
+    /// `&self → par_iter()`, mirroring rayon's trait of the same name.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+
+        /// Iterates the collection; in this shim, sequentially.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_maps_and_collects() {
+        let xs = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let slice: &[u32] = &xs;
+        assert_eq!(slice.par_iter().sum::<u32>(), 6);
+    }
+}
