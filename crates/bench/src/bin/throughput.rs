@@ -1,0 +1,180 @@
+//! Serving throughput: queries/sec through `bcc-service` at 1, 2, and N
+//! workers, cold cache vs warm cache, on the planted DBLP-style network.
+//!
+//! ```text
+//! cargo run --release -p bcc-bench --bin throughput -- \
+//!     [--scale 0.3] [--queries 24] [--repeat 3] [--out throughput.json]
+//! ```
+//!
+//! Each cell replays the same request batch; "cold" is a fresh service
+//! (first batch, all misses), "warm" re-runs the identical batch on the
+//! now-populated cache. The binary also *verifies* the serving invariants
+//! (results byte-identical across worker counts; warm batches 100% cache
+//! hits; N-worker warm throughput > 1-worker cold throughput) and exits
+//! non-zero if any fails, so CI can gate on it while uploading the JSON
+//! summary as an artifact.
+
+use std::time::Instant;
+
+use bcc_bench::Args;
+use bcc_datasets::{queries, QueryConstraints};
+use bcc_eval::Table;
+use bcc_service::{BccService, ServiceConfig};
+
+struct Cell {
+    workers: usize,
+    cold_qps: f64,
+    warm_qps: f64,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", 0.3f64);
+    let query_count = args.get("queries", 24usize);
+    let repeat = args.get("repeat", 3usize).max(1);
+    let out = args.get("out", String::new());
+    let out_path = (!out.is_empty()).then_some(out);
+
+    let spec = bcc_datasets::dblp(scale);
+    let net = spec.build();
+    eprintln!(
+        "planted {} x{scale}: {} vertices, {} edges",
+        spec.name,
+        net.graph.vertex_count(),
+        net.graph.edge_count()
+    );
+
+    // A deterministic workload of distinct query pairs across the three
+    // methods (l2p included: the index build is part of the cold cost).
+    let qs = queries::random_community_queries(
+        &net,
+        query_count,
+        QueryConstraints { degree_rank: 0, inter_distance: None },
+        0xBCC,
+    );
+    assert!(!qs.is_empty(), "no queries generated — raise --scale");
+    let mut seen = std::collections::HashSet::new();
+    let lines: Vec<String> = qs
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| {
+            let (a, b) = (q.vertices[0].0, q.vertices[1].0);
+            seen.insert((a.min(b), a.max(b)))
+        })
+        .map(|(i, q)| {
+            let method = ["lp", "online", "l2p"][i % 3];
+            format!(
+                "search ql={} qr={} method={method}",
+                q.vertices[0].0, q.vertices[1].0
+            )
+        })
+        .collect();
+    eprintln!("workload: {} distinct query lines, {repeat} repeats per cell", lines.len());
+
+    let n = bcc_service::default_workers();
+    let mut worker_counts = vec![1usize, 2, n];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    let service_for = |workers: usize| {
+        BccService::with_graph(
+            ServiceConfig { workers, cache_capacity: 4096, ..Default::default() },
+            net.graph.clone(),
+        )
+    };
+
+    let mut cells = Vec::new();
+    let mut reference: Option<Vec<String>> = None;
+    for &workers in &worker_counts {
+        // Best-of-`repeat` on fresh services for cold, then warm replays on
+        // the last service (its cache is now populated).
+        let mut cold_best = f64::INFINITY;
+        let mut service = None;
+        let mut responses = Vec::new();
+        for _ in 0..repeat {
+            let s = service_for(workers);
+            let started = Instant::now();
+            responses = s.run_batch(&lines);
+            cold_best = cold_best.min(started.elapsed().as_secs_f64());
+            service = Some(s);
+        }
+        let service = service.expect("repeat >= 1");
+
+        match &reference {
+            None => reference = Some(responses.clone()),
+            Some(reference) => assert_eq!(
+                reference, &responses,
+                "INVARIANT VIOLATED: answers differ between worker counts"
+            ),
+        }
+
+        let hits_before = service.stats().cache.hits;
+        let mut warm_best = f64::INFINITY;
+        for _ in 0..repeat {
+            let started = Instant::now();
+            let warm = service.run_batch(&lines);
+            warm_best = warm_best.min(started.elapsed().as_secs_f64());
+            assert_eq!(&warm, reference.as_ref().expect("set above"));
+        }
+        let warm_hits = service.stats().cache.hits - hits_before;
+        assert_eq!(
+            warm_hits,
+            (repeat * lines.len()) as u64,
+            "INVARIANT VIOLATED: warm batches must be 100% cache hits"
+        );
+
+        cells.push(Cell {
+            workers,
+            cold_qps: lines.len() as f64 / cold_best,
+            warm_qps: lines.len() as f64 / warm_best,
+            cold_ms: cold_best * 1e3,
+            warm_ms: warm_best * 1e3,
+        });
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Serving throughput (q/s), {} queries on {} x{scale}",
+            lines.len(),
+            spec.name
+        ),
+        vec![
+            "workers".into(),
+            "cold q/s".into(),
+            "warm q/s".into(),
+            "cold ms".into(),
+            "warm ms".into(),
+        ],
+    );
+    for cell in &cells {
+        table.push_row(vec![
+            cell.workers.to_string(),
+            format!("{:.0}", cell.cold_qps),
+            format!("{:.0}", cell.warm_qps),
+            format!("{:.2}", cell.cold_ms),
+            format!("{:.2}", cell.warm_ms),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let single_cold = cells.first().expect("at least one cell").cold_qps;
+    let last = cells.last().expect("at least one cell");
+    let (max_workers, multi_warm) = (last.workers, last.warm_qps);
+    assert!(
+        multi_warm > single_cold,
+        "INVARIANT VIOLATED: {max_workers}-worker warm throughput ({multi_warm:.0} q/s) \
+         must beat 1-worker cold throughput ({single_cold:.0} q/s)"
+    );
+    println!(
+        "speedup: {max_workers}-worker warm {multi_warm:.0} q/s vs 1-worker cold \
+         {single_cold:.0} q/s ({:.1}x)",
+        multi_warm / single_cold
+    );
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, table.to_json()).expect("write JSON summary");
+        eprintln!("wrote JSON summary to {path}");
+    }
+}

@@ -3,18 +3,26 @@
 //! ```text
 //! bcc stats    <graph-file>
 //! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
-//! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N]
+//! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N] [--method online|lp|l2p]
+//! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME]
+//! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME]
 //! bcc generate <output-file> [--network baidu1|baidu2|amazon|dblp|youtube|livejournal|orkut] [--scale F]
 //! bcc case     <flight|trade|fiction|academic> [--out FILE]
 //! ```
 //!
 //! Graph files use the `bcc-graph` text format (`v <id> <label> [name]` /
-//! `e <u> <v>` lines).
+//! `e <u> <v>` lines). `serve` reads request lines from stdin and prints one
+//! JSON result line each (see `bcc-service` for the protocol); `batch` runs
+//! a file of request lines concurrently across the worker pool.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use bcc_core::{BccIndex, BccParams, BccQuery, LpBcc, MbccParams, MbccQuery, MultiLabelBcc};
+use bcc_core::{
+    BccIndex, BccParams, BccQuery, LpBcc, MbccParams, MbccQuery, MultiLabelBcc, MultiStrategy,
+};
 use bcc_graph::{GraphView, LabeledGraph, VertexId};
+use bcc_service::{BccService, ServiceConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,9 +46,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   bcc stats    <graph-file>
   bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
-  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N]
+  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p]
+  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME]
+  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
-  bcc case     <flight|trade|fiction|academic> [--out FILE]";
+  bcc case     <flight|trade|fiction|academic> [--out FILE]
+
+serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
+`msearch q=<v>,<v>,...` / `stats` / `graphs` / `quit` lines from stdin and
+prints one JSON result line per request; batch runs a file of such lines
+concurrently and prints results in input order.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -48,6 +63,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => stats(args),
         "search" => search(args),
         "msearch" => msearch(args),
+        "serve" => serve(args),
+        "batch" => batch(args),
         "generate" => generate(args),
         "case" => case(args),
         other => Err(format!("unknown command `{other}`")),
@@ -125,15 +142,27 @@ fn search(args: &[String]) -> Result<(), String> {
         graph.vertex_name(ql),
         graph.vertex_name(qr)
     );
+    // The BCindex is consulted only by l2p: build it lazily in that arm so
+    // online/lp pay nothing, and report its (offline, amortizable) build
+    // time separately from the search itself.
+    let search_started = Instant::now();
     let result = match method {
         "online" => bcc_core::OnlineBcc::default().search(&graph, &query, &params),
         "lp" => LpBcc::default().search(&graph, &query, &params),
         "l2p" => {
+            let index_started = Instant::now();
             let index = BccIndex::build(&graph);
-            bcc_core::L2pBcc::default().search(&graph, &index, &query, &params)
+            println!("index build   : {:?}", index_started.elapsed());
+            let search_started = Instant::now();
+            let result = bcc_core::L2pBcc::default().search(&graph, &index, &query, &params);
+            println!("search time   : {:?}", search_started.elapsed());
+            result
         }
         other => return Err(format!("unknown method `{other}`")),
     };
+    if method != "l2p" {
+        println!("search time   : {:?}", search_started.elapsed());
+    }
     match result {
         Ok(result) => {
             println!(
@@ -172,8 +201,31 @@ fn msearch(args: &[String]) -> Result<(), String> {
     if let Some(b) = flag_value(args, "--b") {
         params.b = b.parse().map_err(|_| "--b must be an integer")?;
     }
-    let searcher = MultiLabelBcc::default();
-    match searcher.search(&graph, None, &query, &params) {
+    let method = flag_value(args, "--method").unwrap_or("lp");
+    // One source of truth for the token → strategy mapping (including the
+    // Local eta/weights defaults): the service's Method.
+    let strategy = match method {
+        "online" => bcc_service::Method::Online.multi_strategy(),
+        "lp" => bcc_service::Method::Lp.multi_strategy(),
+        "l2p" => bcc_service::Method::L2p.multi_strategy(),
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    // As in `search`: only the local (l2p) strategy reads the BCindex, so
+    // it alone pays the build, reported separately from the search.
+    let index = match strategy {
+        MultiStrategy::Local { .. } => {
+            let index_started = Instant::now();
+            let index = BccIndex::build(&graph);
+            println!("index build   : {:?}", index_started.elapsed());
+            Some(index)
+        }
+        _ => None,
+    };
+    let searcher = MultiLabelBcc::with_strategy(strategy);
+    let search_started = Instant::now();
+    let result = searcher.search(&graph, index.as_ref(), &query, &params);
+    println!("search time   : {:?}", search_started.elapsed());
+    match result {
         Ok(result) => {
             println!(
                 "mBCC community of {} members (m = {}):",
@@ -191,6 +243,86 @@ fn msearch(args: &[String]) -> Result<(), String> {
         }
         Err(e) => Err(e.to_string()),
     }
+}
+
+/// Shared setup for `serve`/`batch`: load the graph file and start a
+/// service with it registered under `--name` (default: the file stem).
+fn start_service(args: &[String]) -> Result<BccService, String> {
+    let path = args.get(1).ok_or("missing graph file")?;
+    let graph = bcc_graph::io::read_graph_file(path).map_err(|e| e.to_string())?;
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("default")
+        .to_string();
+    let config = ServiceConfig {
+        workers: flag_value(args, "--workers")
+            .map(|w| w.parse().map_err(|_| "--workers must be an integer"))
+            .transpose()?
+            .unwrap_or(0),
+        cache_capacity: flag_value(args, "--cache")
+            .map(|c| c.parse().map_err(|_| "--cache must be an integer"))
+            .transpose()?
+            .unwrap_or(4096),
+        default_timeout_ms: None,
+        default_graph: flag_value(args, "--name").unwrap_or(&stem).to_string(),
+    };
+    let service = BccService::with_graph(config, graph);
+    // Banner on stderr: stdout carries only protocol responses.
+    let entry = service
+        .registry()
+        .get(&service.config().default_graph)
+        .expect("default graph was just registered");
+    eprintln!(
+        "serving `{}` ({} vertices, {} edges, {} labels) with {} workers, cache {}",
+        entry.name(),
+        entry.graph().vertex_count(),
+        entry.graph().edge_count(),
+        entry.graph().label_count(),
+        service.workers(),
+        service.config().cache_capacity,
+    );
+    Ok(service)
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let service = start_service(args)?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    service
+        .run_session(stdin.lock(), stdout.lock())
+        .map_err(|e| e.to_string())
+}
+
+fn batch(args: &[String]) -> Result<(), String> {
+    let queries_path = args.get(2).ok_or("missing queries file")?;
+    let lines: Vec<String> = std::fs::read_to_string(queries_path)
+        .map_err(|e| format!("{queries_path}: {e}"))?
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let service = start_service(args)?;
+    let started = Instant::now();
+    let responses = service.run_batch(&lines);
+    let elapsed = started.elapsed();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    use std::io::Write as _;
+    for line in &responses {
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    let stats = service.stats();
+    eprintln!(
+        "{} responses in {:?} ({:.0} q/s); cache hits {}, misses {}, searches {}",
+        responses.len(),
+        elapsed,
+        responses.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.searches_executed,
+    );
+    Ok(())
 }
 
 fn generate(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,133 @@
+//! End-to-end test of `bcc serve` and `bcc batch`: spawn the real binary,
+//! drive a scripted stdin session, and check the response lines.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_bcc");
+
+/// Writes a small two-clique butterfly graph file and returns its path.
+fn graph_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut b = bcc_graph::GraphBuilder::new();
+    let l: Vec<_> = (0..4).map(|i| b.add_named_vertex(&format!("l{i}"), "L")).collect();
+    let r: Vec<_> = (0..4).map(|i| b.add_named_vertex(&format!("r{i}"), "R")).collect();
+    for grp in [&l, &r] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(grp[i], grp[j]);
+            }
+        }
+    }
+    for &x in &l[..2] {
+        for &y in &r[..2] {
+            b.add_edge(x, y);
+        }
+    }
+    let path = dir.join("butterfly.g");
+    bcc_graph::io::write_graph_file(&b.build(), &path).expect("write graph file");
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcc-serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn scripted_serve_session_end_to_end() {
+    let dir = temp_dir("serve");
+    let graph = graph_file(&dir);
+
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg(&graph)
+        .args(["--workers", "2", "--name", "demo"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn bcc serve");
+
+    let script = "# scripted session\n\
+                  search ql=l0 qr=r0\n\
+                  search ql=r0 qr=l0\n\
+                  msearch q=l0,r0 k=3\n\
+                  not a request\n\
+                  search ql=nobody qr=r0\n\
+                  stats\n\
+                  quit\n\
+                  search ql=l1 qr=r1\n";
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let output = child.wait_with_output().expect("session completes");
+    assert!(output.status.success(), "serve exited with {:?}", output.status);
+
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        6,
+        "comment is silent, quit ends the session before the last query:\n{stdout}"
+    );
+    assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+    assert!(lines[0].contains("\"graph\":\"demo\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"size\":8"), "{}", lines[0]);
+    assert_eq!(
+        lines[0].split("\"community\"").nth(1),
+        lines[1].split("\"community\"").nth(1),
+        "symmetric query serves the identical community"
+    );
+    assert!(lines[2].contains("\"ok\":true"), "msearch: {}", lines[2]);
+    assert!(lines[3].contains("\"error\":\"parse\""), "{}", lines[3]);
+    assert!(lines[4].contains("\"error\":\"resolve\""), "{}", lines[4]);
+    assert!(lines[5].contains("\"cache_hits\":1"), "stats line: {}", lines[5]);
+
+    let stderr = String::from_utf8(output.stderr).expect("utf8 stderr");
+    assert!(
+        stderr.contains("serving `demo` (8 vertices"),
+        "banner goes to stderr: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_runs_a_query_file_in_order() {
+    let dir = temp_dir("batch");
+    let graph = graph_file(&dir);
+    let queries = dir.join("queries.txt");
+    std::fs::write(
+        &queries,
+        "search ql=l0 qr=r0\nsearch ql=l0 qr=r0 method=online\nbroken\n",
+    )
+    .expect("write queries");
+
+    let run = |workers: &str| {
+        let output = Command::new(BIN)
+            .arg("batch")
+            .arg(&graph)
+            .arg(&queries)
+            .args(["--workers", workers])
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run bcc batch");
+        assert!(output.status.success());
+        String::from_utf8(output.stdout).expect("utf8")
+    };
+
+    let single = run("1");
+    let lines: Vec<&str> = single.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"method\":\"lp\""));
+    assert!(lines[1].contains("\"method\":\"online\""));
+    assert!(lines[2].contains("\"error\":\"parse\""));
+    // Worker count never changes the bytes.
+    assert_eq!(single, run("4"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,83 @@
+//! Thread-safety audit for the serving layer (`bcc-service`).
+//!
+//! The worker pool shares one immutable snapshot — `LabeledGraph` +
+//! `BccIndex` behind `Arc` — across threads and moves searchers, queries,
+//! and results between them. Everything it touches must therefore be
+//! `Send + Sync` (the searchers are `Copy` configuration structs and the
+//! graph/index are plain owned buffers; this test pins that down so an
+//! `Rc`/`Cell` can never silently regress it).
+
+use bcc_core::{
+    BccIndex, BccParams, BccQuery, BccResult, L2pBcc, LpBcc, MbccParams, MbccQuery,
+    MultiLabelBcc, OnlineBcc, SearchError, SearchStats,
+};
+use bcc_graph::{GraphBuilder, LabeledGraph};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn shared_snapshot_types_are_send_sync() {
+    assert_send_sync::<LabeledGraph>();
+    assert_send_sync::<BccIndex>();
+}
+
+#[test]
+fn searcher_and_model_types_are_send_sync() {
+    assert_send_sync::<OnlineBcc>();
+    assert_send_sync::<LpBcc>();
+    assert_send_sync::<L2pBcc>();
+    assert_send_sync::<MultiLabelBcc>();
+    assert_send_sync::<BccQuery>();
+    assert_send_sync::<BccParams>();
+    assert_send_sync::<MbccQuery>();
+    assert_send_sync::<MbccParams>();
+    assert_send_sync::<BccResult>();
+    assert_send_sync::<SearchStats>();
+    assert_send_sync::<SearchError>();
+}
+
+/// The sharing pattern the pool relies on, in miniature: one graph + index
+/// behind `Arc`, many threads searching concurrently, results sent back.
+#[test]
+fn concurrent_searches_on_one_snapshot_agree() {
+    let mut b = GraphBuilder::new();
+    let l: Vec<_> = (0..4).map(|_| b.add_vertex("L")).collect();
+    let r: Vec<_> = (0..4).map(|_| b.add_vertex("R")).collect();
+    for grp in [&l, &r] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(grp[i], grp[j]);
+            }
+        }
+    }
+    for &x in &l[..2] {
+        for &y in &r[..2] {
+            b.add_edge(x, y);
+        }
+    }
+    let graph = b.build();
+    let index = BccIndex::build(&graph);
+    let snapshot = std::sync::Arc::new((graph, index));
+
+    let query = BccQuery::pair(l[0], r[0]);
+    let params = BccParams::new(3, 3, 1);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let snapshot = std::sync::Arc::clone(&snapshot);
+            std::thread::spawn(move || {
+                let (graph, index) = &*snapshot;
+                let result = if i % 2 == 0 {
+                    LpBcc::default().search(graph, &query, &params).unwrap()
+                } else {
+                    L2pBcc::default().search(graph, index, &query, &params).unwrap()
+                };
+                result.community
+            })
+        })
+        .collect();
+    let communities: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        communities.windows(2).all(|w| w[0] == w[1]),
+        "every thread sees the same snapshot and computes the same answer"
+    );
+}

@@ -1,0 +1,255 @@
+//! An LRU result cache with hit/miss/eviction counters.
+//!
+//! The serving layer keys entries by the *normalized* query (see
+//! [`crate::request`]), so symmetric requests — `{q_l, q_r}` vs
+//! `{q_r, q_l}` with the core parameters swapped accordingly — share one
+//! slot. The cache is a plain single-threaded structure; [`crate::service`]
+//! wraps it in a `Mutex`, which is ample because entries are small (the
+//! expensive part, the search, happens outside the lock).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel for "no node" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Monotonic counters exposed through [`crate::service::ServiceStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted (including overwrites of an existing key).
+    pub insertions: u64,
+}
+
+/// A fixed-capacity least-recently-used map.
+///
+/// `get` refreshes recency; `insert` evicts the least recently used entry
+/// once `capacity` is exceeded. A capacity of 0 disables caching (every
+/// lookup is a miss, every insert a no-op).
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    counters: CacheCounters,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks `key` up, refreshing its recency and counting a hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.counters.hits += 1;
+                self.detach(idx);
+                self.push_front(idx);
+                Some(&self.nodes[idx].value)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks for `key` without touching recency or counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.nodes[idx].value)
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the LRU entry on overflow.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            self.counters.insertions += 1;
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.nodes[lru].key);
+            self.free.push(lru);
+            self.counters.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Node { key: key.clone(), value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.nodes.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.counters.insertions += 1;
+    }
+
+    /// Drops every entry (counters are preserved — they are lifetime
+    /// totals).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    /// Links `idx` as the most recently used entry.
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_eviction_counters() {
+        let mut cache: LruCache<u32, &str> = LruCache::new(2);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, "one");
+        cache.insert(2, "two");
+        assert_eq!(cache.get(&1), Some(&"one"));
+        cache.insert(3, "three"); // evicts 2 (LRU after the get refreshed 1)
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.get(&3), Some(&"three"));
+        let c = cache.counters();
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.insertions, 3);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_refreshes_without_eviction() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // overwrite → 1 becomes MRU, nothing evicted
+        cache.insert(3, 30); // evicts 2
+        assert_eq!(cache.peek(&1), Some(&11));
+        assert!(cache.peek(&2).is_none());
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_is_exact() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..3 {
+            cache.insert(i, i);
+        }
+        cache.get(&0); // order (MRU→LRU): 0, 2, 1
+        cache.insert(3, 3); // evicts 1
+        cache.insert(4, 4); // evicts 2
+        assert!(cache.peek(&1).is_none());
+        assert!(cache.peek(&2).is_none());
+        assert!(cache.peek(&0).is_some());
+        assert!(cache.peek(&3).is_some());
+        assert!(cache.peek(&4).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 1);
+        assert!(cache.get(&1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.counters().insertions, 0);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        for i in 0..100 {
+            cache.insert(i, i);
+        }
+        // Only 2 live entries and at most 3 allocated nodes ever.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.nodes.len() <= 3);
+        assert_eq!(cache.counters().evictions, 98);
+        assert_eq!(cache.peek(&99), Some(&99));
+        assert_eq!(cache.peek(&98), Some(&98));
+    }
+}

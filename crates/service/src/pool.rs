@@ -1,0 +1,240 @@
+//! A std::thread worker pool with submit/wait tickets and deadlines.
+//!
+//! No external dependencies: a `Mutex<VecDeque>` job queue, a `Condvar` to
+//! park idle workers, and an `mpsc` channel per submitted job to hand the
+//! result back. Searches are CPU-bound and non-blocking, so N = available
+//! hardware parallelism is the right default.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    executed: AtomicU64,
+}
+
+/// A fixed-size pool of worker threads executing submitted closures.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (0 ⇒ [`default_workers`]).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 { default_workers() } else { workers };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+            executed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bcc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs executed so far (lifetime total).
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut queue = self.shared.queue.lock().unwrap();
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Enqueues `f` and returns a [`Ticket`] for its result.
+    pub fn submit<T, F>(&self, f: F) -> Ticket<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.execute(move || {
+            // The receiver may have given up (deadline expired); a failed
+            // send is fine — the work still ran for its side effects
+            // (e.g. populating the result cache).
+            let _ = tx.send(f());
+        });
+        Ticket { rx }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).unwrap();
+            }
+        };
+        job();
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The pool's default width: one worker per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Why [`Ticket::wait_until`] returned no value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitError {
+    /// The deadline passed before the job finished (the job keeps running).
+    DeadlineExpired,
+    /// The job's sender vanished without a value (worker panicked).
+    Lost,
+}
+
+/// A handle to one submitted job's eventual result.
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the job finishes. `None` if the worker panicked.
+    pub fn wait(self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks until the job finishes or `deadline` passes.
+    pub fn wait_until(self, deadline: Option<Instant>) -> Result<T, WaitError> {
+        match deadline {
+            None => self.rx.recv().map_err(|_| WaitError::Lost),
+            Some(deadline) => loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    // One last non-blocking look so an already-delivered
+                    // result is not discarded.
+                    return match self.rx.try_recv() {
+                        Ok(value) => Ok(value),
+                        Err(_) => Err(WaitError::DeadlineExpired),
+                    };
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(value) => return Ok(value),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return Err(WaitError::Lost),
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<_> = (0..64)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    i * 2
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(pool.executed(), 64);
+    }
+
+    #[test]
+    fn deadline_expires_on_slow_job() {
+        let pool = WorkerPool::new(1);
+        // Occupy the single worker so the probe job cannot start.
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        pool.execute(move || {
+            let _ = hold_rx.recv_timeout(Duration::from_secs(5));
+        });
+        let ticket = pool.submit(|| 42);
+        let deadline = Some(Instant::now() + Duration::from_millis(30));
+        assert_eq!(ticket.wait_until(deadline), Err(WaitError::DeadlineExpired));
+        hold_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn deadline_met_returns_value() {
+        let pool = WorkerPool::new(2);
+        let ticket = pool.submit(|| "done");
+        let deadline = Some(Instant::now() + Duration::from_secs(5));
+        assert_eq!(ticket.wait_until(deadline), Ok("done"));
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // Workers drain the queue before observing shutdown, so every
+        // accepted job runs even when the pool is dropped immediately.
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn zero_width_defaults_to_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.workers() >= 1);
+    }
+}

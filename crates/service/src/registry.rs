@@ -1,0 +1,220 @@
+//! The graph registry: named, immutable graph snapshots shared via `Arc`.
+//!
+//! This is the offline half of the paper's offline/online split: a graph is
+//! loaded (or generated) once, its `BccIndex` (Section 6.3) is built at
+//! most once — lazily, on the first request that needs coreness defaults or
+//! runs L2P — and every worker thread then reads the same snapshot with no
+//! locking on the query path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use bcc_core::BccIndex;
+use bcc_graph::LabeledGraph;
+
+/// A `BccIndex` plus the wall time its one-off build took.
+#[derive(Clone, Debug)]
+pub struct BuiltIndex {
+    /// The offline index (label coreness + butterfly degrees).
+    pub index: BccIndex,
+    /// How long `BccIndex::build` ran.
+    pub build_time: Duration,
+}
+
+/// Process-wide snapshot id source: every `GraphEntry` gets a distinct
+/// generation, so cached results can never outlive the snapshot that
+/// produced them (re-registering a name yields a new generation and the
+/// old entries simply stop matching, aging out of the LRU).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// One registered graph: the immutable `LabeledGraph` plus its lazily built
+/// index. Cheap to share (`Arc<GraphEntry>`) across worker threads.
+#[derive(Debug)]
+pub struct GraphEntry {
+    name: String,
+    generation: u64,
+    graph: LabeledGraph,
+    index: OnceLock<BuiltIndex>,
+}
+
+impl GraphEntry {
+    /// Wraps `graph` under `name` (index unbuilt).
+    pub fn new(name: impl Into<String>, graph: LabeledGraph) -> Self {
+        GraphEntry {
+            name: name.into(),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            graph,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process-unique snapshot id (part of every cache key).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The shared immutable graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// The index, building it on first use. Concurrent first callers may
+    /// race the build; `OnceLock` keeps exactly one winner and the losers'
+    /// work is discarded (bounded by one redundant build per graph).
+    pub fn index(&self) -> &BuiltIndex {
+        self.index.get_or_init(|| {
+            let started = Instant::now();
+            let index = BccIndex::build(&self.graph);
+            BuiltIndex { index, build_time: started.elapsed() }
+        })
+    }
+
+    /// The index if some request already forced its build.
+    pub fn index_if_built(&self) -> Option<&BuiltIndex> {
+        self.index.get()
+    }
+}
+
+/// A named collection of [`GraphEntry`]s behind a `RwLock` — writes happen
+/// only at registration time, reads are a brief map lookup per request.
+#[derive(Default)]
+pub struct GraphRegistry {
+    graphs: RwLock<HashMap<String, Arc<GraphEntry>>>,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        GraphRegistry::default()
+    }
+
+    /// Registers `graph` under `name`, replacing any previous entry with
+    /// that name (in-flight requests keep their `Arc` to the old snapshot).
+    pub fn insert(&self, name: impl Into<String>, graph: LabeledGraph) -> Arc<GraphEntry> {
+        let name = name.into();
+        let entry = Arc::new(GraphEntry::new(name.clone(), graph));
+        self.graphs
+            .write()
+            .unwrap()
+            .insert(name, Arc::clone(&entry));
+        entry
+    }
+
+    /// Reads a graph file (`bcc-graph` text format) and registers it.
+    pub fn load_file(
+        &self,
+        name: impl Into<String>,
+        path: &str,
+    ) -> Result<Arc<GraphEntry>, String> {
+        let graph = bcc_graph::io::read_graph_file(path).map_err(|e| e.to_string())?;
+        Ok(self.insert(name, graph))
+    }
+
+    /// Generates one of the named paper networks and registers it.
+    pub fn generate(
+        &self,
+        name: impl Into<String>,
+        network: &str,
+        scale: f64,
+    ) -> Result<Arc<GraphEntry>, String> {
+        let spec = match network {
+            "baidu1" => bcc_datasets::baidu1(scale),
+            "baidu2" => bcc_datasets::baidu2(scale),
+            "amazon" => bcc_datasets::amazon(scale),
+            "dblp" => bcc_datasets::dblp(scale),
+            "youtube" => bcc_datasets::youtube(scale),
+            "livejournal" => bcc_datasets::livejournal(scale),
+            "orkut" => bcc_datasets::orkut(scale),
+            other => return Err(format!("unknown network `{other}`")),
+        };
+        Ok(self.insert(name, spec.build().graph))
+    }
+
+    /// The entry registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.graphs.read().unwrap().get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.graphs.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().unwrap().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.read().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    fn tiny_graph() -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex("A");
+        let y = b.add_vertex("B");
+        b.add_edge(x, y);
+        b.build()
+    }
+
+    #[test]
+    fn insert_get_names() {
+        let reg = GraphRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert("g1", tiny_graph());
+        reg.insert("g2", tiny_graph());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["g1".to_string(), "g2".to_string()]);
+        assert_eq!(reg.get("g1").unwrap().graph().vertex_count(), 2);
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn index_is_lazy_and_cached() {
+        let reg = GraphRegistry::new();
+        let entry = reg.insert("g", tiny_graph());
+        assert!(entry.index_if_built().is_none(), "index must not build eagerly");
+        let first = entry.index() as *const BuiltIndex;
+        let second = entry.index() as *const BuiltIndex;
+        assert_eq!(first, second, "index built exactly once");
+        assert!(entry.index_if_built().is_some());
+    }
+
+    #[test]
+    fn generate_registers_planted_networks() {
+        let reg = GraphRegistry::new();
+        let entry = reg.generate("d", "dblp", 0.05).unwrap();
+        assert!(entry.graph().vertex_count() > 0);
+        assert!(reg.generate("bad", "nope", 1.0).is_err());
+    }
+
+    #[test]
+    fn concurrent_index_builds_converge() {
+        let entry = Arc::new(GraphEntry::new("g", tiny_graph()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let entry = Arc::clone(&entry);
+            handles.push(std::thread::spawn(move || {
+                entry.index().index.delta_max
+            }));
+        }
+        let values: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,526 @@
+//! The line-oriented request protocol and its (panic-free) parser.
+//!
+//! One request per line, `key=value` tokens after the verb:
+//!
+//! ```text
+//! search  ql=<name|id> qr=<name|id> [k1=N] [k2=N] [b=N]
+//!         [method=online|lp|l2p] [graph=NAME] [timeout_ms=N]
+//! msearch q=<name|id>,<name|id>[,...] [k=N] [b=N]
+//!         [method=online|lp|l2p] [graph=NAME] [timeout_ms=N]
+//! stats
+//! graphs
+//! quit
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Every malformed line maps to a
+//! structured [`RequestError`] — the parser never panics (enforced by a
+//! property test fuzzing arbitrary byte soup).
+
+use bcc_core::MultiStrategy;
+use bcc_graph::VertexId;
+
+/// Which searcher executes a request. For multi-label requests the three
+/// variants map onto [`MultiStrategy`] (`Online`, `LeaderPair`, `Local`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Algorithm 1 (online greedy).
+    Online,
+    /// Algorithms 5–7 (leader pairs + fast distances). The default.
+    Lp,
+    /// Algorithm 8 (index-based local search) — forces the index build.
+    L2p,
+}
+
+impl Method {
+    /// Protocol token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Online => "online",
+            Method::Lp => "lp",
+            Method::L2p => "l2p",
+        }
+    }
+
+    /// The multi-label strategy this method selects.
+    pub fn multi_strategy(&self) -> MultiStrategy {
+        match self {
+            Method::Online => MultiStrategy::Online,
+            Method::Lp => MultiStrategy::LeaderPair,
+            Method::L2p => MultiStrategy::Local {
+                eta: 2048,
+                weights: Default::default(),
+            },
+        }
+    }
+
+    fn parse(token: &str) -> Result<Method, RequestError> {
+        match token {
+            "online" => Ok(Method::Online),
+            "lp" => Ok(Method::Lp),
+            "l2p" => Ok(Method::L2p),
+            other => Err(RequestError::parse(format!(
+                "unknown method `{other}` (expected online|lp|l2p)"
+            ))),
+        }
+    }
+}
+
+/// A parsed query request: the two-label pair form or the m-label form.
+/// Vertex tokens stay unresolved strings — resolution needs the graph and
+/// happens in the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Registry key; `None` = the service's default graph.
+    pub graph: Option<String>,
+    /// Pair or multi query.
+    pub kind: QueryKind,
+    /// Searcher selection.
+    pub method: Method,
+    /// Per-request deadline in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+/// The query shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `search`: a `{q_l, q_r}` pair with optional `(k1, k2, b)` overrides
+    /// (defaults: the paper's auto parameterization — query coreness, b=1).
+    Pair {
+        /// Left query vertex token.
+        ql: String,
+        /// Right query vertex token.
+        qr: String,
+        /// `k1` override.
+        k1: Option<u32>,
+        /// `k2` override.
+        k2: Option<u32>,
+        /// `b` override.
+        b: Option<u64>,
+    },
+    /// `msearch`: `m ≥ 2` query vertices with a uniform `k` override.
+    Multi {
+        /// Query vertex tokens.
+        qs: Vec<String>,
+        /// Uniform `k` override for every label group.
+        k: Option<u32>,
+        /// `b` override.
+        b: Option<u64>,
+    },
+}
+
+/// One protocol line, parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsedLine {
+    /// A query to execute.
+    Request(QueryRequest),
+    /// `stats` — emit a [`crate::service::ServiceStats`] JSON line.
+    Stats,
+    /// `graphs` — list registry keys.
+    Graphs,
+    /// `quit` — end the session.
+    Quit,
+    /// Blank line or comment — produce no output.
+    Empty,
+}
+
+/// Error category, mirrored into the response `"error"` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line did not parse.
+    Parse,
+    /// A vertex token or graph name did not resolve.
+    Resolve,
+    /// The search itself failed (`SearchError`).
+    Search,
+    /// The per-request deadline expired.
+    Timeout,
+    /// The worker executing the request died.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Protocol token for the `"error"` field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Resolve => "resolve",
+            ErrorKind::Search => "search",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured request/serving error: category + human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// Category.
+    pub kind: ErrorKind,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl RequestError {
+    /// A parse-category error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        RequestError { kind: ErrorKind::Parse, message: message.into() }
+    }
+
+    /// A resolve-category error.
+    pub fn resolve(message: impl Into<String>) -> Self {
+        RequestError { kind: ErrorKind::Resolve, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Parses one protocol line. Never panics, whatever the input.
+pub fn parse_line(line: &str) -> Result<ParsedLine, RequestError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(ParsedLine::Empty);
+    }
+    let mut tokens = line.split_whitespace();
+    let Some(verb) = tokens.next() else {
+        return Ok(ParsedLine::Empty);
+    };
+    let rest: Vec<&str> = tokens.collect();
+    match verb {
+        "stats" => expect_bare(verb, &rest, ParsedLine::Stats),
+        "graphs" => expect_bare(verb, &rest, ParsedLine::Graphs),
+        "quit" | "exit" => expect_bare(verb, &rest, ParsedLine::Quit),
+        "search" => parse_search(&rest).map(ParsedLine::Request),
+        "msearch" => parse_msearch(&rest).map(ParsedLine::Request),
+        other => Err(RequestError::parse(format!(
+            "unknown verb `{other}` (expected search|msearch|stats|graphs|quit)"
+        ))),
+    }
+}
+
+fn expect_bare(
+    verb: &str,
+    rest: &[&str],
+    parsed: ParsedLine,
+) -> Result<ParsedLine, RequestError> {
+    if rest.is_empty() {
+        Ok(parsed)
+    } else {
+        Err(RequestError::parse(format!("`{verb}` takes no arguments")))
+    }
+}
+
+/// Splits `key=value` tokens, rejecting duplicates and bare words.
+struct KeyValues<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> KeyValues<'a> {
+    fn parse(tokens: &[&'a str]) -> Result<Self, RequestError> {
+        let mut pairs: Vec<(&str, &str)> = Vec::with_capacity(tokens.len());
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(RequestError::parse(format!(
+                    "expected key=value, got `{token}`"
+                )));
+            };
+            if key.is_empty() || value.is_empty() {
+                return Err(RequestError::parse(format!(
+                    "empty key or value in `{token}`"
+                )));
+            }
+            if pairs.iter().any(|&(k, _)| k == key) {
+                return Err(RequestError::parse(format!("duplicate key `{key}`")));
+            }
+            pairs.push((key, value));
+        }
+        Ok(KeyValues { pairs })
+    }
+
+    fn take(&mut self, key: &str) -> Option<&'a str> {
+        let idx = self.pairs.iter().position(|&(k, _)| k == key)?;
+        Some(self.pairs.swap_remove(idx).1)
+    }
+
+    fn take_num<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, RequestError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| {
+                RequestError::parse(format!("`{key}` must be a non-negative integer, got `{raw}`"))
+            }),
+        }
+    }
+
+    fn finish(self) -> Result<(), RequestError> {
+        match self.pairs.first() {
+            None => Ok(()),
+            Some((key, _)) => Err(RequestError::parse(format!("unknown key `{key}`"))),
+        }
+    }
+}
+
+fn take_common(
+    kv: &mut KeyValues<'_>,
+) -> Result<(Option<String>, Method, Option<u64>), RequestError> {
+    let graph = kv.take("graph").map(str::to_owned);
+    let method = match kv.take("method") {
+        Some(token) => Method::parse(token)?,
+        None => Method::Lp,
+    };
+    let timeout_ms = kv.take_num::<u64>("timeout_ms")?;
+    Ok((graph, method, timeout_ms))
+}
+
+fn parse_search(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
+    let mut kv = KeyValues::parse(tokens)?;
+    let ql = kv
+        .take("ql")
+        .ok_or_else(|| RequestError::parse("`search` requires ql=<vertex>"))?
+        .to_owned();
+    let qr = kv
+        .take("qr")
+        .ok_or_else(|| RequestError::parse("`search` requires qr=<vertex>"))?
+        .to_owned();
+    let k1 = kv.take_num::<u32>("k1")?;
+    let k2 = kv.take_num::<u32>("k2")?;
+    let b = kv.take_num::<u64>("b")?;
+    let (graph, method, timeout_ms) = take_common(&mut kv)?;
+    kv.finish()?;
+    Ok(QueryRequest {
+        graph,
+        kind: QueryKind::Pair { ql, qr, k1, k2, b },
+        method,
+        timeout_ms,
+    })
+}
+
+fn parse_msearch(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
+    let mut kv = KeyValues::parse(tokens)?;
+    let qs_raw = kv
+        .take("q")
+        .ok_or_else(|| RequestError::parse("`msearch` requires q=<v1>,<v2>[,...]"))?;
+    let qs: Vec<String> = qs_raw
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if qs.len() < 2 {
+        return Err(RequestError::parse(
+            "`msearch` needs at least two comma-separated query vertices",
+        ));
+    }
+    let k = kv.take_num::<u32>("k")?;
+    let b = kv.take_num::<u64>("b")?;
+    let (graph, method, timeout_ms) = take_common(&mut kv)?;
+    kv.finish()?;
+    Ok(QueryRequest {
+        graph,
+        kind: QueryKind::Multi { qs, k, b },
+        method,
+        timeout_ms,
+    })
+}
+
+/// A resolved, normalized cache key: `(snapshot generation, method, query
+/// vertices with their effective k's, b)`.
+///
+/// Normalization makes symmetric requests share a slot: the pair
+/// `{q_l, q_r}` with `(k1, k2)` and `{q_r, q_l}` with `(k2, k1)` describe
+/// the same community, so `(vertex, k)` tuples are sorted by vertex id (the
+/// same rule generalizes to m-label queries, whose searcher treats the
+/// query set symmetrically up to leader ordering).
+///
+/// The key carries the entry's process-unique *generation*, not its name:
+/// re-registering a graph under an existing name gets a fresh generation,
+/// so results computed on the replaced snapshot can never be served for
+/// the new one (they stop matching and age out of the LRU).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Process-unique snapshot id ([`crate::GraphEntry::generation`]).
+    pub generation: u64,
+    /// Searcher.
+    pub method: Method,
+    /// True for msearch requests (a 2-vertex msearch runs Algorithm 9, not
+    /// the pair searcher, so the two must not share cache slots).
+    pub multi: bool,
+    /// `(vertex, k)` pairs sorted by vertex id.
+    pub vertex_ks: Vec<(u32, u32)>,
+    /// Butterfly threshold.
+    pub b: u64,
+}
+
+impl CacheKey {
+    /// Builds the normalized key from resolved vertices and effective
+    /// per-vertex core parameters (aligned slices).
+    pub fn normalized(
+        generation: u64,
+        method: Method,
+        multi: bool,
+        vertices: &[VertexId],
+        ks: &[u32],
+        b: u64,
+    ) -> Self {
+        debug_assert_eq!(vertices.len(), ks.len());
+        let mut vertex_ks: Vec<(u32, u32)> = vertices
+            .iter()
+            .zip(ks)
+            .map(|(v, &k)| (v.0, k))
+            .collect();
+        vertex_ks.sort_unstable();
+        CacheKey {
+            generation,
+            method,
+            multi,
+            vertex_ks,
+            b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_search() {
+        let parsed = parse_line("search ql=alice qr=bob").unwrap();
+        let ParsedLine::Request(req) = parsed else { panic!("not a request") };
+        assert_eq!(req.method, Method::Lp);
+        assert_eq!(req.graph, None);
+        assert_eq!(req.timeout_ms, None);
+        assert_eq!(
+            req.kind,
+            QueryKind::Pair {
+                ql: "alice".into(),
+                qr: "bob".into(),
+                k1: None,
+                k2: None,
+                b: None
+            }
+        );
+    }
+
+    #[test]
+    fn parses_full_search() {
+        let line = "search ql=0 qr=7 k1=3 k2=2 b=2 method=l2p graph=g timeout_ms=500";
+        let ParsedLine::Request(req) = parse_line(line).unwrap() else { panic!() };
+        assert_eq!(req.method, Method::L2p);
+        assert_eq!(req.graph.as_deref(), Some("g"));
+        assert_eq!(req.timeout_ms, Some(500));
+        assert_eq!(
+            req.kind,
+            QueryKind::Pair {
+                ql: "0".into(),
+                qr: "7".into(),
+                k1: Some(3),
+                k2: Some(2),
+                b: Some(2)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_msearch() {
+        let ParsedLine::Request(req) =
+            parse_line("msearch q=a,b,c k=2 method=online").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(req.method, Method::Online);
+        assert_eq!(
+            req.kind,
+            QueryKind::Multi {
+                qs: vec!["a".into(), "b".into(), "c".into()],
+                k: Some(2),
+                b: None
+            }
+        );
+    }
+
+    #[test]
+    fn control_lines_and_comments() {
+        assert_eq!(parse_line("stats").unwrap(), ParsedLine::Stats);
+        assert_eq!(parse_line("graphs").unwrap(), ParsedLine::Graphs);
+        assert_eq!(parse_line("quit").unwrap(), ParsedLine::Quit);
+        assert_eq!(parse_line("exit").unwrap(), ParsedLine::Quit);
+        assert_eq!(parse_line("").unwrap(), ParsedLine::Empty);
+        assert_eq!(parse_line("   ").unwrap(), ParsedLine::Empty);
+        assert_eq!(parse_line("# a comment").unwrap(), ParsedLine::Empty);
+    }
+
+    #[test]
+    fn structured_errors() {
+        for (line, needle) in [
+            ("frobnicate x=1", "unknown verb"),
+            ("search ql=a", "requires qr="),
+            ("search qr=a", "requires ql="),
+            ("search ql=a qr=b k1=potato", "non-negative integer"),
+            ("search ql=a qr=b method=quantum", "unknown method"),
+            ("search ql=a qr=b ql=c", "duplicate key"),
+            ("search ql=a qr=b bogus=1", "unknown key"),
+            ("search ql=a qr=b naked", "key=value"),
+            ("search ql=", "empty key or value"),
+            ("msearch q=a", "at least two"),
+            ("msearch q=a,b k=-3", "non-negative integer"),
+            ("stats now", "takes no arguments"),
+        ] {
+            let err = parse_line(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Parse, "line: {line}");
+            assert!(
+                err.message.contains(needle),
+                "line `{line}`: message `{}` missing `{needle}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn cache_key_symmetric_normalization() {
+        let a = CacheKey::normalized(
+            7,
+            Method::Lp,
+            false,
+            &[VertexId(3), VertexId(9)],
+            &[4, 2],
+            1,
+        );
+        let b = CacheKey::normalized(
+            7,
+            Method::Lp,
+            false,
+            &[VertexId(9), VertexId(3)],
+            &[2, 4],
+            1,
+        );
+        assert_eq!(a, b, "swapped pair with swapped k's is the same key");
+        let c = CacheKey::normalized(
+            7,
+            Method::Lp,
+            false,
+            &[VertexId(9), VertexId(3)],
+            &[4, 2],
+            1,
+        );
+        assert_ne!(a, c, "different k assignment is a different key");
+        let d = CacheKey::normalized(
+            7,
+            Method::Lp,
+            true,
+            &[VertexId(3), VertexId(9)],
+            &[4, 2],
+            1,
+        );
+        assert_ne!(a, d, "msearch and search never share slots");
+    }
+
+    #[test]
+    fn error_display() {
+        let err = RequestError::parse("nope");
+        assert_eq!(err.to_string(), "parse: nope");
+    }
+}

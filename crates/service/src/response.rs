@@ -1,0 +1,216 @@
+//! Query responses and their one-line JSON serialization.
+//!
+//! The serialized form is **deterministic**: it carries no wall times and
+//! no cache metadata, so the same request against the same graph snapshot
+//! produces byte-identical lines regardless of worker count, cache state,
+//! or scheduling. (Hit rates and latency live in the `stats` line instead.)
+//! JSON is hand-rolled — this workspace builds without serde (see
+//! `vendor/README.md`); the only subtlety is string escaping.
+
+use std::time::Duration;
+
+use crate::request::{Method, RequestError};
+
+/// A successful search, reduced to its deterministic, cacheable core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Community vertex ids, sorted ascending.
+    pub community: Vec<u32>,
+    /// Query distance of the answer (Definition 5).
+    pub query_distance: u32,
+    /// Peeling iterations the search performed.
+    pub iterations: usize,
+    /// Leader vertices, sorted ascending (one per query label).
+    pub leaders: Vec<u32>,
+    /// Effective per-query-vertex core parameters, aligned with the
+    /// normalized (sorted) query vertex order.
+    pub ks: Vec<u32>,
+    /// Effective butterfly threshold.
+    pub b: u64,
+}
+
+/// The service's answer to one request line.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Request sequence number (input order within the session/batch).
+    pub seq: u64,
+    /// Registry key of the graph that served the request (empty when the
+    /// request failed before graph resolution).
+    pub graph: String,
+    /// Searcher that ran (the request's method even on failure).
+    pub method: Method,
+    /// The outcome or a structured error.
+    pub outcome: Result<QueryOutcome, RequestError>,
+    /// Served from the result cache (not serialized — see module docs).
+    pub cached: bool,
+    /// End-to-end service time (not serialized).
+    pub elapsed: Duration,
+}
+
+impl QueryResponse {
+    /// An error response.
+    pub fn error(seq: u64, graph: &str, method: Method, err: RequestError) -> Self {
+        QueryResponse {
+            seq,
+            graph: graph.to_owned(),
+            method,
+            outcome: Err(err),
+            cached: false,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// True for a successful search.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// The deterministic one-line JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        match &self.outcome {
+            Ok(outcome) => {
+                out.push_str("{\"ok\":true");
+                push_field(&mut out, "seq", &self.seq.to_string());
+                push_str_field(&mut out, "graph", &self.graph);
+                push_str_field(&mut out, "method", self.method.as_str());
+                push_field(&mut out, "size", &outcome.community.len().to_string());
+                push_field(&mut out, "query_distance", &outcome.query_distance.to_string());
+                push_field(&mut out, "iterations", &outcome.iterations.to_string());
+                push_field(&mut out, "ks", &u32_array(&outcome.ks));
+                push_field(&mut out, "b", &outcome.b.to_string());
+                push_field(&mut out, "leaders", &u32_array(&outcome.leaders));
+                push_field(&mut out, "community", &u32_array(&outcome.community));
+                out.push('}');
+            }
+            Err(err) => {
+                out.push_str("{\"ok\":false");
+                push_field(&mut out, "seq", &self.seq.to_string());
+                if !self.graph.is_empty() {
+                    push_str_field(&mut out, "graph", &self.graph);
+                }
+                push_str_field(&mut out, "error", err.kind.as_str());
+                push_str_field(&mut out, "message", &err.message);
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+/// `,"key":value` (raw value — number or array).
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+/// `,"key":"escaped string"`.
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&json_string(value));
+}
+
+/// JSON string literal with RFC 8259 escapes.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn u32_array(values: &[u32]) -> String {
+    let mut out = String::with_capacity(values.len() * 4 + 2);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Converts a `BccResult` into the deterministic outcome form.
+pub fn outcome_from_result(result: &bcc_core::BccResult, ks: &[u32], b: u64) -> QueryOutcome {
+    let mut leaders: Vec<u32> = result.leaders.iter().map(|v| v.0).collect();
+    leaders.sort_unstable();
+    QueryOutcome {
+        community: result.community.iter().map(|v| v.0).collect(),
+        query_distance: result.query_distance,
+        iterations: result.iterations,
+        leaders,
+        ks: ks.to_vec(),
+        b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_json_shape() {
+        let response = QueryResponse {
+            seq: 3,
+            graph: "g".into(),
+            method: Method::Lp,
+            outcome: Ok(QueryOutcome {
+                community: vec![0, 1, 4],
+                query_distance: 2,
+                iterations: 5,
+                leaders: vec![0, 4],
+                ks: vec![3, 2],
+                b: 1,
+            }),
+            cached: true,
+            elapsed: Duration::from_millis(7),
+        };
+        assert_eq!(
+            response.to_json(),
+            "{\"ok\":true,\"seq\":3,\"graph\":\"g\",\"method\":\"lp\",\"size\":3,\
+             \"query_distance\":2,\"iterations\":5,\"ks\":[3,2],\"b\":1,\
+             \"leaders\":[0,4],\"community\":[0,1,4]}"
+        );
+        // Determinism: cached/elapsed never leak into the serialized line.
+        assert!(!response.to_json().contains("cached"));
+        assert!(!response.to_json().contains("elapsed"));
+    }
+
+    #[test]
+    fn error_json_shape() {
+        let response = QueryResponse::error(
+            9,
+            "",
+            Method::Online,
+            RequestError::parse("bad \"input\"\nline"),
+        );
+        assert_eq!(
+            response.to_json(),
+            "{\"ok\":false,\"seq\":9,\"error\":\"parse\",\
+             \"message\":\"bad \\\"input\\\"\\nline\"}"
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("a\"b\\c\u{1}"), "\"a\\\"b\\\\c\\u0001\"");
+    }
+}

@@ -1,0 +1,808 @@
+//! The query-serving façade: registry + pool + cache behind one type.
+//!
+//! [`BccService`] amortizes the offline work (graph load, `BccIndex` build)
+//! across many online queries, the offline/online split of Section 6.3:
+//!
+//! * requests resolve and normalize on the calling thread (cheap);
+//! * cache hits return immediately;
+//! * misses execute on the worker pool against the shared `Arc` snapshot,
+//!   then populate the LRU result cache — even when the caller's deadline
+//!   has already expired, so abandoned work still warms the cache.
+//!
+//! Symmetric queries (`{q_l, q_r}` vs `{q_r, q_l}`) normalize to one cache
+//! key *and* one execution order, so answers are reproducible regardless of
+//! how the pair was written, how many workers run, or what the cache held.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bcc_core::{
+    BccParams, BccQuery, L2pBcc, LpBcc, MbccParams, MbccQuery, MultiLabelBcc, OnlineBcc,
+};
+use bcc_graph::{LabeledGraph, VertexId};
+
+use crate::cache::{CacheCounters, LruCache};
+use crate::pool::{Ticket, WaitError, WorkerPool};
+use crate::registry::{GraphEntry, GraphRegistry};
+use crate::request::{
+    parse_line, CacheKey, ErrorKind, Method, ParsedLine, QueryKind, QueryRequest, RequestError,
+};
+use crate::response::{json_string, outcome_from_result, QueryOutcome, QueryResponse};
+
+/// Tunables for a [`BccService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (0 ⇒ one per available core).
+    pub workers: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that carry no `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Registry key used when a request names no graph.
+    pub default_graph: String,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 4096,
+            default_timeout_ms: None,
+            default_graph: "default".into(),
+        }
+    }
+}
+
+/// Monotonic service counters (one consistent snapshot).
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Query requests accepted (parsed and submitted).
+    pub requests: u64,
+    /// Searches actually executed on the pool (≠ requests: hits and
+    /// pre-deadline drops skip execution).
+    pub searches_executed: u64,
+    /// Result-cache counters.
+    pub cache: CacheCounters,
+    /// Live cache entries.
+    pub cache_entries: usize,
+    /// Requests whose deadline expired before a result was delivered.
+    pub timeouts: u64,
+    /// Lines that failed to parse.
+    pub parse_errors: u64,
+    /// Requests whose graph or vertex tokens did not resolve.
+    pub resolve_errors: u64,
+    /// Executed searches that returned a `SearchError`.
+    pub search_errors: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Registered graph names, sorted.
+    pub graphs: Vec<String>,
+    /// Wall time summed over executed searches.
+    pub total_search_time: Duration,
+}
+
+impl ServiceStats {
+    /// One-line JSON form (the `stats` protocol command).
+    pub fn to_json(&self) -> String {
+        let graphs = self
+            .graphs
+            .iter()
+            .map(|g| json_string(g))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"ok\":true,\"requests\":{},\"searches_executed\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"cache_entries\":{},\"timeouts\":{},\"parse_errors\":{},\
+             \"resolve_errors\":{},\"search_errors\":{},\"workers\":{},\
+             \"graphs\":[{}],\"total_search_time_us\":{}}}",
+            self.requests,
+            self.searches_executed,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache_entries,
+            self.timeouts,
+            self.parse_errors,
+            self.resolve_errors,
+            self.search_errors,
+            self.workers,
+            graphs,
+            self.total_search_time.as_micros(),
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: u64,
+    searches_executed: u64,
+    timeouts: u64,
+    parse_errors: u64,
+    resolve_errors: u64,
+    search_errors: u64,
+    total_search_time: Duration,
+}
+
+type SharedCache = Arc<Mutex<LruCache<CacheKey, Result<QueryOutcome, RequestError>>>>;
+
+/// A response that may still be executing on the pool. Obtained from
+/// [`BccService::submit`]; turn it into a [`QueryResponse`] with
+/// [`BccService::wait`]. Submitting a whole batch before waiting is what
+/// lets independent requests run concurrently.
+pub enum Pending {
+    /// Answered inline (cache hit, or an error before execution).
+    Ready(QueryResponse),
+    /// Executing on the pool.
+    InFlight {
+        /// Request sequence number.
+        seq: u64,
+        /// Graph registry key.
+        graph: String,
+        /// Searcher.
+        method: Method,
+        /// Absolute deadline, if any.
+        deadline: Option<Instant>,
+        /// The pool ticket.
+        ticket: Ticket<Result<QueryOutcome, RequestError>>,
+        /// Submission instant (for the response's `elapsed`).
+        started: Instant,
+    },
+}
+
+/// What one protocol line produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Emit this line.
+    Output(String),
+    /// End the session.
+    Quit,
+    /// Emit nothing (blank/comment line).
+    Silent,
+}
+
+/// The long-lived query engine: graph registry + worker pool + result
+/// cache + the line protocol.
+pub struct BccService {
+    config: ServiceConfig,
+    registry: GraphRegistry,
+    pool: WorkerPool,
+    cache: SharedCache,
+    counters: Arc<Mutex<Counters>>,
+    seq: AtomicU64,
+}
+
+impl BccService {
+    /// Starts the service (spawns the worker pool) with an empty registry.
+    pub fn new(config: ServiceConfig) -> Self {
+        let pool = WorkerPool::new(config.workers);
+        let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        BccService {
+            config,
+            registry: GraphRegistry::new(),
+            pool,
+            cache,
+            counters: Arc::new(Mutex::new(Counters::default())),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts the service with `graph` registered as the default graph.
+    pub fn with_graph(config: ServiceConfig, graph: LabeledGraph) -> Self {
+        let service = BccService::new(config);
+        service
+            .registry
+            .insert(service.config.default_graph.clone(), graph);
+        service
+    }
+
+    /// The graph registry (register/lookup graphs at any time).
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// A consistent stats snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let counters = self.counters.lock().unwrap();
+        let cache = self.cache.lock().unwrap();
+        ServiceStats {
+            requests: counters.requests,
+            searches_executed: counters.searches_executed,
+            cache: cache.counters(),
+            cache_entries: cache.len(),
+            timeouts: counters.timeouts,
+            parse_errors: counters.parse_errors,
+            resolve_errors: counters.resolve_errors,
+            search_errors: counters.search_errors,
+            workers: self.pool.workers(),
+            graphs: self.registry.names(),
+            total_search_time: counters.total_search_time,
+        }
+    }
+
+    /// Submits a request: resolves + normalizes it, probes the cache, and
+    /// on a miss schedules execution on the pool.
+    pub fn submit(&self, request: QueryRequest) -> Pending {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.counters.lock().unwrap().requests += 1;
+        let started = Instant::now();
+
+        let graph_name = request
+            .graph
+            .clone()
+            .unwrap_or_else(|| self.config.default_graph.clone());
+        let Some(entry) = self.registry.get(&graph_name) else {
+            self.counters.lock().unwrap().resolve_errors += 1;
+            return Pending::Ready(QueryResponse::error(
+                seq,
+                "",
+                request.method,
+                RequestError::resolve(format!("no graph registered as `{graph_name}`")),
+            ));
+        };
+
+        let normalized = match normalize(&entry, &request) {
+            Ok(normalized) => normalized,
+            Err(err) => {
+                self.counters.lock().unwrap().resolve_errors += 1;
+                return Pending::Ready(QueryResponse::error(seq, &graph_name, request.method, err));
+            }
+        };
+        let key = CacheKey::normalized(
+            entry.generation(),
+            request.method,
+            normalized.multi,
+            &normalized.vertices,
+            &normalized.ks,
+            normalized.b,
+        );
+
+        if let Some(outcome) = self.cache.lock().unwrap().get(&key) {
+            return Pending::Ready(QueryResponse {
+                seq,
+                graph: graph_name,
+                method: request.method,
+                outcome: outcome.clone(),
+                cached: true,
+                elapsed: started.elapsed(),
+            });
+        }
+
+        let deadline = request
+            .timeout_ms
+            .or(self.config.default_timeout_ms)
+            .map(|ms| started + Duration::from_millis(ms));
+        let method = request.method;
+        let cache = Arc::clone(&self.cache);
+        let counters = Arc::clone(&self.counters);
+        let job_key = key.clone();
+        let ticket = self.pool.submit(move || {
+            execute(&entry, method, &normalized, job_key, deadline, &cache, &counters)
+        });
+        Pending::InFlight {
+            seq,
+            graph: graph_name,
+            method,
+            deadline,
+            ticket,
+            started,
+        }
+    }
+
+    /// Blocks until `pending` resolves (or its deadline passes).
+    pub fn wait(&self, pending: Pending) -> QueryResponse {
+        match pending {
+            Pending::Ready(response) => response,
+            Pending::InFlight {
+                seq,
+                graph,
+                method,
+                deadline,
+                ticket,
+                started,
+            } => {
+                let outcome = match ticket.wait_until(deadline) {
+                    Ok(outcome) => outcome,
+                    Err(WaitError::DeadlineExpired) => Err(RequestError {
+                        kind: ErrorKind::Timeout,
+                        message: "deadline expired before the search completed".into(),
+                    }),
+                    Err(WaitError::Lost) => Err(RequestError {
+                        kind: ErrorKind::Internal,
+                        message: "the worker executing this request terminated".into(),
+                    }),
+                };
+                // Count timeouts here, once per response, whichever side
+                // noticed first (the waiter's deadline or the worker's
+                // pre-execution drop).
+                if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
+                    self.counters.lock().unwrap().timeouts += 1;
+                }
+                QueryResponse {
+                    seq,
+                    graph,
+                    method,
+                    outcome,
+                    cached: false,
+                    elapsed: started.elapsed(),
+                }
+            }
+        }
+    }
+
+    /// Submit + wait in one call (the sequential path).
+    pub fn handle(&self, request: QueryRequest) -> QueryResponse {
+        let pending = self.submit(request);
+        self.wait(pending)
+    }
+
+    /// Processes one protocol line into its outcome. Never panics.
+    pub fn process_line(&self, line: &str) -> LineOutcome {
+        match parse_line(line) {
+            Ok(ParsedLine::Empty) => LineOutcome::Silent,
+            Ok(ParsedLine::Quit) => LineOutcome::Quit,
+            Ok(ParsedLine::Stats) => LineOutcome::Output(self.stats().to_json()),
+            Ok(ParsedLine::Graphs) => {
+                let names = self
+                    .registry
+                    .names()
+                    .iter()
+                    .map(|g| json_string(g))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                LineOutcome::Output(format!("{{\"ok\":true,\"graphs\":[{names}]}}"))
+            }
+            Ok(ParsedLine::Request(request)) => {
+                LineOutcome::Output(self.handle(request).to_json())
+            }
+            Err(err) => {
+                self.counters.lock().unwrap().parse_errors += 1;
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                LineOutcome::Output(QueryResponse::error(seq, "", Method::Lp, err).to_json())
+            }
+        }
+    }
+
+    /// Runs a whole session: one response line per request line, until EOF
+    /// or `quit`. The `bcc serve` loop (also driven directly by tests).
+    pub fn run_session<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> std::io::Result<()> {
+        for line in reader.lines() {
+            match self.process_line(&line?) {
+                LineOutcome::Output(out) => {
+                    writeln!(writer, "{out}")?;
+                    writer.flush()?;
+                }
+                LineOutcome::Quit => break,
+                LineOutcome::Silent => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a batch of request lines concurrently: every line is
+    /// submitted before any result is awaited, so independent misses run in
+    /// parallel across the pool. Output lines come back in input order,
+    /// with `seq` renumbered to the *batch-local* output index — request
+    /// lines therefore serialize byte-identically on every run, whatever
+    /// the worker count or cache state. (`stats` lines are the exception:
+    /// they snapshot live counters — rendered when the batch's emit pass
+    /// reaches them, i.e. after every earlier request completed — and
+    /// counters touched by *later* in-flight requests can differ run to
+    /// run.)
+    ///
+    /// Duplicate queries inside one batch may each execute (the cache is
+    /// probed at submit time, before the first copy lands); a *subsequent*
+    /// batch of the same queries is served entirely from cache.
+    pub fn run_batch<S: AsRef<str>>(&self, lines: &[S]) -> Vec<String> {
+        enum Slot {
+            Line(String),
+            Stats,
+            Failed(RequestError),
+            Waiting(Pending),
+        }
+        let mut slots = Vec::with_capacity(lines.len());
+        for line in lines {
+            match parse_line(line.as_ref()) {
+                Ok(ParsedLine::Empty) => {}
+                Ok(ParsedLine::Quit) => break,
+                Ok(ParsedLine::Stats) => slots.push(Slot::Stats),
+                Ok(ParsedLine::Graphs) => {
+                    if let LineOutcome::Output(out) = self.process_line("graphs") {
+                        slots.push(Slot::Line(out));
+                    }
+                }
+                Ok(ParsedLine::Request(request)) => {
+                    slots.push(Slot::Waiting(self.submit(request)));
+                }
+                Err(err) => {
+                    self.counters.lock().unwrap().parse_errors += 1;
+                    slots.push(Slot::Failed(err));
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| match slot {
+                Slot::Line(out) => out,
+                Slot::Stats => self.stats().to_json(),
+                Slot::Failed(err) => {
+                    QueryResponse::error(idx as u64, "", Method::Lp, err).to_json()
+                }
+                Slot::Waiting(pending) => {
+                    let mut response = self.wait(pending);
+                    response.seq = idx as u64;
+                    response.to_json()
+                }
+            })
+            .collect()
+    }
+}
+
+/// A resolved request: vertices and effective parameters in normalized
+/// (sorted-by-vertex-id) order.
+struct Normalized {
+    multi: bool,
+    vertices: Vec<VertexId>,
+    ks: Vec<u32>,
+    b: u64,
+}
+
+/// Resolves a vertex token (name first, then numeric id) against `graph`.
+fn resolve_vertex(graph: &LabeledGraph, token: &str) -> Result<VertexId, RequestError> {
+    if let Some(v) = graph.vertex_by_name(token) {
+        return Ok(v);
+    }
+    let id: u32 = token.parse().map_err(|_| {
+        RequestError::resolve(format!("`{token}` is neither a vertex name nor an id"))
+    })?;
+    if (id as usize) < graph.vertex_count() {
+        Ok(VertexId(id))
+    } else {
+        Err(RequestError::resolve(format!(
+            "vertex id {id} out of range (graph has {} vertices)",
+            graph.vertex_count()
+        )))
+    }
+}
+
+/// Resolves tokens and computes effective `(k, b)` parameters, touching the
+/// index only when a default `k` is needed (the paper's coreness-of-query
+/// auto parameterization) — explicit parameters keep the index unbuilt for
+/// online/lp requests.
+fn normalize(entry: &GraphEntry, request: &QueryRequest) -> Result<Normalized, RequestError> {
+    let graph = entry.graph();
+    let (multi, tokens, explicit_ks, b) = match &request.kind {
+        QueryKind::Pair { ql, qr, k1, k2, b } => (
+            false,
+            vec![ql.clone(), qr.clone()],
+            vec![*k1, *k2],
+            b.unwrap_or(1),
+        ),
+        QueryKind::Multi { qs, k, b } => {
+            (true, qs.clone(), vec![*k; qs.len()], b.unwrap_or(1))
+        }
+    };
+    let vertices: Vec<VertexId> = tokens
+        .iter()
+        .map(|t| resolve_vertex(graph, t))
+        .collect::<Result<_, _>>()?;
+    let ks: Vec<u32> = vertices
+        .iter()
+        .zip(&explicit_ks)
+        .map(|(&v, k)| match k {
+            Some(k) => *k,
+            // Default: the query vertex's label coreness (index-backed).
+            None => entry.index().index.coreness(v),
+        })
+        .collect();
+    // Normalized execution order = sorted by vertex id, k's carried along.
+    let mut pairs: Vec<(VertexId, u32)> = vertices.into_iter().zip(ks).collect();
+    pairs.sort_unstable_by_key(|&(v, _)| v);
+    let (vertices, ks): (Vec<VertexId>, Vec<u32>) = pairs.into_iter().unzip();
+    Ok(Normalized { multi, vertices, ks, b })
+}
+
+/// Runs one search on a worker thread and populates the cache. Requests
+/// whose deadline already passed are dropped without executing (their
+/// waiter has moved on; starting the search would waste the pool).
+fn execute(
+    entry: &GraphEntry,
+    method: Method,
+    normalized: &Normalized,
+    key: CacheKey,
+    deadline: Option<Instant>,
+    cache: &SharedCache,
+    counters: &Arc<Mutex<Counters>>,
+) -> Result<QueryOutcome, RequestError> {
+    if let Some(deadline) = deadline {
+        if Instant::now() >= deadline {
+            return Err(RequestError {
+                kind: ErrorKind::Timeout,
+                message: "deadline expired before the search started".into(),
+            });
+        }
+    }
+    let started = Instant::now();
+    let graph = entry.graph();
+    let result = if normalized.multi {
+        let query = MbccQuery::new(normalized.vertices.clone());
+        let params = MbccParams::new(normalized.ks.clone(), normalized.b);
+        let searcher = MultiLabelBcc::with_strategy(method.multi_strategy());
+        let index = match method {
+            Method::L2p => Some(&entry.index().index),
+            _ => None,
+        };
+        searcher.search(graph, index, &query, &params)
+    } else {
+        let query = BccQuery::pair(normalized.vertices[0], normalized.vertices[1]);
+        let params = BccParams::new(normalized.ks[0], normalized.ks[1], normalized.b);
+        match method {
+            Method::Online => OnlineBcc::default().search(graph, &query, &params),
+            Method::Lp => LpBcc::default().search(graph, &query, &params),
+            Method::L2p => {
+                L2pBcc::default().search(graph, &entry.index().index, &query, &params)
+            }
+        }
+    };
+    let elapsed = started.elapsed();
+    let outcome = result
+        .map(|r| outcome_from_result(&r, &normalized.ks, normalized.b))
+        .map_err(|e| RequestError {
+            kind: ErrorKind::Search,
+            message: e.to_string(),
+        });
+    {
+        let mut counters = counters.lock().unwrap();
+        counters.searches_executed += 1;
+        counters.total_search_time += elapsed;
+        if outcome.is_err() {
+            counters.search_errors += 1;
+        }
+    }
+    // Search outcomes — including deterministic search errors — are
+    // cacheable; timeouts and panics never reach this point.
+    cache.lock().unwrap().insert(key, outcome.clone());
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::GraphBuilder;
+
+    /// Two labeled 4-cliques bridged by a butterfly (a (3,3,1)-BCC).
+    fn butterfly_graph() -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let l: Vec<_> = (0..4).map(|i| b.add_named_vertex(&format!("l{i}"), "L")).collect();
+        let r: Vec<_> = (0..4).map(|i| b.add_named_vertex(&format!("r{i}"), "R")).collect();
+        for grp in [&l, &r] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(grp[i], grp[j]);
+                }
+            }
+        }
+        for &x in &l[..2] {
+            for &y in &r[..2] {
+                b.add_edge(x, y);
+            }
+        }
+        b.build()
+    }
+
+    fn service() -> BccService {
+        BccService::with_graph(
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+            butterfly_graph(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_search_line() {
+        let service = service();
+        let LineOutcome::Output(line) = service.process_line("search ql=l0 qr=r0") else {
+            panic!("expected output");
+        };
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"size\":8"), "{line}");
+        assert!(line.contains("\"method\":\"lp\""), "{line}");
+    }
+
+    #[test]
+    fn symmetric_queries_share_cache_and_answers() {
+        let service = service();
+        let LineOutcome::Output(a) = service.process_line("search ql=l0 qr=r0") else {
+            panic!();
+        };
+        let LineOutcome::Output(b) = service.process_line("search ql=r0 qr=l0") else {
+            panic!();
+        };
+        // Identical payloads modulo the sequence number.
+        let payload = |s: &str| s.split(",\"graph\"").nth(1).unwrap().to_string();
+        assert_eq!(payload(&a), payload(&b), "symmetric pair serves the identical answer");
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.searches_executed, 1);
+    }
+
+    #[test]
+    fn methods_cache_separately() {
+        let service = service();
+        service.process_line("search ql=l0 qr=r0 method=online");
+        service.process_line("search ql=l0 qr=r0 method=lp");
+        assert_eq!(service.stats().searches_executed, 2);
+    }
+
+    #[test]
+    fn search_errors_are_structured_and_cached() {
+        let service = service();
+        // b=100 is unsatisfiable → SearchError::NoCandidate.
+        let LineOutcome::Output(first) = service.process_line("search ql=l0 qr=r0 b=100")
+        else {
+            panic!();
+        };
+        assert!(first.contains("\"ok\":false"), "{first}");
+        assert!(first.contains("\"error\":\"search\""), "{first}");
+        service.process_line("search ql=l0 qr=r0 b=100");
+        let stats = service.stats();
+        assert_eq!(stats.searches_executed, 1, "error outcome is cached");
+        assert_eq!(stats.search_errors, 1);
+        assert_eq!(stats.cache.hits, 1);
+    }
+
+    #[test]
+    fn resolve_and_parse_errors() {
+        let service = service();
+        let LineOutcome::Output(bad_vertex) = service.process_line("search ql=zz qr=r0")
+        else {
+            panic!();
+        };
+        assert!(bad_vertex.contains("\"error\":\"resolve\""), "{bad_vertex}");
+        let LineOutcome::Output(bad_graph) =
+            service.process_line("search ql=l0 qr=r0 graph=missing")
+        else {
+            panic!();
+        };
+        assert!(bad_graph.contains("no graph registered"), "{bad_graph}");
+        let LineOutcome::Output(bad_line) = service.process_line("nonsense !!") else {
+            panic!();
+        };
+        assert!(bad_line.contains("\"error\":\"parse\""), "{bad_line}");
+        let stats = service.stats();
+        assert_eq!(stats.resolve_errors, 2);
+        assert_eq!(stats.parse_errors, 1);
+    }
+
+    #[test]
+    fn msearch_line_works() {
+        let service = service();
+        let LineOutcome::Output(line) = service.process_line("msearch q=l0,r0 k=3") else {
+            panic!();
+        };
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+
+    #[test]
+    fn explicit_params_keep_index_unbuilt_for_lp() {
+        let service = service();
+        service.process_line("search ql=l0 qr=r0 k1=3 k2=3 b=1 method=lp");
+        let entry = service.registry().get("default").unwrap();
+        assert!(
+            entry.index_if_built().is_none(),
+            "explicit params + lp must not force the index build"
+        );
+        service.process_line("search ql=l0 qr=r0 k1=3 k2=3 b=1 method=l2p");
+        assert!(entry.index_if_built().is_some(), "l2p builds it");
+    }
+
+    #[test]
+    fn reregistering_a_graph_invalidates_its_cached_results() {
+        let service = service();
+        let LineOutcome::Output(first) = service.process_line("search ql=0 qr=4") else {
+            panic!();
+        };
+        assert!(first.contains("\"size\":8"), "{first}");
+        // Replace the default graph with one where vertices 0 and 4 share a
+        // label: the old cached answer must not be served for the new
+        // snapshot (keys carry the snapshot generation, not the name).
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex("L");
+        let y = b.add_vertex("L");
+        for _ in 0..6 {
+            b.add_vertex("L");
+        }
+        b.add_edge(x, y);
+        service.registry().insert("default", b.build());
+        let LineOutcome::Output(second) = service.process_line("search ql=0 qr=4") else {
+            panic!();
+        };
+        assert!(
+            second.contains("\"error\":\"search\""),
+            "stale cache served for a replaced snapshot: {second}"
+        );
+    }
+
+    #[test]
+    fn session_loop_answers_and_quits() {
+        let service = service();
+        let input = b"# warmup\nsearch ql=l0 qr=r0\nstats\nquit\nsearch ql=l1 qr=r1\n";
+        let mut output = Vec::new();
+        service.run_session(&input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "comment silent, quit stops the session: {text}");
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"requests\":1"));
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let service = service();
+        let lines = [
+            "search ql=l0 qr=r0",
+            "bogus line",
+            "search ql=l1 qr=r1 method=online",
+            "",
+            "search ql=l0 qr=r0",
+        ];
+        let out = service.run_batch(&lines);
+        assert_eq!(out.len(), 4, "empty line emits nothing");
+        assert!(out[0].contains("\"seq\":0"));
+        assert!(out[1].contains("\"error\":\"parse\""));
+        assert!(out[2].contains("\"method\":\"online\""));
+        assert!(out[3].contains("\"seq\":3"));
+    }
+
+    #[test]
+    fn timeout_returns_structured_error() {
+        // One worker: submit two uncached requests back-to-back, the second
+        // with an already-expired (0 ms) deadline. Whichever side notices —
+        // the waiter's deadline or the worker's pre-execution drop — the
+        // response is a structured timeout, exactly once in the stats.
+        let service = BccService::with_graph(
+            ServiceConfig { workers: 1, ..ServiceConfig::default() },
+            butterfly_graph(),
+        );
+        let pair = |ql: &str, qr: &str, timeout_ms: Option<u64>| QueryRequest {
+            graph: None,
+            kind: QueryKind::Pair {
+                ql: ql.into(),
+                qr: qr.into(),
+                k1: Some(3),
+                k2: Some(3),
+                b: Some(1),
+            },
+            method: Method::Lp,
+            timeout_ms,
+        };
+        let first = service.submit(pair("l0", "r0", None));
+        let second = service.submit(pair("l1", "r1", Some(0)));
+        let err = service.wait(second).outcome.unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Timeout);
+        assert!(service.wait(first).is_ok());
+        assert_eq!(service.stats().timeouts, 1);
+        // The dropped request was never executed, so it is not cached: a
+        // retry without a deadline succeeds.
+        let retry = service.handle(pair("l1", "r1", None));
+        assert!(retry.is_ok());
+        assert!(!retry.cached);
+    }
+}

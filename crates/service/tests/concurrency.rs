@@ -1,0 +1,150 @@
+//! Concurrency smoke tests: the same workload must produce byte-identical
+//! responses on 1 worker and N workers, and the cache must obey its
+//! hit-count invariants (a second identical batch is served 100% from
+//! memory).
+
+use bcc_datasets::{queries, PlantedConfig, PlantedNetwork, QueryConstraints};
+use bcc_service::{BccService, ServiceConfig};
+
+/// A small planted network with guaranteed cross-label communities.
+fn planted() -> PlantedNetwork {
+    PlantedNetwork::generate(PlantedConfig {
+        communities: 8,
+        community_size: (16, 28),
+        ..PlantedConfig::default()
+    })
+}
+
+/// A deterministic workload of protocol lines over the planted network:
+/// distinct ground-truth query pairs across all three methods, plus an
+/// msearch and a deliberately unsatisfiable query (search errors are
+/// deterministic outcomes and must cache like successes).
+fn workload(net: &PlantedNetwork) -> Vec<String> {
+    let qs = queries::random_community_queries(
+        net,
+        12,
+        QueryConstraints { degree_rank: 0, inter_distance: None },
+        7,
+    );
+    assert!(qs.len() >= 6, "planted network must yield enough queries");
+    let mut lines = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, q) in qs.iter().enumerate() {
+        let (a, b) = (q.vertices[0].0, q.vertices[1].0);
+        // Dedup (unordered) pairs: in-batch duplicates would make cache
+        // hit counts depend on scheduling.
+        if !seen.insert((a.min(b), a.max(b))) {
+            continue;
+        }
+        let method = ["online", "lp", "l2p"][i % 3];
+        lines.push(format!("search ql={a} qr={b} method={method}"));
+        lines.push(format!("msearch q={b},{a} method=lp"));
+        lines.push(format!("search ql={a} qr={b} method={method} b=1000000"));
+    }
+    lines
+}
+
+fn service_with(workers: usize, net: &PlantedNetwork) -> BccService {
+    BccService::with_graph(
+        ServiceConfig { workers, cache_capacity: 4096, ..Default::default() },
+        net.graph.clone(),
+    )
+}
+
+#[test]
+fn one_worker_and_n_workers_agree_byte_for_byte() {
+    let net = planted();
+    let lines = workload(&net);
+    let n = bcc_service::default_workers().max(2);
+
+    let single = service_with(1, &net);
+    let multi = service_with(n, &net);
+    let sequential = single.run_batch(&lines);
+    let concurrent = multi.run_batch(&lines);
+
+    assert_eq!(sequential.len(), lines.len());
+    assert_eq!(
+        sequential, concurrent,
+        "worker count must never change an answer"
+    );
+    // Re-running the same batch on a *fresh* single-worker service is also
+    // identical: the cache changes latency, never bytes.
+    let fresh = service_with(1, &net);
+    assert_eq!(fresh.run_batch(&lines), sequential);
+}
+
+#[test]
+fn second_identical_batch_is_all_hits() {
+    let net = planted();
+    let lines = workload(&net);
+    let service = service_with(bcc_service::default_workers(), &net);
+
+    let first = service.run_batch(&lines);
+    let after_first = service.stats();
+    assert_eq!(after_first.cache.hits, 0, "distinct queries: no hit in batch 1");
+    assert_eq!(after_first.cache.misses, lines.len() as u64);
+    assert_eq!(after_first.searches_executed, lines.len() as u64);
+
+    let second = service.run_batch(&lines);
+    let after_second = service.stats();
+    assert_eq!(first, second, "cached answers are byte-identical");
+    assert_eq!(
+        after_second.cache.hits,
+        lines.len() as u64,
+        "second identical batch ⇒ 100% hits"
+    );
+    assert_eq!(
+        after_second.searches_executed,
+        lines.len() as u64,
+        "no additional search may execute for batch 2"
+    );
+    // Symmetric rewrites of the whole batch are also pure hits.
+    let swapped: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            if let Some(rest) = l.strip_prefix("search ql=") {
+                let mut parts = rest.split(' ');
+                let ql = parts.next().unwrap();
+                let qr = parts.next().unwrap().strip_prefix("qr=").unwrap();
+                let tail: Vec<&str> = parts.collect();
+                format!("search ql={qr} qr={ql} {}", tail.join(" "))
+            } else {
+                l.clone()
+            }
+        })
+        .collect();
+    service.run_batch(&swapped);
+    assert_eq!(
+        service.stats().searches_executed,
+        lines.len() as u64,
+        "symmetric queries must be served from cache"
+    );
+}
+
+#[test]
+fn hammering_one_service_from_many_threads_is_consistent() {
+    let net = planted();
+    let lines = workload(&net);
+    let service = std::sync::Arc::new(service_with(4, &net));
+    let baseline = service.run_batch(&lines);
+
+    // 8 client threads replay the same workload concurrently against the
+    // shared (now warm) service; every response must match the baseline.
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let service = std::sync::Arc::clone(&service);
+        let lines = lines.clone();
+        let baseline = baseline.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..3 {
+                assert_eq!(service.run_batch(&lines), baseline);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.searches_executed, lines.len() as u64);
+    assert_eq!(stats.cache.hits, (8 * 3 * lines.len()) as u64);
+}

@@ -16,6 +16,8 @@
 //! * [`datasets`] — labeled-graph generators with ground-truth communities,
 //!   the paper's case-study networks, and query workloads.
 //! * [`eval`] — F1 metrics, instrumentation, and table formatting.
+//! * [`service`] — the concurrent query-serving subsystem: graph registry,
+//!   worker pool, LRU result cache, and the `bcc serve` line protocol.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use bcc_core as core;
 pub use bcc_datasets as datasets;
 pub use bcc_eval as eval;
 pub use bcc_graph as graph;
+pub use bcc_service as service;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -68,5 +71,8 @@ pub mod prelude {
     pub use bcc_eval::{f1_score, SearchStats};
     pub use bcc_graph::{
         GraphBuilder, GraphView, Label, LabeledGraph, VertexId, INF_DIST,
+    };
+    pub use bcc_service::{
+        BccService, LineOutcome, QueryRequest, QueryResponse, ServiceConfig, ServiceStats,
     };
 }
