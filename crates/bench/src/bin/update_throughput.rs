@@ -1,0 +1,181 @@
+//! Incremental update throughput: patching the BCindex after an edge flip
+//! (Algorithm 4 cascades + Algorithm 7 butterfly deltas) versus rebuilding
+//! it from scratch, on the planted paper networks.
+//!
+//! ```text
+//! cargo run --release -p bcc-bench --bin update_throughput -- \
+//!     [--scale 0.25] [--updates 12] [--out update_throughput.json]
+//! ```
+//!
+//! Each update is a random valid flip (remove an existing edge or insert an
+//! absent pair). For every flip the binary times the patch path (CSR splice
+//! plus in-place index patch) and the rebuild path (`BccIndex::build` on
+//! the new snapshot), then **verifies the two indices are bit-identical**
+//! and exits non-zero otherwise — the differential check runs under
+//! `--release` in CI on every push. The JSON summary reports the
+//! per-network speedup; the binary fails if patching does not beat
+//! rebuilding.
+
+use std::time::{Duration, Instant};
+
+use bcc_bench::Args;
+use bcc_core::{patch_index_edge, BccIndex};
+use bcc_eval::Table;
+use bcc_graph::{apply_change, EdgeChange, EdgeOp, LabeledGraph, VertexId};
+use rand::{Rng, SeedableRng};
+
+struct Row {
+    network: String,
+    vertices: usize,
+    edges: usize,
+    updates: usize,
+    build_ms: f64,
+    patch_ms_avg: f64,
+    rebuild_ms_avg: f64,
+    speedup: f64,
+}
+
+fn random_flip(rng: &mut rand_chacha::ChaCha8Rng, graph: &LabeledGraph) -> Option<EdgeChange> {
+    let n = graph.vertex_count() as u32;
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..256 {
+        let u = VertexId(rng.gen_range(0..n));
+        let v = VertexId(rng.gen_range(0..n));
+        if u == v {
+            continue;
+        }
+        let op = if graph.has_edge(u, v) { EdgeOp::Remove } else { EdgeOp::Insert };
+        return Some(EdgeChange { u, v, op });
+    }
+    None
+}
+
+fn assert_index_eq(patched: &BccIndex, rebuilt: &BccIndex, context: &str) {
+    assert_eq!(
+        patched.label_coreness, rebuilt.label_coreness,
+        "INVARIANT VIOLATED: δ diverged from rebuild {context}"
+    );
+    assert_eq!(
+        patched.butterfly_degree, rebuilt.butterfly_degree,
+        "INVARIANT VIOLATED: χ diverged from rebuild {context}"
+    );
+    assert_eq!(patched.delta_max, rebuilt.delta_max, "δ_max diverged {context}");
+    assert_eq!(patched.chi_max, rebuilt.chi_max, "χ_max diverged {context}");
+}
+
+fn bench_network(name: &str, scale: f64, updates: usize, seed: u64) -> Row {
+    let spec = match name {
+        "dblp" => bcc_datasets::dblp(scale),
+        "baidu1" => bcc_datasets::baidu1(scale),
+        other => panic!("unknown network `{other}`"),
+    };
+    let net = spec.build();
+    let mut graph = net.graph;
+    eprintln!(
+        "{} x{scale}: {} vertices, {} edges",
+        spec.name,
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    let build_started = Instant::now();
+    let mut index = BccIndex::build(&graph);
+    let build_time = build_started.elapsed();
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut patch_total = Duration::ZERO;
+    let mut rebuild_total = Duration::ZERO;
+    let mut applied = 0usize;
+    for step in 0..updates {
+        let Some(change) = random_flip(&mut rng, &graph) else { break };
+
+        let patch_started = Instant::now();
+        let after = apply_change(&graph, &change);
+        patch_index_edge(&mut index, &graph, &after, &change);
+        patch_total += patch_started.elapsed();
+
+        let rebuild_started = Instant::now();
+        let rebuilt = BccIndex::build(&after);
+        rebuild_total += rebuild_started.elapsed();
+
+        assert_index_eq(
+            &index,
+            &rebuilt,
+            &format!("({} step {step}, {:?} {}-{})", spec.name, change.op, change.u, change.v),
+        );
+        graph = after;
+        applied += 1;
+    }
+    assert!(applied > 0, "no valid flips found — graph too small");
+
+    let patch_ms_avg = patch_total.as_secs_f64() * 1e3 / applied as f64;
+    let rebuild_ms_avg = rebuild_total.as_secs_f64() * 1e3 / applied as f64;
+    Row {
+        network: spec.name.to_string(),
+        vertices: graph.vertex_count(),
+        edges: graph.edge_count(),
+        updates: applied,
+        build_ms: build_time.as_secs_f64() * 1e3,
+        patch_ms_avg,
+        rebuild_ms_avg,
+        speedup: rebuild_ms_avg / patch_ms_avg,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", 0.25f64);
+    let updates = args.get("updates", 12usize).max(1);
+    let out = args.get("out", String::new());
+    let out_path = (!out.is_empty()).then_some(out);
+
+    let rows: Vec<Row> = ["dblp", "baidu1"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| bench_network(name, scale, updates, 0xBCC + i as u64))
+        .collect();
+
+    let mut table = Table::new(
+        format!("Incremental index update vs rebuild ({updates} random edge flips)"),
+        vec![
+            "network".into(),
+            "|V|".into(),
+            "|E|".into(),
+            "updates".into(),
+            "initial build ms".into(),
+            "patch ms/update".into(),
+            "rebuild ms/update".into(),
+            "speedup".into(),
+        ],
+    );
+    for row in &rows {
+        table.push_row(vec![
+            row.network.clone(),
+            row.vertices.to_string(),
+            row.edges.to_string(),
+            row.updates.to_string(),
+            format!("{:.2}", row.build_ms),
+            format!("{:.3}", row.patch_ms_avg),
+            format!("{:.3}", row.rebuild_ms_avg),
+            format!("{:.1}x", row.speedup),
+        ]);
+    }
+    println!("{}", table.render());
+
+    for row in &rows {
+        assert!(
+            row.speedup > 1.0,
+            "INVARIANT VIOLATED: patching {} ({:.3} ms) must beat rebuilding ({:.3} ms)",
+            row.network,
+            row.patch_ms_avg,
+            row.rebuild_ms_avg
+        );
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, table.to_json()).expect("write JSON summary");
+        eprintln!("wrote JSON summary to {path}");
+    }
+}

@@ -50,4 +50,4 @@ pub use counting::{
     ButterflyCounts,
 };
 pub use leader::{identify_leader, LeaderConfig};
-pub use update::leader_decrement;
+pub use update::{edge_decrement, leader_decrement};

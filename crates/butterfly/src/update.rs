@@ -65,6 +65,59 @@ pub fn leader_decrement(
     }
 }
 
+/// Algorithm 7 at *edge* granularity: the number of butterflies that
+/// contain both `p` and the cross edge `{u, v}` — i.e. how much χ(p) drops
+/// when that edge is deleted (equivalently: how much it rose when the edge
+/// was just inserted, evaluated on the graph that contains the edge).
+///
+/// Butterflies are 2×2 bicliques, so a butterfly containing two adjacent
+/// opposite-side vertices necessarily uses the edge between them; the
+/// endpoint cases therefore reduce to [`leader_decrement`] verbatim, and a
+/// wing vertex `p` on `u`'s side loses one butterfly `{u, p} × {v, w}` per
+/// common cross neighbor `w ≠ v` — provided `p` is itself adjacent to `v`.
+/// Cost is O(d²) like the vertex form.
+///
+/// Returns 0 when `p` is unrelated to the edge (not adjacent to the far
+/// endpoint, or outside the cross-graph). The edge must be present in
+/// `view`.
+pub fn edge_decrement(
+    view: &GraphView<'_>,
+    cross: BipartiteCross,
+    p: VertexId,
+    u: VertexId,
+    v: VertexId,
+) -> u64 {
+    let graph = view.graph();
+    debug_assert!(view.is_alive(u) && view.is_alive(v), "edge endpoints must be alive");
+    debug_assert!(graph.has_edge(u, v), "edge deltas are evaluated while the edge exists");
+    debug_assert_ne!(graph.label(u), graph.label(v), "cross edges are heterogeneous");
+    if p == u {
+        return leader_decrement(view, cross, u, v);
+    }
+    if p == v {
+        return leader_decrement(view, cross, v, u);
+    }
+    let lp = graph.label(p);
+    if cross.opposite(lp).is_none() || !view.is_alive(p) {
+        return 0;
+    }
+    // A wing vertex must sit on one of the edge's sides and close the
+    // 4-cycle with the far endpoint.
+    let (near, far) = if lp == graph.label(u) {
+        (u, v)
+    } else if lp == graph.label(v) {
+        (v, u)
+    } else {
+        return 0;
+    };
+    if !cross.cross_neighbors(view, p).any(|w| w == far) {
+        return 0;
+    }
+    // Common cross neighbors of p and the same-side endpoint, minus `far`
+    // itself (counted in the intersection because far ∈ N(near) ∩ N(p)).
+    (common_cross_neighbors(view, cross, p, near) as u64).saturating_sub(1)
+}
+
 /// `|N(a) ∩ N(b)|` in the cross-graph for two same-side vertices.
 fn common_cross_neighbors(
     view: &GraphView<'_>,
@@ -188,6 +241,58 @@ mod tests {
                 before[p.index()],
                 after[p.index()]
             );
+        }
+    }
+
+    #[test]
+    fn figure3_edge_decrements() {
+        // Butterflies containing the edge (v1, u2) are {v1, v3} × {u2, x}
+        // for x ∈ {u3, u5, u6}: three of them.
+        let (g, l, r) = figure3();
+        let view = GraphView::new(&g);
+        let (v1, v3, u2, u3, u1) = (l[0], l[2], r[1], r[2], r[0]);
+        assert_eq!(edge_decrement(&view, cross01(), v1, v1, u2), 3, "endpoint v1");
+        assert_eq!(edge_decrement(&view, cross01(), u2, v1, u2), 3, "endpoint u2");
+        assert_eq!(edge_decrement(&view, cross01(), v3, v1, u2), 3, "wing v3");
+        assert_eq!(edge_decrement(&view, cross01(), u3, v1, u2), 1, "wing u3");
+        assert_eq!(edge_decrement(&view, cross01(), u1, v1, u2), 0, "u1 closes no 4-cycle");
+        assert_eq!(edge_decrement(&view, cross01(), l[1], v1, u2), 0, "v2 closes no 4-cycle");
+    }
+
+    #[test]
+    fn edge_decrement_matches_recount_randomized() {
+        use bcc_graph::{apply_change, EdgeChange, EdgeOp};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        for trial in 0..30 {
+            let mut b = GraphBuilder::new();
+            let left: Vec<_> = (0..6).map(|_| b.add_vertex("L")).collect();
+            let right: Vec<_> = (0..6).map(|_| b.add_vertex("R")).collect();
+            for &x in &left {
+                for &y in &right {
+                    if rng.gen_bool(0.45) {
+                        b.add_edge(x, y);
+                    }
+                }
+            }
+            let g = b.build();
+            let cross_edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+            if cross_edges.is_empty() {
+                continue;
+            }
+            let (u, v) = cross_edges[rng.gen_range(0..cross_edges.len())];
+            let shrunk =
+                apply_change(&g, &EdgeChange { u, v, op: EdgeOp::Remove });
+            let cross = cross01();
+            let view = GraphView::new(&g);
+            let before = butterfly_degrees(&view, cross);
+            let after = butterfly_degrees(&GraphView::new(&shrunk), cross);
+            for p in g.vertices() {
+                assert_eq!(
+                    before[p.index()] - edge_decrement(&view, cross, p, u, v),
+                    after[p.index()],
+                    "trial {trial}: χ({p}) delta for edge ({u}, {v})"
+                );
+            }
         }
     }
 

@@ -53,9 +53,12 @@ const USAGE: &str = "usage:
   bcc case     <flight|trade|fiction|academic> [--out FILE]
 
 serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
-`msearch q=<v>,<v>,...` / `stats` / `graphs` / `quit` lines from stdin and
-prints one JSON result line per request; batch runs a file of such lines
-concurrently and prints results in input order.";
+`msearch q=<v>,<v>,...` / `add_edge u=<v> v=<v>` / `remove_edge u=<v> v=<v>` /
+`commit` / `stats` / `graphs` / `quit` lines from stdin and prints one JSON
+result line per request; batch runs a file of such lines concurrently and
+prints results in input order. add_edge/remove_edge stage live edge updates;
+commit applies them, patching the BCindex in place and invalidating only the
+affected cache entries.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;

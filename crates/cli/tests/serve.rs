@@ -97,6 +97,69 @@ fn scripted_serve_session_end_to_end() {
 }
 
 #[test]
+fn mutate_then_search_session_end_to_end() {
+    let dir = temp_dir("mutate");
+    let graph = graph_file(&dir);
+
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg(&graph)
+        .args(["--workers", "2", "--name", "live"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn bcc serve");
+
+    // Warm the cache, grow the butterfly bridge to all 4x4 cross pairs,
+    // commit, and search again: the answer must reflect the live graph.
+    let script = "search ql=l0 qr=r0 method=l2p\n\
+                  add_edge u=l2 v=r2\n\
+                  add_edge u=l2 v=r3\n\
+                  add_edge u=l3 v=r2\n\
+                  add_edge u=l3 v=r3\n\
+                  commit\n\
+                  search ql=l2 qr=r2 method=l2p\n\
+                  remove_edge u=l9 v=r0\n\
+                  quit\n";
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let output = child.wait_with_output().expect("session completes");
+    assert!(output.status.success(), "serve exited with {:?}", output.status);
+
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "one response per request line:\n{stdout}");
+    assert!(lines[0].contains("\"size\":8"), "warmup: {}", lines[0]);
+    for staged in &lines[1..5] {
+        assert!(staged.contains("\"op\":\"add_edge\""), "{staged}");
+        assert!(staged.contains("\"ok\":true"), "{staged}");
+    }
+    assert!(lines[4].contains("\"staged\":4"), "{}", lines[4]);
+    assert!(lines[5].contains("\"op\":\"commit\""), "{}", lines[5]);
+    assert!(lines[5].contains("\"applied\":4"), "{}", lines[5]);
+    assert!(lines[5].contains("\"edges\":20"), "{}", lines[5]);
+    assert!(
+        lines[5].contains("\"index_patched\":true"),
+        "the l2p search built the index, so commit patches it: {}",
+        lines[5]
+    );
+    // The new cross edges make {l2, r2} butterfly-connected: a search that
+    // was infeasible on the old snapshot now returns the full community.
+    assert!(lines[6].contains("\"ok\":true"), "{}", lines[6]);
+    assert!(lines[6].contains("\"size\":8"), "{}", lines[6]);
+    // Unknown vertex in a mutation: structured error, session continues.
+    assert!(lines[7].contains("\"ok\":false"), "{}", lines[7]);
+    assert!(lines[7].contains("\"error\":\"mutate\""), "{}", lines[7]);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn batch_runs_a_query_file_in_order() {
     let dir = temp_dir("batch");
     let graph = graph_file(&dir);

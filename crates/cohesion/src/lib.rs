@@ -39,7 +39,8 @@ pub mod truss;
 
 pub use core_decomp::{core_decomposition, label_core_decomposition, max_coreness};
 pub use core_maintain::{
-    cascade_label_core, reduce_to_k_core, reduce_to_label_core, LabelCoreThresholds,
+    cascade_label_core, cascade_label_core_from_seeds, reduce_to_k_core, reduce_to_label_core,
+    LabelCoreThresholds,
 };
 pub use support::{triangle_supports, EdgeIndex};
 pub use truss::{truss_decomposition, TrussState};

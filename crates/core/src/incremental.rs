@@ -1,0 +1,347 @@
+//! Incremental BCindex maintenance under single-edge updates.
+//!
+//! The offline/online split of Section 6.3 only pays off at scale if the
+//! offline [`BccIndex`] survives graph change. This module patches the two
+//! per-vertex components in place after an edge flip, instead of rebuilding:
+//!
+//! * **label coreness δ** — an edge is *homogeneous* or it does not touch a
+//!   label-induced subgraph at all, so only a homogeneous flip can move δ,
+//!   and only inside the flipped edge's label group. Deletions run the
+//!   Algorithm 4 cascade ([`bcc_cohesion::cascade_label_core_from_seeds`])
+//!   over the old k-subcore seeded at the endpoints; insertions peel the
+//!   (k+1)-core of the candidate set (the core-k vertices k-path-connected
+//!   to the insertion, plus the old (k+1)-core) — the classical traversal
+//!   bound: one edge moves δ by at most 1, and only for vertices with
+//!   δ = min(δ(u), δ(v)).
+//! * **butterfly degree χ** — χ counts wedges made of *cross* edges only,
+//!   so only a heterogeneous flip can move it, and only for vertices in the
+//!   flipped edge's closed neighborhood. Two-label graphs take the
+//!   Algorithm 7 edge delta ([`bcc_butterfly::edge_decrement`], O(d²) per
+//!   affected vertex); multi-label graphs recompute the aggregate χ locally
+//!   ([`crate::index::hetero_butterfly_degree_of`]).
+//!
+//! The contract, pinned by the differential suites: after any sequence of
+//! [`patch_index_edge`] calls the index is **bit-identical** to
+//! `BccIndex::build` on the final snapshot.
+
+use bcc_cohesion::{cascade_label_core_from_seeds, reduce_to_label_core, LabelCoreThresholds};
+use bcc_graph::{BitSet, EdgeChange, EdgeOp, GraphView, LabeledGraph, VertexId};
+use rustc_hash::FxHashSet;
+
+use crate::index::{hetero_butterfly_degree_of, BccIndex};
+
+/// Which index entries one [`patch_index_edge`] call moved.
+#[derive(Clone, Debug, Default)]
+pub struct PatchReport {
+    /// Vertices whose label coreness δ changed (by exactly ±1).
+    pub coreness_changed: Vec<VertexId>,
+    /// Vertices whose butterfly degree χ changed.
+    pub chi_changed: Vec<VertexId>,
+}
+
+impl PatchReport {
+    /// True when the flip moved no index entry at all.
+    pub fn is_empty(&self) -> bool {
+        self.coreness_changed.is_empty() && self.chi_changed.is_empty()
+    }
+}
+
+/// The closed neighborhood an edge flip can influence: the endpoints plus
+/// every neighbor either endpoint has in the pre- or post-flip snapshot.
+/// Search results and index entries outside this set can only move through
+/// the cascades, which [`PatchReport`] tracks separately.
+pub fn affected_neighborhood(
+    before: &LabeledGraph,
+    after: &LabeledGraph,
+    change: &EdgeChange,
+) -> Vec<VertexId> {
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    let mut out = Vec::new();
+    for host in [before, after] {
+        for w in [change.u, change.v] {
+            if seen.insert(w.0) {
+                out.push(w);
+            }
+            for &x in host.neighbors(w) {
+                if seen.insert(x.0) {
+                    out.push(x);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Patches `index` (valid for `before`) so it becomes valid for `after`,
+/// where the two snapshots differ by exactly `change`. Returns which entries
+/// moved.
+///
+/// `delta_max`/`chi_max` are refreshed from the patched arrays, so the index
+/// stays self-consistent after every call.
+pub fn patch_index_edge(
+    index: &mut BccIndex,
+    before: &LabeledGraph,
+    after: &LabeledGraph,
+    change: &EdgeChange,
+) -> PatchReport {
+    let mut report = PatchReport::default();
+    if before.label(change.u) == before.label(change.v) {
+        patch_coreness(index, after, change, &mut report);
+        if !report.coreness_changed.is_empty() {
+            index.delta_max = index.label_coreness.iter().copied().max().unwrap_or(0);
+        }
+    } else {
+        patch_chi(index, before, after, change, &mut report);
+        if !report.chi_changed.is_empty() {
+            index.chi_max = index.butterfly_degree.iter().copied().max().unwrap_or(0);
+        }
+    }
+    report
+}
+
+/// δ maintenance for a homogeneous flip, within the edge's label group.
+fn patch_coreness(
+    index: &mut BccIndex,
+    after: &LabeledGraph,
+    change: &EdgeChange,
+    report: &mut PatchReport,
+) {
+    let (u, v) = (change.u, change.v);
+    let label = after.label(u);
+    let k = index.coreness(u).min(index.coreness(v));
+    match change.op {
+        EdgeOp::Remove => {
+            if k == 0 {
+                return; // neither endpoint was in any positive core
+            }
+            // The old k-core of the label group, on the post-flip snapshot.
+            // Only the endpoints lost degree, so they are the only possible
+            // cascade seeds (Algorithm 4).
+            let mut alive = BitSet::new(after.vertex_count());
+            for w in after.vertices() {
+                if after.label(w) == label && index.label_coreness[w.index()] >= k {
+                    alive.insert(w.index());
+                }
+            }
+            let mut view = GraphView::from_alive(after, alive);
+            let mut thresholds = LabelCoreThresholds::new(after.label_count());
+            thresholds.require(label, k);
+            let removed = cascade_label_core_from_seeds(&mut view, &thresholds, &[u, v]);
+            for w in removed {
+                // Every peeled vertex had δ exactly k (deeper cores cannot
+                // lose the flipped edge) and drops by exactly 1.
+                index.label_coreness[w.index()] -= 1;
+                report.coreness_changed.push(w);
+            }
+        }
+        EdgeOp::Insert => {
+            // Candidates: core-k vertices reachable from a core-k endpoint
+            // through core-k vertices of the label group (the traversal
+            // candidate set); only they can rise, to exactly k + 1.
+            let mut in_candidates = BitSet::new(after.vertex_count());
+            let mut queue = std::collections::VecDeque::new();
+            for root in [u, v] {
+                if index.coreness(root) == k && in_candidates.insert(root.index()) {
+                    queue.push_back(root);
+                }
+            }
+            while let Some(x) = queue.pop_front() {
+                for &w in after.neighbors(x) {
+                    if after.label(w) == label
+                        && index.label_coreness[w.index()] == k
+                        && in_candidates.insert(w.index())
+                    {
+                        queue.push_back(w);
+                    }
+                }
+            }
+            // Peel candidates ∪ old (k+1)-core down to the new (k+1)-core.
+            let mut alive = in_candidates.clone();
+            for w in after.vertices() {
+                if after.label(w) == label && index.label_coreness[w.index()] > k {
+                    alive.insert(w.index());
+                }
+            }
+            let mut view = GraphView::from_alive(after, alive);
+            let mut thresholds = LabelCoreThresholds::new(after.label_count());
+            thresholds.require(label, k + 1);
+            reduce_to_label_core(&mut view, &thresholds);
+            for w in view.alive_vertices() {
+                if in_candidates.contains(w.index()) {
+                    index.label_coreness[w.index()] = k + 1;
+                    report.coreness_changed.push(w);
+                }
+            }
+        }
+    }
+}
+
+/// χ maintenance for a heterogeneous flip, over the edge's closed
+/// neighborhood.
+fn patch_chi(
+    index: &mut BccIndex,
+    before: &LabeledGraph,
+    after: &LabeledGraph,
+    change: &EdgeChange,
+    report: &mut PatchReport,
+) {
+    let affected = affected_neighborhood(before, after, change);
+    if after.label_count() == 2 {
+        // Two labels: the aggregate χ *is* the bipartite butterfly degree,
+        // so the Algorithm 7 edge delta applies verbatim. It is evaluated on
+        // whichever snapshot contains the edge.
+        let cross = bcc_butterfly::BipartiteCross::new(
+            before.label(change.u),
+            before.label(change.v),
+        );
+        let host = match change.op {
+            EdgeOp::Insert => after,
+            EdgeOp::Remove => before,
+        };
+        let host_view = GraphView::new(host);
+        for &p in &affected {
+            let delta = bcc_butterfly::edge_decrement(&host_view, cross, p, change.u, change.v);
+            if delta == 0 {
+                continue;
+            }
+            match change.op {
+                EdgeOp::Insert => index.butterfly_degree[p.index()] += delta,
+                EdgeOp::Remove => index.butterfly_degree[p.index()] -= delta,
+            }
+            report.chi_changed.push(p);
+        }
+    } else {
+        // Multi-label aggregate: recompute χ locally — still O(d²) per
+        // affected vertex, never a global recount.
+        let view = GraphView::new(after);
+        for &p in &affected {
+            let fresh = hetero_butterfly_degree_of(&view, p);
+            if fresh != index.butterfly_degree[p.index()] {
+                index.butterfly_degree[p.index()] = fresh;
+                report.chi_changed.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::{apply_change, GraphBuilder};
+
+    fn assert_index_eq(patched: &BccIndex, rebuilt: &BccIndex, context: &str) {
+        assert_eq!(patched.label_coreness, rebuilt.label_coreness, "δ after {context}");
+        assert_eq!(patched.butterfly_degree, rebuilt.butterfly_degree, "χ after {context}");
+        assert_eq!(patched.delta_max, rebuilt.delta_max, "δ_max after {context}");
+        assert_eq!(patched.chi_max, rebuilt.chi_max, "χ_max after {context}");
+    }
+
+    /// Two labeled 4-cliques bridged by a 2×2 butterfly.
+    fn butterfly_graph() -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let l: Vec<_> = (0..4).map(|_| b.add_vertex("L")).collect();
+        let r: Vec<_> = (0..4).map(|_| b.add_vertex("R")).collect();
+        for grp in [&l, &r] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(grp[i], grp[j]);
+                }
+            }
+        }
+        for &x in &l[..2] {
+            for &y in &r[..2] {
+                b.add_edge(x, y);
+            }
+        }
+        b.build()
+    }
+
+    fn flip(graph: &LabeledGraph, u: u32, v: u32, op: EdgeOp) -> (LabeledGraph, EdgeChange) {
+        let change = EdgeChange { u: VertexId(u), v: VertexId(v), op };
+        (apply_change(graph, &change), change)
+    }
+
+    #[test]
+    fn homogeneous_deletion_cascades_coreness() {
+        let g = butterfly_graph();
+        let mut index = BccIndex::build(&g);
+        let (after, change) = flip(&g, 0, 1, EdgeOp::Remove);
+        let report = patch_index_edge(&mut index, &g, &after, &change);
+        // The left 4-clique loses an edge: its 3-core collapses to a 2-core.
+        assert_eq!(report.coreness_changed.len(), 4);
+        assert!(report.chi_changed.is_empty(), "homogeneous flips never move χ");
+        assert_index_eq(&index, &BccIndex::build(&after), "remove {0,1}");
+    }
+
+    #[test]
+    fn homogeneous_insertion_raises_coreness() {
+        let g = butterfly_graph();
+        let (base, change) = flip(&g, 0, 1, EdgeOp::Remove);
+        let mut index = BccIndex::build(&base);
+        // Re-insert the edge: the 4-clique's 3-core re-forms.
+        let restored = apply_change(&base, &EdgeChange { op: EdgeOp::Insert, ..change });
+        let report = patch_index_edge(
+            &mut index,
+            &base,
+            &restored,
+            &EdgeChange { op: EdgeOp::Insert, ..change },
+        );
+        assert_eq!(report.coreness_changed.len(), 4);
+        assert_index_eq(&index, &BccIndex::build(&restored), "re-insert {0,1}");
+    }
+
+    #[test]
+    fn heterogeneous_flip_moves_only_chi() {
+        let g = butterfly_graph();
+        let mut index = BccIndex::build(&g);
+        let (after, change) = flip(&g, 0, 4, EdgeOp::Remove);
+        let report = patch_index_edge(&mut index, &g, &after, &change);
+        assert!(report.coreness_changed.is_empty(), "heterogeneous flips never move δ");
+        assert!(!report.chi_changed.is_empty());
+        assert_index_eq(&index, &BccIndex::build(&after), "remove {0,4}");
+
+        let restored = apply_change(&after, &EdgeChange { op: EdgeOp::Insert, ..change });
+        patch_index_edge(&mut index, &after, &restored, &EdgeChange { op: EdgeOp::Insert, ..change });
+        assert_index_eq(&index, &BccIndex::build(&restored), "re-insert {0,4}");
+    }
+
+    #[test]
+    fn isolated_label_pair_insertion() {
+        // Two vertices of one label with no homogeneous edges: inserting the
+        // first edge lifts both from δ = 0 to δ = 1 (the k = 0 corner).
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex("A");
+        let a1 = b.add_vertex("A");
+        let c = b.add_vertex("B");
+        b.add_edge(a0, c);
+        b.add_edge(a1, c);
+        let g = b.build();
+        let mut index = BccIndex::build(&g);
+        let (after, change) = flip(&g, 0, 1, EdgeOp::Insert);
+        let report = patch_index_edge(&mut index, &g, &after, &change);
+        assert_eq!(report.coreness_changed.len(), 2);
+        assert_index_eq(&index, &BccIndex::build(&after), "first homogeneous edge");
+    }
+
+    #[test]
+    fn multi_label_chi_patching() {
+        // Three labels exercise the aggregate-χ (non-bipartite) path.
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..2).map(|_| b.add_vertex("A")).collect();
+        let bs: Vec<_> = (0..2).map(|_| b.add_vertex("B")).collect();
+        let cs: Vec<_> = (0..2).map(|_| b.add_vertex("C")).collect();
+        for &x in &a {
+            for &y in bs.iter().chain(&cs) {
+                b.add_edge(x, y);
+            }
+        }
+        let g = b.build();
+        let mut index = BccIndex::build(&g);
+        let (after, change) = flip(&g, 0, 2, EdgeOp::Remove);
+        patch_index_edge(&mut index, &g, &after, &change);
+        assert_index_eq(&index, &BccIndex::build(&after), "3-label remove");
+        let (restored, ins) = flip(&after, 0, 2, EdgeOp::Insert);
+        patch_index_edge(&mut index, &after, &restored, &ins);
+        assert_index_eq(&index, &BccIndex::build(&restored), "3-label insert");
+    }
+}

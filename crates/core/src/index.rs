@@ -61,26 +61,41 @@ impl BccIndex {
 /// label: wedges v → u → w with `ℓ(u) ≠ ℓ(v)` and `ℓ(w) = ℓ(v)`. Reduces to
 /// Algorithm 3 on two-label graphs.
 fn hetero_butterfly_degrees(view: &GraphView<'_>) -> Vec<u64> {
-    let graph = view.graph();
-    let n = graph.vertex_count();
-    let mut chi = vec![0u64; n];
+    let mut chi = vec![0u64; view.graph().vertex_count()];
     let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
     for v in view.alive_vertices() {
-        let label = graph.label(v);
-        paths.clear();
-        for u in view.cross_label_neighbors(v) {
-            for w in view.neighbors(u) {
-                if w != v && graph.label(w) == label {
-                    *paths.entry(w.0).or_insert(0) += 1;
-                }
-            }
-        }
-        chi[v.index()] = paths
-            .values()
-            .map(|&c| (c as u64) * (c as u64).saturating_sub(1) / 2)
-            .sum();
+        chi[v.index()] = hetero_chi_into(view, v, &mut paths);
     }
     chi
+}
+
+/// χ(v) alone — the per-vertex wedge count the full decomposition loops
+/// over, exposed for incremental maintenance (see [`crate::incremental`]):
+/// an edge flip can only change χ inside the flipped edge's closed
+/// neighborhood, so patching recomputes exactly those entries.
+pub fn hetero_butterfly_degree_of(view: &GraphView<'_>, v: VertexId) -> u64 {
+    hetero_chi_into(view, v, &mut FxHashMap::default())
+}
+
+fn hetero_chi_into(
+    view: &GraphView<'_>,
+    v: VertexId,
+    paths: &mut FxHashMap<u32, u32>,
+) -> u64 {
+    let graph = view.graph();
+    let label = graph.label(v);
+    paths.clear();
+    for u in view.cross_label_neighbors(v) {
+        for w in view.neighbors(u) {
+            if w != v && graph.label(w) == label {
+                *paths.entry(w.0).or_insert(0) += 1;
+            }
+        }
+    }
+    paths
+        .values()
+        .map(|&c| (c as u64) * (c as u64).saturating_sub(1) / 2)
+        .sum()
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@
 pub mod candidate;
 pub mod engine;
 pub mod fast_dist;
+pub mod incremental;
 pub mod index;
 pub mod local;
 pub mod model;
@@ -60,6 +61,7 @@ pub mod stats;
 
 pub use engine::EngineConfig;
 pub use fast_dist::IncrementalDistances;
+pub use incremental::{affected_neighborhood, patch_index_edge, PatchReport};
 pub use index::BccIndex;
 pub use local::{butterfly_core_path, expand_candidate, PathWeights};
 pub use model::{

@@ -63,24 +63,10 @@ impl Table {
     }
 }
 
-/// JSON string literal with the escapes required by RFC 8259.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+/// The workspace-wide JSON string escaper — shared with the service's
+/// response emitter so hostile cell contents can never corrupt either
+/// document (both emitters are hand-rolled; see `vendor/README.md`).
+use bcc_graph::json::json_string;
 
 /// One-line JSON array of strings.
 fn json_string_array(items: &[String]) -> String {
@@ -170,6 +156,20 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("\"title\": \"T\""));
         assert!(json.contains("\"rows\""));
+    }
+
+    #[test]
+    fn json_escapes_hostile_cells() {
+        // Vertex names flow into table cells verbatim, and `ali"ce` is a
+        // legal name: the emitted document must stay intact.
+        let mut t = Table::new("Ti\"tle\n", vec!["net\\work".into()]);
+        t.push_row(vec!["ali\"ce\t".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"Ti\\\"tle\\n\""), "{json}");
+        assert!(json.contains("\"net\\\\work\""), "{json}");
+        assert!(json.contains("\"ali\\\"ce\\t\""), "{json}");
+        let unescaped = json.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0, "balanced quotes: {json}");
     }
 
     #[test]

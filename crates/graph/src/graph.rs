@@ -71,6 +71,17 @@ impl LabeledGraph {
         }
     }
 
+    /// CSR internals for same-crate patching (see [`crate::delta`]).
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
+    /// Clones the vertex metadata (labels, interner, names) — the parts of a
+    /// snapshot an edge-only patch carries over unchanged.
+    pub(crate) fn clone_meta(&self) -> (Vec<Label>, LabelInterner, Option<Vec<String>>) {
+        (self.labels.clone(), self.interner.clone(), self.names.clone())
+    }
+
     /// Number of vertices `|V|`.
     #[inline]
     pub fn vertex_count(&self) -> usize {

@@ -1,0 +1,70 @@
+//! The one JSON string-escaping helper for the whole workspace.
+//!
+//! The workspace builds without serde (see `vendor/README.md`), so every
+//! JSON emitter — the service's one-line responses, the experiment tables —
+//! is hand-rolled. Strings are the only part of that with sharp edges:
+//! vertex and graph names come straight from user input (the line protocol
+//! splits on whitespace only, so `ali"ce` is a legal vertex name) and must
+//! not corrupt the surrounding document. Escaping lives here, once, in the
+//! crate everything already depends on.
+
+/// Renders `s` as a JSON string literal (including the surrounding quotes)
+/// with the escapes required by RFC 8259: `"`, `\`, and all control
+/// characters below U+0020 (`\n`/`\r`/`\t` short forms, `\u00XX` for the
+/// rest).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
+/// Appends the JSON string literal form of `s` (quotes included) to `out`.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(json_string("alice"), "\"alice\"");
+        assert_eq!(json_string(""), "\"\"");
+        assert_eq!(json_string("héllo ✓"), "\"héllo ✓\"");
+    }
+
+    #[test]
+    fn hostile_names_escape() {
+        assert_eq!(json_string("ali\"ce"), "\"ali\\\"ce\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+        assert_eq!(json_string("nul\u{0}bell\u{7}"), "\"nul\\u0000bell\\u0007\"");
+    }
+
+    #[test]
+    fn every_control_character_is_escaped() {
+        for c in (0u32..0x20).filter_map(char::from_u32) {
+            let rendered = json_string(&c.to_string());
+            assert!(
+                rendered.starts_with("\"\\"),
+                "control {:#x} must be escaped, got {rendered}",
+                c as u32
+            );
+        }
+    }
+}

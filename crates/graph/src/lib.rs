@@ -9,6 +9,9 @@
 //! * [`GraphView`] — a mutable overlay over a [`LabeledGraph`] supporting O(1)
 //!   vertex deletion with live degree counters, the workhorse of every
 //!   peeling algorithm in the paper.
+//! * [`GraphDelta`] — staged, validated edge inserts/deletes against a
+//!   snapshot, spliced into a new snapshot in one CSR merge pass (the
+//!   substrate of incremental index maintenance and live serving).
 //! * [`traversal`] — BFS distances, query distance (Definition 5 of the
 //!   paper), connectivity, connected components, and diameter computation.
 //! * [`BitSet`] / [`UnionFind`] — small utility structures used across the
@@ -41,8 +44,10 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod delta;
 pub mod graph;
 pub mod io;
+pub mod json;
 pub mod labels;
 pub mod traversal;
 pub mod unionfind;
@@ -50,6 +55,7 @@ pub mod view;
 
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
+pub use delta::{apply_change, DeltaError, EdgeChange, EdgeOp, GraphDelta};
 pub use graph::{EdgeKind, LabeledGraph, VertexId};
 pub use labels::{Label, LabelInterner};
 pub use traversal::{bfs_distances, query_distance, QueryDistances, INF_DIST};

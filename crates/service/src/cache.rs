@@ -15,7 +15,9 @@ const NIL: usize = usize::MAX;
 
 struct Node<K, V> {
     key: K,
-    value: V,
+    /// `None` only while the slot sits on the free list (the value of a
+    /// removed entry is moved out to the caller).
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
@@ -89,7 +91,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
                 self.counters.hits += 1;
                 self.detach(idx);
                 self.push_front(idx);
-                Some(&self.nodes[idx].value)
+                self.nodes[idx].value.as_ref()
             }
             None => {
                 self.counters.misses += 1;
@@ -100,7 +102,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
 
     /// Checks for `key` without touching recency or counters.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.map.get(key).map(|&idx| &self.nodes[idx].value)
+        self.map.get(key).and_then(|&idx| self.nodes[idx].value.as_ref())
     }
 
     /// Inserts (or overwrites) `key`, evicting the LRU entry on overflow.
@@ -109,7 +111,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
-            self.nodes[idx].value = value;
+            self.nodes[idx].value = Some(value);
             self.detach(idx);
             self.push_front(idx);
             self.counters.insertions += 1;
@@ -120,22 +122,47 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             debug_assert_ne!(lru, NIL);
             self.detach(lru);
             self.map.remove(&self.nodes[lru].key);
+            self.nodes[lru].value = None;
             self.free.push(lru);
             self.counters.evictions += 1;
         }
         let idx = match self.free.pop() {
             Some(slot) => {
-                self.nodes[slot] = Node { key: key.clone(), value, prev: NIL, next: NIL };
+                self.nodes[slot] =
+                    Node { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
                 slot
             }
             None => {
-                self.nodes.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.nodes.push(Node { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
                 self.nodes.len() - 1
             }
         };
         self.map.insert(key, idx);
         self.push_front(idx);
         self.counters.insertions += 1;
+    }
+
+    /// Removes `key`, returning its value. Does not touch hit/miss/eviction
+    /// counters: removal is an invalidation decision by the caller, not a
+    /// lookup and not capacity pressure.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        self.nodes[idx].value.take()
+    }
+
+    /// Every live key, least-recently-used first. The snapshot a commit
+    /// walks to invalidate/rekey entries generation by generation;
+    /// reinserting in this order keeps relative recency among the survivors.
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            keys.push(self.nodes[idx].key.clone());
+            idx = self.nodes[idx].prev;
+        }
+        keys
     }
 
     /// Drops every entry (counters are preserved — they are lifetime
@@ -228,6 +255,38 @@ mod tests {
         assert!(cache.peek(&0).is_some());
         assert!(cache.peek(&3).is_some());
         assert!(cache.peek(&4).is_some());
+    }
+
+    #[test]
+    fn remove_frees_the_slot_without_counting() {
+        let mut cache: LruCache<u32, String> = LruCache::new(2);
+        cache.insert(1, "one".into());
+        cache.insert(2, "two".into());
+        assert_eq!(cache.remove(&1), Some("one".into()));
+        assert_eq!(cache.remove(&1), None, "double remove is a no-op");
+        assert_eq!(cache.len(), 1);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions), (0, 0, 0));
+        // The freed slot is reused: no third allocation, no eviction.
+        cache.insert(3, "three".into());
+        assert!(cache.nodes.len() <= 2);
+        assert_eq!(cache.counters().evictions, 0);
+        assert_eq!(cache.peek(&2), Some(&"two".into()));
+        assert_eq!(cache.peek(&3), Some(&"three".into()));
+    }
+
+    #[test]
+    fn keys_by_recency_walks_lru_to_mru() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            cache.insert(i, i);
+        }
+        cache.get(&1); // order (LRU→MRU): 0, 2, 3, 1
+        assert_eq!(cache.keys_by_recency(), vec![0, 2, 3, 1]);
+        cache.remove(&2);
+        assert_eq!(cache.keys_by_recency(), vec![0, 3, 1]);
+        let empty: LruCache<u32, u32> = LruCache::new(4);
+        assert!(empty.keys_by_recency().is_empty());
     }
 
     #[test]

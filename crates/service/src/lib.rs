@@ -15,7 +15,12 @@
 //!   symmetric queries are served from memory, with hit/miss/eviction
 //!   counters;
 //! * [`BccService`] — the façade tying the three together and speaking a
-//!   line-oriented protocol (`bcc serve` / `bcc batch` in the CLI).
+//!   line-oriented protocol (`bcc serve` / `bcc batch` in the CLI),
+//!   including live mutation: `add_edge`/`remove_edge` stage validated
+//!   edge changes, `commit` applies them as a fresh snapshot with the
+//!   BCindex patched in place (Algorithm 4 cascades + Algorithm 7
+//!   butterfly deltas) and cache invalidation scoped to the affected
+//!   communities.
 //!
 //! ```
 //! use bcc_graph::GraphBuilder;
@@ -57,11 +62,12 @@ pub mod service;
 
 pub use cache::{CacheCounters, LruCache};
 pub use pool::{default_workers, Ticket, WaitError, WorkerPool};
-pub use registry::{BuiltIndex, GraphEntry, GraphRegistry};
+pub use registry::{BuiltIndex, CommitOutcome, GraphEntry, GraphRegistry};
 pub use request::{
-    parse_line, CacheKey, ErrorKind, Method, ParsedLine, QueryKind, QueryRequest, RequestError,
+    parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, QueryKind,
+    QueryRequest, RequestError,
 };
-pub use response::{QueryOutcome, QueryResponse};
+pub use response::{CommitSummary, MutateOutcome, MutateResponse, QueryOutcome, QueryResponse};
 pub use service::{BccService, LineOutcome, Pending, ServiceConfig, ServiceStats};
 
 /// Compile-time audit that every type the worker pool shares across threads

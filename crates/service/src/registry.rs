@@ -5,14 +5,26 @@
 //! most once — lazily, on the first request that needs coreness defaults or
 //! runs L2P — and every worker thread then reads the same snapshot with no
 //! locking on the query path.
+//!
+//! Snapshots stay immutable under mutation: `add_edge`/`remove_edge` lines
+//! *stage* a validated [`GraphDelta`] against the current snapshot, and
+//! [`GraphRegistry::commit`] replays it into a **new** snapshot — patching
+//! the already-built BCindex in place with the Algorithm 4 cascades and
+//! Algorithm 7 butterfly deltas (`bcc_core::incremental`) instead of
+//! rebuilding — while in-flight requests keep their `Arc` to the old one.
+//! The commit reports the *dirty vertex set* (mutation neighborhood plus
+//! every index entry the cascades moved) so the serving layer can
+//! invalidate result-cache entries by community membership instead of
+//! clearing wholesale.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use bcc_core::BccIndex;
-use bcc_graph::LabeledGraph;
+use bcc_graph::{GraphDelta, LabeledGraph, VertexId};
+use rustc_hash::FxHashSet;
 
 /// A `BccIndex` plus the wall time its one-off build took.
 #[derive(Clone, Debug)]
@@ -50,6 +62,15 @@ impl GraphEntry {
         }
     }
 
+    /// Wraps `graph` with an already-built (patched) index — the commit
+    /// path: the new snapshot inherits the old snapshot's index, updated in
+    /// place, so no request ever pays a rebuild.
+    fn with_built(name: String, graph: LabeledGraph, built: BuiltIndex) -> Self {
+        let entry = GraphEntry::new(name, graph);
+        entry.index.set(built).expect("fresh OnceLock accepts exactly one value");
+        entry
+    }
+
     /// The registry key.
     pub fn name(&self) -> &str {
         &self.name
@@ -82,11 +103,45 @@ impl GraphEntry {
     }
 }
 
+/// Edge changes staged for one graph, pinned to the snapshot generation
+/// they were validated against.
+struct PendingDelta {
+    generation: u64,
+    delta: GraphDelta,
+}
+
+/// What [`GraphRegistry::commit`] produced.
+#[derive(Debug)]
+pub struct CommitOutcome {
+    /// The new snapshot entry (already registered under the old name).
+    pub entry: Arc<GraphEntry>,
+    /// The replaced snapshot's generation (cache keys carrying it are the
+    /// candidates for invalidation/rekeying).
+    pub old_generation: u64,
+    /// Edge changes applied.
+    pub applied: usize,
+    /// Vertices whose search-relevant state moved: the mutation endpoints,
+    /// their pre/post neighborhoods, and every index entry the Algorithm 4
+    /// cascades / Algorithm 7 deltas changed. `None` when the old snapshot's
+    /// index was never built — no cascade information exists, so callers
+    /// must treat every vertex of the graph as dirty.
+    pub dirty: Option<FxHashSet<u32>>,
+}
+
+impl CommitOutcome {
+    /// True when the BCindex was patched in place rather than left unbuilt.
+    pub fn index_patched(&self) -> bool {
+        self.dirty.is_some()
+    }
+}
+
 /// A named collection of [`GraphEntry`]s behind a `RwLock` — writes happen
-/// only at registration time, reads are a brief map lookup per request.
+/// only at registration time and commit time, reads are a brief map lookup
+/// per request — plus the per-graph staging area for edge mutations.
 #[derive(Default)]
 pub struct GraphRegistry {
     graphs: RwLock<HashMap<String, Arc<GraphEntry>>>,
+    pending: Mutex<HashMap<String, PendingDelta>>,
 }
 
 impl GraphRegistry {
@@ -140,6 +195,114 @@ impl GraphRegistry {
     /// The entry registered under `name`.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
         self.graphs.read().unwrap().get(name).cloned()
+    }
+
+    /// Stages an edge insert (`insert = true`) or removal against the given
+    /// snapshot `entry`, validating it against that snapshot plus everything
+    /// already staged for it. Returns the number of changes now pending.
+    ///
+    /// The caller passes the exact `GraphEntry` it resolved the endpoints
+    /// on: the staged batch is generation-pinned to *that* snapshot, so a
+    /// concurrent re-registration can never smuggle ids resolved on one
+    /// id space into a batch validated against another — [`commit`] rejects
+    /// the whole batch if the registered generation moved
+    /// ([`GraphRegistry::commit`]). Staging left over from a different
+    /// generation is discarded on first touch.
+    pub fn stage_edge(
+        &self,
+        entry: &GraphEntry,
+        u: VertexId,
+        v: VertexId,
+        insert: bool,
+    ) -> Result<usize, String> {
+        let name = entry.name();
+        let mut pending = self.pending.lock().unwrap();
+        let slot = pending
+            .entry(name.to_owned())
+            .or_insert_with(|| PendingDelta {
+                generation: entry.generation(),
+                delta: GraphDelta::new(),
+            });
+        if slot.generation != entry.generation() {
+            *slot = PendingDelta { generation: entry.generation(), delta: GraphDelta::new() };
+        }
+        let staged = if insert {
+            slot.delta.stage_insert(entry.graph(), u, v)
+        } else {
+            slot.delta.stage_remove(entry.graph(), u, v)
+        };
+        staged.map_err(|e| e.to_string())?;
+        Ok(slot.delta.len())
+    }
+
+    /// Number of changes staged (and not yet committed) for `name`.
+    pub fn pending_len(&self, name: &str) -> usize {
+        self.pending
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, |slot| slot.delta.len())
+    }
+
+    /// Applies every change staged for `name`: replays the delta one edge
+    /// at a time, patching the BCindex in place (Algorithm 4 cascades for
+    /// coreness, Algorithm 7 deltas for butterfly degrees) when it had been
+    /// built, and registers the patched snapshot under a fresh generation.
+    /// In-flight requests keep their `Arc` to the old snapshot; results they
+    /// cache afterwards carry the dead generation and age out of the LRU.
+    pub fn commit(&self, name: &str) -> Result<CommitOutcome, String> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| format!("no graph registered as `{name}`"))?;
+        let staged = self.pending.lock().unwrap().remove(name);
+        let Some(staged) = staged else {
+            return Err(format!("nothing staged for graph `{name}`"));
+        };
+        if staged.generation != entry.generation() {
+            return Err(format!(
+                "graph `{name}` was re-registered after staging; staged changes dropped"
+            ));
+        }
+        let applied = staged.delta.len();
+        let old_generation = entry.generation();
+        let (new_entry, dirty) = match entry.index_if_built() {
+            Some(built) => {
+                let started = Instant::now();
+                let mut index = built.index.clone();
+                let mut dirty: FxHashSet<u32> = FxHashSet::default();
+                let mut current = entry.graph().clone();
+                for change in staged.delta.changes() {
+                    let next = bcc_graph::apply_change(&current, change);
+                    for w in bcc_core::affected_neighborhood(&current, &next, change) {
+                        dirty.insert(w.0);
+                    }
+                    let report = bcc_core::patch_index_edge(&mut index, &current, &next, change);
+                    for w in report.coreness_changed.iter().chain(&report.chi_changed) {
+                        dirty.insert(w.0);
+                    }
+                    current = next;
+                }
+                let built = BuiltIndex {
+                    index,
+                    // Cumulative offline investment: the original build plus
+                    // every patch since.
+                    build_time: built.build_time + started.elapsed(),
+                };
+                let entry = GraphEntry::with_built(name.to_owned(), current, built);
+                (Arc::new(entry), Some(dirty))
+            }
+            None => {
+                // No index yet: splice the whole batch in one pass and stay
+                // lazy. No cascade ran, so no scoped dirty set exists.
+                let graph = staged.delta.apply(entry.graph());
+                (Arc::new(GraphEntry::new(name.to_owned(), graph)), None)
+            }
+        };
+        self.graphs
+            .write()
+            .unwrap()
+            .insert(name.to_owned(), Arc::clone(&new_entry));
+        Ok(CommitOutcome { entry: new_entry, old_generation, applied, dirty })
     }
 
     /// All registered names, sorted.
@@ -202,6 +365,83 @@ mod tests {
         let entry = reg.generate("d", "dblp", 0.05).unwrap();
         assert!(entry.graph().vertex_count() > 0);
         assert!(reg.generate("bad", "nope", 1.0).is_err());
+    }
+
+    #[test]
+    fn stage_and_commit_patch_a_built_index() {
+        let reg = GraphRegistry::new();
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..3).map(|_| b.add_vertex("A")).collect();
+        let c: Vec<_> = (0..3).map(|_| b.add_vertex("B")).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                b.add_edge(a[i], a[j]);
+                b.add_edge(c[i], c[j]);
+            }
+        }
+        b.add_edge(a[0], c[0]);
+        let entry = reg.insert("g", b.build());
+        entry.index(); // force the build so commit takes the patch path
+
+        assert_eq!(reg.stage_edge(&entry, a[0], c[1], true).unwrap(), 1);
+        assert_eq!(reg.stage_edge(&entry, a[1], c[0], true).unwrap(), 2);
+        assert_eq!(reg.pending_len("g"), 2);
+        // Invalid stagings are rejected without polluting the batch.
+        assert!(reg.stage_edge(&entry, a[0], a[1], true).unwrap_err().contains("exists"));
+        assert!(reg
+            .stage_edge(&entry, a[0], c[2], false)
+            .unwrap_err()
+            .contains("does not exist"));
+
+        let outcome = reg.commit("g").unwrap();
+        assert_eq!(outcome.applied, 2);
+        assert!(outcome.index_patched());
+        assert_ne!(outcome.entry.generation(), outcome.old_generation);
+        assert_eq!(reg.pending_len("g"), 0);
+        // The registered entry is the new snapshot, and its patched index
+        // is bit-identical to a from-scratch build.
+        let current = reg.get("g").unwrap();
+        assert_eq!(current.generation(), outcome.entry.generation());
+        assert_eq!(current.graph().edge_count(), 9);
+        let patched = &current.index_if_built().expect("index carried over").index;
+        let rebuilt = BccIndex::build(current.graph());
+        assert_eq!(patched.label_coreness, rebuilt.label_coreness);
+        assert_eq!(patched.butterfly_degree, rebuilt.butterfly_degree);
+        let dirty = outcome.dirty.as_ref().unwrap();
+        assert!(dirty.contains(&a[0].0) && dirty.contains(&c[1].0));
+    }
+
+    #[test]
+    fn commit_without_an_index_stays_lazy() {
+        let reg = GraphRegistry::new();
+        let entry = reg.insert("g", tiny_graph());
+        assert!(entry.index_if_built().is_none());
+        reg.stage_edge(&entry, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+        let outcome = reg.commit("g").unwrap();
+        assert!(!outcome.index_patched());
+        assert!(outcome.dirty.is_none());
+        assert!(outcome.entry.index_if_built().is_none(), "still lazy");
+        assert_eq!(outcome.entry.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn commit_guards() {
+        let reg = GraphRegistry::new();
+        let entry = reg.insert("g", tiny_graph());
+        assert!(reg.commit("g").unwrap_err().contains("nothing staged"));
+        assert!(reg.commit("missing").unwrap_err().contains("no graph registered"));
+        // Re-registration between staging and commit invalidates the batch.
+        reg.stage_edge(&entry, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+        reg.insert("g", tiny_graph());
+        assert!(reg.commit("g").unwrap_err().contains("re-registered"));
+        assert_eq!(reg.pending_len("g"), 0, "the stale batch was dropped");
+        // Staging pinned to a replaced snapshot also cannot commit: the pin
+        // comes from the entry the endpoints were resolved on, never from a
+        // racing re-registration's id space.
+        let stale = reg.insert("g", tiny_graph());
+        reg.insert("g", tiny_graph());
+        reg.stage_edge(&stale, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+        assert!(reg.commit("g").unwrap_err().contains("re-registered"));
     }
 
     #[test]

@@ -7,10 +7,18 @@
 //!         [method=online|lp|l2p] [graph=NAME] [timeout_ms=N]
 //! msearch q=<name|id>,<name|id>[,...] [k=N] [b=N]
 //!         [method=online|lp|l2p] [graph=NAME] [timeout_ms=N]
+//! add_edge    u=<name|id> v=<name|id> [graph=NAME]
+//! remove_edge u=<name|id> v=<name|id> [graph=NAME]
+//! commit  [graph=NAME]
 //! stats
 //! graphs
 //! quit
 //! ```
+//!
+//! `add_edge`/`remove_edge` *stage* validated edge changes against a named
+//! snapshot; `commit` applies the staged batch, patching the BCindex in
+//! place and invalidating only the affected result-cache entries (see
+//! [`crate::registry`]).
 //!
 //! Blank lines and `#` comments are ignored. Every malformed line maps to a
 //! structured [`RequestError`] — the parser never panics (enforced by a
@@ -108,11 +116,55 @@ pub enum QueryKind {
     },
 }
 
+/// A parsed mutation line: stage an edge change or commit the staged batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutateRequest {
+    /// Registry key; `None` = the service's default graph.
+    pub graph: Option<String>,
+    /// What to do.
+    pub op: MutateOp,
+}
+
+/// The three mutation verbs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutateOp {
+    /// Stage the insertion of edge `{u, v}` (unresolved vertex tokens).
+    AddEdge {
+        /// One endpoint token.
+        u: String,
+        /// The other endpoint token.
+        v: String,
+    },
+    /// Stage the removal of edge `{u, v}`.
+    RemoveEdge {
+        /// One endpoint token.
+        u: String,
+        /// The other endpoint token.
+        v: String,
+    },
+    /// Apply every staged change: patch the snapshot + index, invalidate
+    /// affected cache entries.
+    Commit,
+}
+
+impl MutateOp {
+    /// Protocol verb, echoed back in the response's `"op"` field.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            MutateOp::AddEdge { .. } => "add_edge",
+            MutateOp::RemoveEdge { .. } => "remove_edge",
+            MutateOp::Commit => "commit",
+        }
+    }
+}
+
 /// One protocol line, parsed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParsedLine {
     /// A query to execute.
     Request(QueryRequest),
+    /// A mutation: stage an edge change or commit the staged batch.
+    Mutate(MutateRequest),
     /// `stats` — emit a [`crate::service::ServiceStats`] JSON line.
     Stats,
     /// `graphs` — list registry keys.
@@ -132,6 +184,9 @@ pub enum ErrorKind {
     Resolve,
     /// The search itself failed (`SearchError`).
     Search,
+    /// A mutation could not be staged or committed (invalid edge change,
+    /// nothing staged, snapshot replaced mid-stage).
+    Mutate,
     /// The per-request deadline expired.
     Timeout,
     /// The worker executing the request died.
@@ -145,6 +200,7 @@ impl ErrorKind {
             ErrorKind::Parse => "parse",
             ErrorKind::Resolve => "resolve",
             ErrorKind::Search => "search",
+            ErrorKind::Mutate => "mutate",
             ErrorKind::Timeout => "timeout",
             ErrorKind::Internal => "internal",
         }
@@ -169,6 +225,11 @@ impl RequestError {
     /// A resolve-category error.
     pub fn resolve(message: impl Into<String>) -> Self {
         RequestError { kind: ErrorKind::Resolve, message: message.into() }
+    }
+
+    /// A mutate-category error.
+    pub fn mutate(message: impl Into<String>) -> Self {
+        RequestError { kind: ErrorKind::Mutate, message: message.into() }
     }
 }
 
@@ -197,8 +258,12 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, RequestError> {
         "quit" | "exit" => expect_bare(verb, &rest, ParsedLine::Quit),
         "search" => parse_search(&rest).map(ParsedLine::Request),
         "msearch" => parse_msearch(&rest).map(ParsedLine::Request),
+        "add_edge" => parse_edge_mutation(&rest, true).map(ParsedLine::Mutate),
+        "remove_edge" => parse_edge_mutation(&rest, false).map(ParsedLine::Mutate),
+        "commit" => parse_commit(&rest).map(ParsedLine::Mutate),
         other => Err(RequestError::parse(format!(
-            "unknown verb `{other}` (expected search|msearch|stats|graphs|quit)"
+            "unknown verb `{other}` (expected search|msearch|add_edge|remove_edge|commit|\
+             stats|graphs|quit)"
         ))),
     }
 }
@@ -297,6 +362,34 @@ fn parse_search(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
         method,
         timeout_ms,
     })
+}
+
+fn parse_edge_mutation(tokens: &[&str], insert: bool) -> Result<MutateRequest, RequestError> {
+    let verb = if insert { "add_edge" } else { "remove_edge" };
+    let mut kv = KeyValues::parse(tokens)?;
+    let u = kv
+        .take("u")
+        .ok_or_else(|| RequestError::parse(format!("`{verb}` requires u=<vertex>")))?
+        .to_owned();
+    let v = kv
+        .take("v")
+        .ok_or_else(|| RequestError::parse(format!("`{verb}` requires v=<vertex>")))?
+        .to_owned();
+    let graph = kv.take("graph").map(str::to_owned);
+    kv.finish()?;
+    let op = if insert {
+        MutateOp::AddEdge { u, v }
+    } else {
+        MutateOp::RemoveEdge { u, v }
+    };
+    Ok(MutateRequest { graph, op })
+}
+
+fn parse_commit(tokens: &[&str]) -> Result<MutateRequest, RequestError> {
+    let mut kv = KeyValues::parse(tokens)?;
+    let graph = kv.take("graph").map(str::to_owned);
+    kv.finish()?;
+    Ok(MutateRequest { graph, op: MutateOp::Commit })
 }
 
 fn parse_msearch(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
@@ -440,6 +533,45 @@ mod tests {
                 b: None
             }
         );
+    }
+
+    #[test]
+    fn parses_mutations() {
+        let ParsedLine::Mutate(add) = parse_line("add_edge u=alice v=bob").unwrap() else {
+            panic!()
+        };
+        assert_eq!(add.graph, None);
+        assert_eq!(add.op, MutateOp::AddEdge { u: "alice".into(), v: "bob".into() });
+        assert_eq!(add.op.verb(), "add_edge");
+
+        let ParsedLine::Mutate(rm) = parse_line("remove_edge u=0 v=7 graph=g").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rm.graph.as_deref(), Some("g"));
+        assert_eq!(rm.op, MutateOp::RemoveEdge { u: "0".into(), v: "7".into() });
+
+        let ParsedLine::Mutate(commit) = parse_line("commit").unwrap() else { panic!() };
+        assert_eq!(commit.op, MutateOp::Commit);
+        let ParsedLine::Mutate(commit) = parse_line("commit graph=g").unwrap() else {
+            panic!()
+        };
+        assert_eq!(commit.graph.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn mutation_parse_errors_are_structured() {
+        for (line, needle) in [
+            ("add_edge u=a", "requires v="),
+            ("add_edge v=a", "requires u="),
+            ("remove_edge u=a v=b bogus=1", "unknown key"),
+            ("remove_edge u=a v=b u=c", "duplicate key"),
+            ("commit now", "key=value"),
+            ("commit k=3", "unknown key"),
+        ] {
+            let err = parse_line(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Parse, "line: {line}");
+            assert!(err.message.contains(needle), "line `{line}`: {}", err.message);
+        }
     }
 
     #[test]

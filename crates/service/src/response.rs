@@ -111,29 +111,12 @@ fn push_str_field(out: &mut String, key: &str, value: &str) {
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":");
-    out.push_str(&json_string(value));
+    bcc_graph::json::push_json_string(out, value);
 }
 
-/// JSON string literal with RFC 8259 escapes.
-pub(crate) fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+/// The workspace-wide JSON string escaper (`bcc_graph::json`), re-exported
+/// where the service historically kept its private copy.
+pub(crate) use bcc_graph::json::json_string;
 
 fn u32_array(values: &[u32]) -> String {
     let mut out = String::with_capacity(values.len() * 4 + 2);
@@ -146,6 +129,89 @@ fn u32_array(values: &[u32]) -> String {
     }
     out.push(']');
     out
+}
+
+/// What a successful mutation line reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutateOutcome {
+    /// An `add_edge`/`remove_edge` line staged a change; `pending` counts
+    /// the changes now staged for the graph.
+    Staged {
+        /// Staged-but-uncommitted changes for this graph.
+        pending: usize,
+    },
+    /// A `commit` line applied the staged batch.
+    Committed(CommitSummary),
+}
+
+/// The deterministic payload of a `commit` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// Edge changes applied.
+    pub applied: usize,
+    /// Vertex count of the new snapshot.
+    pub vertices: usize,
+    /// Edge count of the new snapshot.
+    pub edges: usize,
+    /// True when the BCindex was patched in place (it had been built);
+    /// false when the new snapshot starts with a lazily-unbuilt index.
+    pub index_patched: bool,
+    /// Result-cache entries invalidated (their community or query touched
+    /// the mutation).
+    pub invalidated: usize,
+    /// Warm entries rekeyed to the new snapshot generation (still hits).
+    pub retained: usize,
+}
+
+/// The service's answer to one mutation line. Serialization carries no
+/// timings — like [`QueryResponse`], the bytes are deterministic.
+#[derive(Clone, Debug)]
+pub struct MutateResponse {
+    /// The protocol verb (`add_edge` / `remove_edge` / `commit`).
+    pub op: &'static str,
+    /// Registry key (empty when the request failed before resolution).
+    pub graph: String,
+    /// The outcome or a structured error.
+    pub outcome: Result<MutateOutcome, RequestError>,
+}
+
+impl MutateResponse {
+    /// The deterministic one-line JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        match &self.outcome {
+            Ok(MutateOutcome::Staged { pending }) => {
+                out.push_str("{\"ok\":true");
+                push_str_field(&mut out, "op", self.op);
+                push_str_field(&mut out, "graph", &self.graph);
+                push_field(&mut out, "staged", &pending.to_string());
+                out.push('}');
+            }
+            Ok(MutateOutcome::Committed(summary)) => {
+                out.push_str("{\"ok\":true");
+                push_str_field(&mut out, "op", self.op);
+                push_str_field(&mut out, "graph", &self.graph);
+                push_field(&mut out, "applied", &summary.applied.to_string());
+                push_field(&mut out, "vertices", &summary.vertices.to_string());
+                push_field(&mut out, "edges", &summary.edges.to_string());
+                push_field(&mut out, "index_patched", if summary.index_patched { "true" } else { "false" });
+                push_field(&mut out, "invalidated", &summary.invalidated.to_string());
+                push_field(&mut out, "retained", &summary.retained.to_string());
+                out.push('}');
+            }
+            Err(err) => {
+                out.push_str("{\"ok\":false");
+                push_str_field(&mut out, "op", self.op);
+                if !self.graph.is_empty() {
+                    push_str_field(&mut out, "graph", &self.graph);
+                }
+                push_str_field(&mut out, "error", err.kind.as_str());
+                push_str_field(&mut out, "message", &err.message);
+                out.push('}');
+            }
+        }
+        out
+    }
 }
 
 /// Converts a `BccResult` into the deterministic outcome form.
@@ -212,5 +278,46 @@ mod tests {
     #[test]
     fn string_escaping() {
         assert_eq!(json_string("a\"b\\c\u{1}"), "\"a\\\"b\\\\c\\u0001\"");
+    }
+
+    #[test]
+    fn mutate_json_shapes() {
+        let staged = MutateResponse {
+            op: "add_edge",
+            graph: "g".into(),
+            outcome: Ok(MutateOutcome::Staged { pending: 2 }),
+        };
+        assert_eq!(
+            staged.to_json(),
+            "{\"ok\":true,\"op\":\"add_edge\",\"graph\":\"g\",\"staged\":2}"
+        );
+        let committed = MutateResponse {
+            op: "commit",
+            graph: "g".into(),
+            outcome: Ok(MutateOutcome::Committed(CommitSummary {
+                applied: 2,
+                vertices: 8,
+                edges: 17,
+                index_patched: true,
+                invalidated: 1,
+                retained: 3,
+            })),
+        };
+        assert_eq!(
+            committed.to_json(),
+            "{\"ok\":true,\"op\":\"commit\",\"graph\":\"g\",\"applied\":2,\
+             \"vertices\":8,\"edges\":17,\"index_patched\":true,\
+             \"invalidated\":1,\"retained\":3}"
+        );
+        let failed = MutateResponse {
+            op: "remove_edge",
+            graph: "hostile\"name".into(),
+            outcome: Err(RequestError::mutate("edge {v0, v1} does not exist")),
+        };
+        assert_eq!(
+            failed.to_json(),
+            "{\"ok\":false,\"op\":\"remove_edge\",\"graph\":\"hostile\\\"name\",\
+             \"error\":\"mutate\",\"message\":\"edge {v0, v1} does not exist\"}"
+        );
     }
 }

@@ -27,9 +27,13 @@ use crate::cache::{CacheCounters, LruCache};
 use crate::pool::{Ticket, WaitError, WorkerPool};
 use crate::registry::{GraphEntry, GraphRegistry};
 use crate::request::{
-    parse_line, CacheKey, ErrorKind, Method, ParsedLine, QueryKind, QueryRequest, RequestError,
+    parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, QueryKind,
+    QueryRequest, RequestError,
 };
-use crate::response::{json_string, outcome_from_result, QueryOutcome, QueryResponse};
+use crate::response::{
+    json_string, outcome_from_result, CommitSummary, MutateOutcome, MutateResponse, QueryOutcome,
+    QueryResponse,
+};
 
 /// Tunables for a [`BccService`].
 #[derive(Clone, Debug)]
@@ -75,6 +79,16 @@ pub struct ServiceStats {
     pub resolve_errors: u64,
     /// Executed searches that returned a `SearchError`.
     pub search_errors: u64,
+    /// Edge changes successfully staged (`add_edge`/`remove_edge`).
+    pub mutations_staged: u64,
+    /// Successful `commit`s.
+    pub commits: u64,
+    /// Mutation lines that failed (staging or commit).
+    pub mutate_errors: u64,
+    /// Cache entries dropped by community-scoped commit invalidation.
+    pub cache_invalidated: u64,
+    /// Warm cache entries rekeyed across a commit (still hits afterwards).
+    pub cache_retained: u64,
     /// Worker threads.
     pub workers: usize,
     /// Registered graph names, sorted.
@@ -96,7 +110,9 @@ impl ServiceStats {
             "{{\"ok\":true,\"requests\":{},\"searches_executed\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
              \"cache_entries\":{},\"timeouts\":{},\"parse_errors\":{},\
-             \"resolve_errors\":{},\"search_errors\":{},\"workers\":{},\
+             \"resolve_errors\":{},\"search_errors\":{},\"mutations_staged\":{},\
+             \"commits\":{},\"mutate_errors\":{},\"cache_invalidated\":{},\
+             \"cache_retained\":{},\"workers\":{},\
              \"graphs\":[{}],\"total_search_time_us\":{}}}",
             self.requests,
             self.searches_executed,
@@ -108,6 +124,11 @@ impl ServiceStats {
             self.parse_errors,
             self.resolve_errors,
             self.search_errors,
+            self.mutations_staged,
+            self.commits,
+            self.mutate_errors,
+            self.cache_invalidated,
+            self.cache_retained,
             self.workers,
             graphs,
             self.total_search_time.as_micros(),
@@ -123,6 +144,11 @@ struct Counters {
     parse_errors: u64,
     resolve_errors: u64,
     search_errors: u64,
+    mutations_staged: u64,
+    commits: u64,
+    mutate_errors: u64,
+    cache_invalidated: u64,
+    cache_retained: u64,
     total_search_time: Duration,
 }
 
@@ -226,6 +252,11 @@ impl BccService {
             parse_errors: counters.parse_errors,
             resolve_errors: counters.resolve_errors,
             search_errors: counters.search_errors,
+            mutations_staged: counters.mutations_staged,
+            commits: counters.commits,
+            mutate_errors: counters.mutate_errors,
+            cache_invalidated: counters.cache_invalidated,
+            cache_retained: counters.cache_retained,
             workers: self.pool.workers(),
             graphs: self.registry.names(),
             total_search_time: counters.total_search_time,
@@ -348,6 +379,122 @@ impl BccService {
         self.wait(pending)
     }
 
+    /// Executes one mutation line synchronously: stage an edge change, or
+    /// commit the staged batch and invalidate affected cache entries.
+    pub fn handle_mutate(&self, request: MutateRequest) -> MutateResponse {
+        let graph_name = request
+            .graph
+            .clone()
+            .unwrap_or_else(|| self.config.default_graph.clone());
+        let op = request.op.verb();
+        match &request.op {
+            MutateOp::AddEdge { u, v } | MutateOp::RemoveEdge { u, v } => {
+                let insert = matches!(request.op, MutateOp::AddEdge { .. });
+                let Some(entry) = self.registry.get(&graph_name) else {
+                    let message = format!("no graph registered as `{graph_name}`");
+                    return self.mutate_error(op, graph_name, message);
+                };
+                let resolved = resolve_vertex(entry.graph(), u)
+                    .and_then(|u| resolve_vertex(entry.graph(), v).map(|v| (u, v)));
+                let (u, v) = match resolved {
+                    Ok(pair) => pair,
+                    Err(err) => return self.mutate_error(op, graph_name, err.message),
+                };
+                match self.registry.stage_edge(&entry, u, v, insert) {
+                    Ok(pending) => {
+                        self.counters.lock().unwrap().mutations_staged += 1;
+                        MutateResponse {
+                            op,
+                            graph: graph_name,
+                            outcome: Ok(MutateOutcome::Staged { pending }),
+                        }
+                    }
+                    Err(message) => self.mutate_error(op, graph_name, message),
+                }
+            }
+            MutateOp::Commit => match self.registry.commit(&graph_name) {
+                Ok(outcome) => {
+                    let (invalidated, retained) = self.rescope_cache(
+                        outcome.old_generation,
+                        outcome.entry.generation(),
+                        outcome.dirty.as_ref(),
+                    );
+                    let mut counters = self.counters.lock().unwrap();
+                    counters.commits += 1;
+                    counters.cache_invalidated += invalidated as u64;
+                    counters.cache_retained += retained as u64;
+                    drop(counters);
+                    MutateResponse {
+                        op,
+                        graph: graph_name,
+                        outcome: Ok(MutateOutcome::Committed(CommitSummary {
+                            applied: outcome.applied,
+                            vertices: outcome.entry.graph().vertex_count(),
+                            edges: outcome.entry.graph().edge_count(),
+                            index_patched: outcome.index_patched(),
+                            invalidated,
+                            retained,
+                        })),
+                    }
+                }
+                Err(message) => self.mutate_error(op, graph_name, message),
+            },
+        }
+    }
+
+    /// A counted, structured mutation failure.
+    fn mutate_error(&self, op: &'static str, graph: String, message: String) -> MutateResponse {
+        self.counters.lock().unwrap().mutate_errors += 1;
+        MutateResponse { op, graph, outcome: Err(RequestError::mutate(message)) }
+    }
+
+    /// Community-scoped cache invalidation across a commit: every entry of
+    /// the replaced generation whose query vertices or cached community
+    /// intersect the dirty set (or whose outcome was an error — feasibility
+    /// can shift non-locally) is dropped; unaffected warm entries are
+    /// rekeyed to the new generation and keep hitting. With no dirty set
+    /// (index never built) the graph's entries are invalidated wholesale;
+    /// other graphs' entries are untouched either way.
+    fn rescope_cache(
+        &self,
+        old_generation: u64,
+        new_generation: u64,
+        dirty: Option<&rustc_hash::FxHashSet<u32>>,
+    ) -> (usize, usize) {
+        let mut cache = self.cache.lock().unwrap();
+        let (mut invalidated, mut retained) = (0, 0);
+        // LRU→MRU order, so rekeyed survivors keep their relative recency.
+        for key in cache.keys_by_recency() {
+            if key.generation != old_generation {
+                continue;
+            }
+            let affected = match dirty {
+                None => true,
+                Some(dirty) => {
+                    let query_touched =
+                        key.vertex_ks.iter().any(|&(v, _)| dirty.contains(&v));
+                    query_touched
+                        || match cache.peek(&key) {
+                            Some(Ok(outcome)) => {
+                                outcome.community.iter().any(|v| dirty.contains(v))
+                            }
+                            Some(Err(_)) | None => true,
+                        }
+                }
+            };
+            let Some(value) = cache.remove(&key) else { continue };
+            if affected {
+                invalidated += 1;
+            } else {
+                let mut rekeyed = key;
+                rekeyed.generation = new_generation;
+                cache.insert(rekeyed, value);
+                retained += 1;
+            }
+        }
+        (invalidated, retained)
+    }
+
     /// Processes one protocol line into its outcome. Never panics.
     pub fn process_line(&self, line: &str) -> LineOutcome {
         match parse_line(line) {
@@ -366,6 +513,9 @@ impl BccService {
             }
             Ok(ParsedLine::Request(request)) => {
                 LineOutcome::Output(self.handle(request).to_json())
+            }
+            Ok(ParsedLine::Mutate(request)) => {
+                LineOutcome::Output(self.handle_mutate(request).to_json())
             }
             Err(err) => {
                 self.counters.lock().unwrap().parse_errors += 1;
@@ -429,6 +579,13 @@ impl BccService {
                 }
                 Ok(ParsedLine::Request(request)) => {
                     slots.push(Slot::Waiting(self.submit(request)));
+                }
+                // Mutations execute *at submit time*, synchronously: every
+                // earlier search already holds its `Arc` to the pre-commit
+                // snapshot, every later line resolves against the new one —
+                // the batch behaves as if the lines ran sequentially.
+                Ok(ParsedLine::Mutate(request)) => {
+                    slots.push(Slot::Line(self.handle_mutate(request).to_json()));
                 }
                 Err(err) => {
                     self.counters.lock().unwrap().parse_errors += 1;
@@ -515,6 +672,19 @@ fn normalize(entry: &GraphEntry, request: &QueryRequest) -> Result<Normalized, R
     // Normalized execution order = sorted by vertex id, k's carried along.
     let mut pairs: Vec<(VertexId, u32)> = vertices.into_iter().zip(ks).collect();
     pairs.sort_unstable_by_key(|&(v, _)| v);
+    if multi {
+        // `msearch q=a,a,b` describes the same query set as `q=a,b`: dedup
+        // so both execute identically and share one cache slot. (Duplicate
+        // vertices always carry identical k's — a uniform override or the
+        // vertex's own coreness.) Pair queries keep their two slots: the
+        // degenerate `ql == qr` form is still a pair search.
+        pairs.dedup_by_key(|&mut (v, _)| v);
+        if pairs.len() < 2 {
+            return Err(RequestError::resolve(
+                "`msearch` needs at least two distinct query vertices",
+            ));
+        }
+    }
     let (vertices, ks): (Vec<VertexId>, Vec<u32>) = pairs.into_iter().unzip();
     Ok(Normalized { multi, vertices, ks, b })
 }
@@ -769,6 +939,168 @@ mod tests {
         assert!(out[1].contains("\"error\":\"parse\""));
         assert!(out[2].contains("\"method\":\"online\""));
         assert!(out[3].contains("\"seq\":3"));
+    }
+
+    #[test]
+    fn msearch_duplicates_normalize_to_one_slot() {
+        let service = service();
+        let LineOutcome::Output(a) = service.process_line("msearch q=l0,l0,r0 k=3") else {
+            panic!();
+        };
+        assert!(a.contains("\"ok\":true"), "{a}");
+        let LineOutcome::Output(b) = service.process_line("msearch q=l0,r0 k=3") else {
+            panic!();
+        };
+        // Same answer, one execution, one hit: the duplicate collapsed.
+        let payload = |s: &str| s.split(",\"graph\"").nth(1).unwrap().to_string();
+        assert_eq!(payload(&a), payload(&b));
+        let stats = service.stats();
+        assert_eq!(stats.searches_executed, 1, "q=l0,l0,r0 and q=l0,r0 share a slot");
+        assert_eq!(stats.cache.hits, 1);
+        // All-duplicates degenerates below two distinct vertices: structured
+        // resolve error, not a panic.
+        let LineOutcome::Output(bad) = service.process_line("msearch q=l0,l0 k=3") else {
+            panic!();
+        };
+        assert!(bad.contains("\"error\":\"resolve\""), "{bad}");
+        assert!(bad.contains("distinct"), "{bad}");
+    }
+
+    #[test]
+    fn mutate_stage_and_commit_line_flow() {
+        let service = service();
+        let LineOutcome::Output(staged) = service.process_line("add_edge u=l3 v=r3") else {
+            panic!();
+        };
+        assert_eq!(
+            staged,
+            "{\"ok\":true,\"op\":\"add_edge\",\"graph\":\"default\",\"staged\":1}"
+        );
+        let LineOutcome::Output(second) = service.process_line("remove_edge u=l0 v=r1") else {
+            panic!();
+        };
+        assert!(second.contains("\"staged\":2"), "{second}");
+        let LineOutcome::Output(committed) = service.process_line("commit") else { panic!() };
+        assert!(committed.contains("\"ok\":true"), "{committed}");
+        assert!(committed.contains("\"applied\":2"), "{committed}");
+        assert!(committed.contains("\"edges\":16"), "{committed}");
+        assert!(committed.contains("\"index_patched\":false"), "{committed}");
+        // The committed snapshot serves subsequent searches: l3–r3 exists.
+        let current = service.registry().get("default").unwrap();
+        assert!(current.graph().has_edge(VertexId(3), VertexId(7)));
+        assert!(!current.graph().has_edge(VertexId(0), VertexId(5)));
+        let stats = service.stats();
+        assert_eq!(stats.mutations_staged, 2);
+        assert_eq!(stats.commits, 1);
+    }
+
+    #[test]
+    fn mutate_errors_are_structured() {
+        let service = service();
+        for (line, needle) in [
+            ("commit", "nothing staged"),
+            ("add_edge u=l0 v=l1", "already exists"),
+            ("remove_edge u=l0 v=r3", "does not exist"),
+            ("add_edge u=l0 v=l0", "self-loop"),
+            ("add_edge u=nobody v=l0", "neither a vertex name nor an id"),
+            ("add_edge u=l0 v=l1 graph=missing", "no graph registered"),
+        ] {
+            let LineOutcome::Output(out) = service.process_line(line) else { panic!() };
+            assert!(out.contains("\"ok\":false"), "{line}: {out}");
+            assert!(out.contains("\"error\":\"mutate\""), "{line}: {out}");
+            assert!(out.contains(needle), "{line}: {out}");
+        }
+        assert_eq!(service.stats().mutate_errors, 6);
+        assert_eq!(service.stats().mutations_staged, 0);
+    }
+
+    /// Two disconnected butterfly communities; mutating one must leave the
+    /// other's warm cache entry hitting across the commit.
+    fn two_component_graph() -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        for comp in ["x", "y"] {
+            let l: Vec<_> =
+                (0..4).map(|i| b.add_named_vertex(&format!("{comp}l{i}"), "L")).collect();
+            let r: Vec<_> =
+                (0..4).map(|i| b.add_named_vertex(&format!("{comp}r{i}"), "R")).collect();
+            for grp in [&l, &r] {
+                for i in 0..4 {
+                    for j in (i + 1)..4 {
+                        b.add_edge(grp[i], grp[j]);
+                    }
+                }
+            }
+            for &x in &l[..2] {
+                for &y in &r[..2] {
+                    b.add_edge(x, y);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn commit_invalidation_is_community_scoped() {
+        let service = BccService::with_graph(
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+            two_component_graph(),
+        );
+        // Build the index so the commit takes the scoped (patched) path.
+        service.registry().get("default").unwrap().index();
+        // Warm both components.
+        service.process_line("search ql=xl0 qr=xr0 k1=3 k2=3 b=1");
+        service.process_line("search ql=yl0 qr=yr0 k1=3 k2=3 b=1");
+        assert_eq!(service.stats().searches_executed, 2);
+
+        // Mutate component x only.
+        service.process_line("add_edge u=xl3 v=xr3");
+        let LineOutcome::Output(committed) = service.process_line("commit") else { panic!() };
+        assert!(committed.contains("\"index_patched\":true"), "{committed}");
+        assert!(committed.contains("\"invalidated\":1"), "{committed}");
+        assert!(committed.contains("\"retained\":1"), "{committed}");
+
+        // Component y's entry survived the generation bump: a pure hit.
+        let LineOutcome::Output(y) = service.process_line("search ql=yl0 qr=yr0 k1=3 k2=3 b=1")
+        else {
+            panic!();
+        };
+        assert!(y.contains("\"ok\":true"), "{y}");
+        let stats = service.stats();
+        assert_eq!(stats.searches_executed, 2, "the y community was never re-executed");
+        assert_eq!(stats.cache.hits, 1);
+        // Component x re-executes against the patched snapshot.
+        service.process_line("search ql=xl0 qr=xr0 k1=3 k2=3 b=1");
+        assert_eq!(service.stats().searches_executed, 3);
+    }
+
+    #[test]
+    fn hostile_names_stay_valid_json() {
+        // The line parser splits on whitespace only, so `ali"ce` is a legal
+        // vertex token and `no"such` a legal graph name; both flow into
+        // response strings and must be escaped.
+        let service = service();
+        let LineOutcome::Output(bad_vertex) = service.process_line("search ql=ali\"ce qr=r0")
+        else {
+            panic!();
+        };
+        assert!(bad_vertex.contains("ali\\\"ce"), "{bad_vertex}");
+        let LineOutcome::Output(bad_graph) =
+            service.process_line("search ql=l0 qr=r0 graph=no\"such")
+        else {
+            panic!();
+        };
+        assert!(bad_graph.contains("no\\\"such"), "{bad_graph}");
+        let LineOutcome::Output(bad_mutate) = service.process_line("add_edge u=ali\"ce v=l0")
+        else {
+            panic!();
+        };
+        assert!(bad_mutate.contains("ali\\\"ce"), "{bad_mutate}");
+        for line in [&bad_vertex, &bad_graph, &bad_mutate] {
+            // Minimal structural check: even quote count ⇒ the name did not
+            // terminate the JSON string early.
+            let unescaped = line.replace("\\\"", "");
+            assert_eq!(unescaped.matches('"').count() % 2, 0, "{line}");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ const FRAGMENTS: &[&str] = &[
     "q=a,b", "q=,", "q=a", "k1=3", "k1=99999999999999999999", "k2=-1", "k=2", "b=1",
     "method=lp", "method=l2p", "method=", "graph=g", "timeout_ms=10", "ql", "=",
     "ql=a=b", "#", "search ql=a qr=b", "\u{1F98B}", "k1=③",
+    "add_edge", "remove_edge", "commit", "u=a", "u=0", "v=b", "v=",
 ];
 
 fn assemble(indices: &[usize]) -> String {
@@ -93,6 +94,49 @@ proptest! {
             prop_assert_eq!(err.kind, ErrorKind::Parse);
             prop_assert!(!err.message.is_empty());
         }
+    }
+
+    /// A repeated key is always a structured `duplicate key` parse error —
+    /// never silent last-wins — for every verb, every key, every duplicate
+    /// position, and regardless of whether the repeated value differs.
+    #[test]
+    fn duplicate_keys_are_structured_errors(
+        verb_idx in 0usize..5,
+        key_idx in 0usize..8,
+        position in 0usize..8,
+        same_value in 0usize..2,
+    ) {
+        // (verb, base tokens forming a fully valid line)
+        const BASES: &[(&str, &[&str])] = &[
+            ("search", &["ql=a", "qr=b", "k1=1", "b=2", "method=lp", "graph=g"]),
+            ("msearch", &["q=a,b", "k=1", "b=2", "timeout_ms=5"]),
+            ("add_edge", &["u=a", "v=b", "graph=g"]),
+            ("remove_edge", &["u=a", "v=b"]),
+            ("commit", &["graph=g"]),
+        ];
+        let (verb, base) = BASES[verb_idx % BASES.len()];
+        let dup_source = base[key_idx % base.len()];
+        let key = dup_source.split('=').next().unwrap();
+        let duplicate = if same_value == 0 {
+            dup_source.to_string()
+        } else {
+            format!("{key}=zz9")
+        };
+        let mut tokens: Vec<String> = base.iter().map(|t| t.to_string()).collect();
+        tokens.insert(position % (tokens.len() + 1), duplicate);
+        let line = format!("{verb} {}", tokens.join(" "));
+
+        let err = parse_line(&line).expect_err(&format!("`{line}` must be rejected"));
+        prop_assert_eq!(err.kind, ErrorKind::Parse, "line: {}", line);
+        prop_assert!(
+            err.message.contains("duplicate key"),
+            "line `{}`: message `{}`",
+            line,
+            err.message
+        );
+        // The base line without the duplicate still parses.
+        let clean = format!("{verb} {}", base.join(" "));
+        prop_assert!(parse_line(&clean).is_ok(), "base line `{}` must parse", clean);
     }
 
     /// Valid `search` lines with arbitrary numeric parameters always parse

@@ -70,9 +70,10 @@ pub mod prelude {
     pub use bcc_datasets::{PlantedConfig, PlantedNetwork};
     pub use bcc_eval::{f1_score, SearchStats};
     pub use bcc_graph::{
-        GraphBuilder, GraphView, Label, LabeledGraph, VertexId, INF_DIST,
+        GraphBuilder, GraphDelta, GraphView, Label, LabeledGraph, VertexId, INF_DIST,
     };
     pub use bcc_service::{
-        BccService, LineOutcome, QueryRequest, QueryResponse, ServiceConfig, ServiceStats,
+        BccService, LineOutcome, MutateRequest, MutateResponse, QueryRequest, QueryResponse,
+        ServiceConfig, ServiceStats,
     };
 }
