@@ -2,11 +2,14 @@
 //!
 //! Algorithm 2 line 4 forms `B = (V_B, E_B)` with `V_B = V_L ∪ V_R` and
 //! `E_B = (V_L × V_R) ∩ E`. We never materialize `B`: all butterfly routines
-//! traverse the live [`bcc_graph::GraphView`] and filter edges by label on
-//! the fly, so `B` shrinks automatically as the search peels vertices. This
-//! struct names the two sides and provides the shared iteration helpers.
+//! traverse any live [`bcc_graph::GraphRead`] source — the peeling
+//! algorithms pass a [`bcc_graph::GraphView`], the incremental maintenance
+//! path a bare snapshot or [`bcc_graph::OverlayGraph`] — and filter edges by
+//! label on the fly, so `B` shrinks automatically as the search peels
+//! vertices. This struct names the two sides and provides the shared
+//! iteration helpers.
 
-use bcc_graph::{GraphView, Label, VertexId};
+use bcc_graph::{GraphRead, Label, VertexId};
 
 /// The two sides of a bipartite cross-graph between label groups.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,42 +41,41 @@ impl BipartiteCross {
 
     /// Returns `true` if `v` belongs to either side.
     #[inline]
-    pub fn contains(&self, view: &GraphView<'_>, v: VertexId) -> bool {
-        let l = view.graph().label(v);
+    pub fn contains<G: GraphRead>(&self, g: &G, v: VertexId) -> bool {
+        let l = g.label(v);
         l == self.left || l == self.right
     }
 
-    /// Iterates `v`'s alive neighbors on the opposite side (its neighborhood
+    /// Iterates `v`'s live neighbors on the opposite side (its neighborhood
     /// in `B`). Empty if `v` is on neither side.
-    pub fn cross_neighbors<'a>(
+    pub fn cross_neighbors<'a, G: GraphRead>(
         &self,
-        view: &'a GraphView<'_>,
+        g: &'a G,
         v: VertexId,
     ) -> impl Iterator<Item = VertexId> + 'a {
-        let other = self.opposite(view.graph().label(v));
-        view.neighbors(v)
-            .filter(move |&u| other == Some(view.graph().label(u)))
+        let other = self.opposite(g.label(v));
+        g.neighbors_iter(v)
+            .filter(move |&u| other == Some(g.label(u)))
     }
 
-    /// `v`'s degree in `B` (alive cross neighbors on the opposite side).
-    pub fn cross_degree(&self, view: &GraphView<'_>, v: VertexId) -> usize {
-        self.cross_neighbors(view, v).count()
+    /// `v`'s degree in `B` (live cross neighbors on the opposite side).
+    pub fn cross_degree<G: GraphRead>(&self, g: &G, v: VertexId) -> usize {
+        self.cross_neighbors(g, v).count()
     }
 
-    /// Iterates the alive vertices of one side.
-    pub fn side_vertices<'a>(
+    /// Iterates the live vertices of one side.
+    pub fn side_vertices<'a, G: GraphRead>(
         &self,
-        view: &'a GraphView<'_>,
+        g: &'a G,
         side: Label,
     ) -> impl Iterator<Item = VertexId> + 'a {
-        view.alive_vertices()
-            .filter(move |&v| view.graph().label(v) == side)
+        g.vertices().filter(move |&v| g.label(v) == side)
     }
 
-    /// Number of alive cross edges in `B`.
-    pub fn edge_count(&self, view: &GraphView<'_>) -> usize {
-        self.side_vertices(view, self.left)
-            .map(|v| self.cross_degree(view, v))
+    /// Number of live cross edges in `B`.
+    pub fn edge_count<G: GraphRead>(&self, g: &G) -> usize {
+        self.side_vertices(g, self.left)
+            .map(|v| self.cross_degree(g, v))
             .sum()
     }
 }
@@ -81,7 +83,7 @@ impl BipartiteCross {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcc_graph::GraphBuilder;
+    use bcc_graph::{GraphBuilder, GraphView};
 
     #[test]
     fn sides_and_opposites() {

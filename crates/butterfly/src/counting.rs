@@ -7,7 +7,7 @@
 //! the map with `u32` vertex ids and use FxHash (hot integer-keyed map, per
 //! the workspace performance guide).
 
-use bcc_graph::{GraphView, Label, VertexId};
+use bcc_graph::{GraphRead, GraphView, Label, VertexId};
 use rustc_hash::FxHashMap;
 
 use crate::bipartite::BipartiteCross;
@@ -98,18 +98,17 @@ impl ButterflyCounts {
 /// For each vertex `v`, counts 2-hop paths `v → u → w` (with `u` on the
 /// opposite side and `w ≠ v` back on `v`'s side) into a hash map `P`, then
 /// sums `C(P[w], 2)`.
-pub fn butterfly_degrees(view: &GraphView<'_>, cross: BipartiteCross) -> Vec<u64> {
-    let graph = view.graph();
-    let n = graph.vertex_count();
+pub fn butterfly_degrees<G: GraphRead>(g: &G, cross: BipartiteCross) -> Vec<u64> {
+    let n = g.vertex_count();
     let mut chi = vec![0u64; n];
     let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
-    for v in view.alive_vertices() {
-        let Some(_) = cross.opposite(graph.label(v)) else {
+    for v in g.vertices() {
+        let Some(_) = cross.opposite(g.label(v)) else {
             continue;
         };
         paths.clear();
-        for u in cross.cross_neighbors(view, v) {
-            for w in cross.cross_neighbors(view, u) {
+        for u in cross.cross_neighbors(g, v) {
+            for w in cross.cross_neighbors(g, u) {
                 if w != v {
                     *paths.entry(w.0).or_insert(0) += 1;
                 }
@@ -123,13 +122,13 @@ pub fn butterfly_degrees(view: &GraphView<'_>, cross: BipartiteCross) -> Vec<u64
 /// Butterfly degree of a single vertex (same wedge-hashing kernel as
 /// Algorithm 3, restricted to one vertex). Used when a leader must be
 /// re-validated without recounting the whole side.
-pub fn butterfly_degree_of(view: &GraphView<'_>, cross: BipartiteCross, v: VertexId) -> u64 {
-    if cross.opposite(view.graph().label(v)).is_none() || !view.is_alive(v) {
+pub fn butterfly_degree_of<G: GraphRead>(g: &G, cross: BipartiteCross, v: VertexId) -> u64 {
+    if cross.opposite(g.label(v)).is_none() {
         return 0;
     }
     let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
-    for u in cross.cross_neighbors(view, v) {
-        for w in cross.cross_neighbors(view, u) {
+    for u in cross.cross_neighbors(g, v) {
+        for w in cross.cross_neighbors(g, u) {
             if w != v {
                 *paths.entry(w.0).or_insert(0) += 1;
             }

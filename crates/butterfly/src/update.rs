@@ -11,52 +11,55 @@
 //!   `|N(u) ∩ N(p)| − 1` (the shared cross neighbors other than `v`).
 //!
 //! Neighborhoods are in the bipartite cross-graph `B`.
+//!
+//! All routines read through [`bcc_graph::GraphRead`]: Algorithm 1 passes
+//! its live [`bcc_graph::GraphView`], the incremental index maintenance
+//! passes a bare snapshot or the mid-batch [`bcc_graph::OverlayGraph`] —
+//! no O(|V|) view construction on the maintenance path.
 
-use bcc_graph::{GraphView, VertexId};
+use bcc_graph::{GraphRead, VertexId};
 use rustc_hash::FxHashSet;
 
 use crate::bipartite::BipartiteCross;
 use crate::counting::choose2;
 
 /// How much χ(p) decreases when `v` is deleted. Must be called while `v` is
-/// still alive in `view` (i.e. *before* `view.remove_vertex(v)`).
+/// still live in `g` (i.e. *before* the view deletes it).
 ///
 /// Returns 0 when either vertex lies outside the cross-graph.
-pub fn leader_decrement(
-    view: &GraphView<'_>,
+pub fn leader_decrement<G: GraphRead>(
+    g: &G,
     cross: BipartiteCross,
     p: VertexId,
     v: VertexId,
 ) -> u64 {
-    debug_assert!(view.is_alive(v), "Algorithm 7 runs before the deletion of v");
     if p == v {
         return 0; // the caller is about to lose the leader entirely
     }
-    let graph = view.graph();
-    let (lp, lv) = (graph.label(p), graph.label(v));
+    let (lp, lv) = (g.label(p), g.label(v));
     if cross.opposite(lp).is_none() || cross.opposite(lv).is_none() {
         return 0;
     }
     if lp == lv {
         // Same side: butterflies containing p and v choose 2 common cross
         // neighbors.
-        let alpha = common_cross_neighbors(view, cross, p, v);
+        let alpha = common_cross_neighbors(g, cross, p, v);
         choose2(alpha as u64)
     } else {
         // Opposite sides: only butterflies using the edge (p, v) die.
-        if !cross.cross_neighbors(view, p).any(|u| u == v) {
+        if !cross.cross_neighbors(g, p).any(|u| u == v) {
             return 0;
         }
-        let p_neighbors: FxHashSet<u32> = cross.cross_neighbors(view, p).map(|u| u.0).collect();
+        let p_neighbors: FxHashSet<u32> = cross.cross_neighbors(g, p).map(|u| u.0).collect();
         let mut beta = 0u64;
-        for u in cross.cross_neighbors(view, v) {
+        for u in cross.cross_neighbors(g, v) {
             if u == p {
                 continue;
             }
             // |N(u) ∩ N(p)| − 1: common cross neighbors of u and p other
             // than v itself (v is common since u ∈ N(v) and v ∈ N(p)).
             let common = cross
-                .cross_neighbors(view, u)
+                .cross_neighbors(g, u)
                 .filter(|w| p_neighbors.contains(&w.0))
                 .count() as u64;
             beta += common.saturating_sub(1);
@@ -78,56 +81,54 @@ pub fn leader_decrement(
 /// Cost is O(d²) like the vertex form.
 ///
 /// Returns 0 when `p` is unrelated to the edge (not adjacent to the far
-/// endpoint, or outside the cross-graph). The edge must be present in
-/// `view`.
-pub fn edge_decrement(
-    view: &GraphView<'_>,
+/// endpoint, outside the cross-graph, or dead in a view — a dead vertex has
+/// no live neighbors). The edge must be present in `g`.
+pub fn edge_decrement<G: GraphRead>(
+    g: &G,
     cross: BipartiteCross,
     p: VertexId,
     u: VertexId,
     v: VertexId,
 ) -> u64 {
-    let graph = view.graph();
-    debug_assert!(view.is_alive(u) && view.is_alive(v), "edge endpoints must be alive");
-    debug_assert!(graph.has_edge(u, v), "edge deltas are evaluated while the edge exists");
-    debug_assert_ne!(graph.label(u), graph.label(v), "cross edges are heterogeneous");
+    debug_assert!(g.has_edge(u, v), "edge deltas are evaluated while the edge exists");
+    debug_assert_ne!(g.label(u), g.label(v), "cross edges are heterogeneous");
     if p == u {
-        return leader_decrement(view, cross, u, v);
+        return leader_decrement(g, cross, u, v);
     }
     if p == v {
-        return leader_decrement(view, cross, v, u);
+        return leader_decrement(g, cross, v, u);
     }
-    let lp = graph.label(p);
-    if cross.opposite(lp).is_none() || !view.is_alive(p) {
+    let lp = g.label(p);
+    if cross.opposite(lp).is_none() {
         return 0;
     }
     // A wing vertex must sit on one of the edge's sides and close the
     // 4-cycle with the far endpoint.
-    let (near, far) = if lp == graph.label(u) {
+    let (near, far) = if lp == g.label(u) {
         (u, v)
-    } else if lp == graph.label(v) {
+    } else if lp == g.label(v) {
         (v, u)
     } else {
         return 0;
     };
-    if !cross.cross_neighbors(view, p).any(|w| w == far) {
+    if !cross.cross_neighbors(g, p).any(|w| w == far) {
         return 0;
     }
     // Common cross neighbors of p and the same-side endpoint, minus `far`
     // itself (counted in the intersection because far ∈ N(near) ∩ N(p)).
-    (common_cross_neighbors(view, cross, p, near) as u64).saturating_sub(1)
+    (common_cross_neighbors(g, cross, p, near) as u64).saturating_sub(1)
 }
 
 /// `|N(a) ∩ N(b)|` in the cross-graph for two same-side vertices.
-fn common_cross_neighbors(
-    view: &GraphView<'_>,
+fn common_cross_neighbors<G: GraphRead>(
+    g: &G,
     cross: BipartiteCross,
     a: VertexId,
     b: VertexId,
 ) -> usize {
-    let a_set: FxHashSet<u32> = cross.cross_neighbors(view, a).map(|u| u.0).collect();
+    let a_set: FxHashSet<u32> = cross.cross_neighbors(g, a).map(|u| u.0).collect();
     cross
-        .cross_neighbors(view, b)
+        .cross_neighbors(g, b)
         .filter(|u| a_set.contains(&u.0))
         .count()
 }
@@ -136,7 +137,7 @@ fn common_cross_neighbors(
 mod tests {
     use super::*;
     use crate::counting::{butterfly_degrees, ButterflyCounts};
-    use bcc_graph::{GraphBuilder, Label, LabeledGraph};
+    use bcc_graph::{GraphBuilder, GraphView, Label, LabeledGraph};
     use rand::{Rng, SeedableRng};
 
     fn cross01() -> BipartiteCross {

@@ -7,7 +7,7 @@
 //! constrains (conditions 2–3 of Definition 4) and the coreness component of
 //! the BCindex (Section 6.3). Both run in O(|V| + |E|).
 
-use bcc_graph::{GraphView, VertexId};
+use bcc_graph::{GraphRead, GraphView, VertexId};
 
 /// Which edges a decomposition counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,7 +18,7 @@ enum DegreeMode {
     SameLabelOnly,
 }
 
-fn decomposition(view: &GraphView<'_>, mode: DegreeMode) -> Vec<u32> {
+fn decomposition<G: GraphRead>(view: &GraphView<'_, G>, mode: DegreeMode) -> Vec<u32> {
     let n = view.graph().vertex_count();
     let mut degree = vec![0u32; n];
     let mut max_degree = 0u32;
@@ -90,18 +90,18 @@ fn decomposition(view: &GraphView<'_>, mode: DegreeMode) -> Vec<u32> {
 
 /// Coreness of every alive vertex counting all live edges; dead vertices get
 /// coreness 0.
-pub fn core_decomposition(view: &GraphView<'_>) -> Vec<u32> {
+pub fn core_decomposition<G: GraphRead>(view: &GraphView<'_, G>) -> Vec<u32> {
     decomposition(view, DegreeMode::All)
 }
 
 /// Coreness of every alive vertex counting only same-label edges (coreness
 /// inside the vertex's label group).
-pub fn label_core_decomposition(view: &GraphView<'_>) -> Vec<u32> {
+pub fn label_core_decomposition<G: GraphRead>(view: &GraphView<'_, G>) -> Vec<u32> {
     decomposition(view, DegreeMode::SameLabelOnly)
 }
 
 /// The maximum coreness in the view (`k_max` of Table 3).
-pub fn max_coreness(view: &GraphView<'_>) -> u32 {
+pub fn max_coreness<G: GraphRead>(view: &GraphView<'_, G>) -> u32 {
     core_decomposition(view).into_iter().max().unwrap_or(0)
 }
 

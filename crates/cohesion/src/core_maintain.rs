@@ -8,7 +8,7 @@
 //! deletion queue. Total cost across a whole peeling run is O(|E|), the
 //! bound used in the paper's complexity analysis (Theorem 4).
 
-use bcc_graph::{GraphView, Label, VertexId};
+use bcc_graph::{GraphRead, GraphView, Label, VertexId};
 
 /// Per-label k-core thresholds for the label-induced core conditions of
 /// Definition 4. Labels with no entry are *excluded*: their vertices are
@@ -52,7 +52,7 @@ impl LabelCoreThresholds {
 /// Returns `true` if `v` violates its label's core condition (or carries an
 /// excluded label).
 #[inline]
-fn violates(view: &GraphView<'_>, thresholds: &LabelCoreThresholds, v: VertexId) -> bool {
+fn violates<G: GraphRead>(view: &GraphView<'_, G>, thresholds: &LabelCoreThresholds, v: VertexId) -> bool {
     match thresholds.get(view.graph().label(v)) {
         Some(k) => (view.intra_degree(v) as u32) < k,
         None => true,
@@ -63,8 +63,8 @@ fn violates(view: &GraphView<'_>, thresholds: &LabelCoreThresholds, v: VertexId)
 /// required label has intra-label degree ≥ its threshold, and no vertex of
 /// an excluded label survives. Returns the removed vertices in deletion
 /// order.
-pub fn reduce_to_label_core(
-    view: &mut GraphView<'_>,
+pub fn reduce_to_label_core<G: GraphRead>(
+    view: &mut GraphView<'_, G>,
     thresholds: &LabelCoreThresholds,
 ) -> Vec<VertexId> {
     let seeds: Vec<VertexId> = view
@@ -77,15 +77,15 @@ pub fn reduce_to_label_core(
 /// After `removed` vertices were deleted externally (e.g. the farthest-vertex
 /// deletions of Algorithm 1 line 7), cascades the label-core conditions from
 /// the affected neighborhoods. Returns the additional vertices peeled.
-pub fn cascade_label_core(
-    view: &mut GraphView<'_>,
+pub fn cascade_label_core<G: GraphRead>(
+    view: &mut GraphView<'_, G>,
     thresholds: &LabelCoreThresholds,
     removed: &[VertexId],
 ) -> Vec<VertexId> {
     let mut seeds = Vec::new();
     for &r in removed {
         debug_assert!(!view.is_alive(r), "cascade seeds must already be deleted");
-        for u in view.graph().neighbors(r).iter().copied() {
+        for u in view.graph().neighbors_iter(r) {
             if view.is_alive(u) && violates(view, thresholds, u) {
                 seeds.push(u);
             }
@@ -101,8 +101,8 @@ pub fn cascade_label_core(
 /// of [`reduce_to_label_core`]. Seeds that satisfy their condition (or are
 /// already dead) are simply skipped. Returns the vertices peeled, in
 /// deletion order.
-pub fn cascade_label_core_from_seeds(
-    view: &mut GraphView<'_>,
+pub fn cascade_label_core_from_seeds<G: GraphRead>(
+    view: &mut GraphView<'_, G>,
     thresholds: &LabelCoreThresholds,
     seeds: &[VertexId],
 ) -> Vec<VertexId> {
@@ -114,8 +114,8 @@ pub fn cascade_label_core_from_seeds(
     cascade_from(view, thresholds, seeds)
 }
 
-fn cascade_from(
-    view: &mut GraphView<'_>,
+fn cascade_from<G: GraphRead>(
+    view: &mut GraphView<'_, G>,
     thresholds: &LabelCoreThresholds,
     seeds: Vec<VertexId>,
 ) -> Vec<VertexId> {
@@ -143,7 +143,7 @@ fn cascade_from(
 /// Peels the view to its (plain, label-blind) k-core: every surviving vertex
 /// has live degree ≥ `k`. Returns the removed vertices. Used by the PSA
 /// baseline and by tests.
-pub fn reduce_to_k_core(view: &mut GraphView<'_>, k: u32) -> Vec<VertexId> {
+pub fn reduce_to_k_core<G: GraphRead>(view: &mut GraphView<'_, G>, k: u32) -> Vec<VertexId> {
     let mut queue: std::collections::VecDeque<VertexId> = view
         .alive_vertices()
         .filter(|&v| (view.degree(v) as u32) < k)

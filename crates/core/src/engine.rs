@@ -156,6 +156,10 @@ pub fn run_peel(
                     continue;
                 }
                 let Some(pl) = leader.as_mut() else { continue };
+                // Algorithm 7 is defined on the pre-removal state: a dead v
+                // would make every decrement silently 0 (dead vertices have
+                // no live neighbors through GraphRead).
+                debug_assert!(view.is_alive(v), "leader updates run before the deletion of {v}");
                 if view.is_alive(pl.left) && pl.left != v {
                     pl.chi_left -= leader_decrement(view, pair_cross[idx], pl.left, v);
                     leader_updates += 1;

@@ -1,4 +1,5 @@
-//! Incremental BCindex maintenance under single-edge updates.
+//! Incremental BCindex maintenance under edge updates — single flips and
+//! batched commits.
 //!
 //! The offline/online split of Section 6.3 only pays off at scale if the
 //! offline [`BccIndex`] survives graph change. This module patches the two
@@ -20,12 +21,23 @@
 //!   affected vertex); multi-label graphs recompute the aggregate χ locally
 //!   ([`crate::index::hetero_butterfly_degree_of`]).
 //!
+//! **Batched commits.** [`patch_index_edge`] needs the pre- and post-flip
+//! snapshots, so replaying a B-edge batch through it forces B CSR splices —
+//! O(B·(|V|+|E|)) just to materialize graphs the cascades only *read*.
+//! [`patch_index_batch`] removes that cost: it layers an
+//! [`bcc_graph::OverlayGraph`] over the base snapshot, advances it one O(1)
+//! edge flip at a time, and runs the identical cascades/deltas against the
+//! overlay. The caller materializes the final snapshot once (e.g. via
+//! [`bcc_graph::GraphDelta::apply`] or [`bcc_graph::OverlayGraph::materialize`]).
+//!
 //! The contract, pinned by the differential suites: after any sequence of
-//! [`patch_index_edge`] calls the index is **bit-identical** to
-//! `BccIndex::build` on the final snapshot.
+//! [`patch_index_edge`] calls — or one [`patch_index_batch`] over the same
+//! changes — the index is **bit-identical** to `BccIndex::build` on the
+//! final snapshot.
 
+use bcc_butterfly::BipartiteCross;
 use bcc_cohesion::{cascade_label_core_from_seeds, reduce_to_label_core, LabelCoreThresholds};
-use bcc_graph::{BitSet, EdgeChange, EdgeOp, GraphView, LabeledGraph, VertexId};
+use bcc_graph::{BitSet, EdgeChange, EdgeOp, GraphRead, GraphView, LabeledGraph, OverlayGraph, VertexId};
 use rustc_hash::FxHashSet;
 
 use crate::index::{hetero_butterfly_degree_of, BccIndex};
@@ -44,6 +56,23 @@ impl PatchReport {
     pub fn is_empty(&self) -> bool {
         self.coreness_changed.is_empty() && self.chi_changed.is_empty()
     }
+}
+
+/// What one [`patch_index_batch`] call did across the whole batch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchPatchReport {
+    /// Number of edge changes applied.
+    pub applied: usize,
+    /// Vertices whose search-relevant state moved anywhere in the batch:
+    /// every change's endpoints, their pre/post-flip neighborhoods, and
+    /// every index entry the cascades/deltas changed — the union of what
+    /// per-edge replay would have reported via [`affected_neighborhood`]
+    /// plus its [`PatchReport`]s. This is the cache-invalidation scope.
+    pub dirty: FxHashSet<u32>,
+    /// How many per-change δ entry moves occurred (entries may recur).
+    pub coreness_moves: usize,
+    /// How many per-change χ entry moves occurred (entries may recur).
+    pub chi_moves: usize,
 }
 
 /// The closed neighborhood an edge flip can influence: the endpoints plus
@@ -72,6 +101,26 @@ pub fn affected_neighborhood(
     out
 }
 
+/// [`affected_neighborhood`] evaluated on a single host containing the
+/// pre-flip state: the post-flip neighborhoods add only the endpoints
+/// themselves (an insert links `u` and `v`, a removal unlinks them), which
+/// are already in the set — so one pre-flip read suffices.
+fn affected_on<G: GraphRead>(host: &G, change: &EdgeChange) -> Vec<VertexId> {
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    let mut out = Vec::new();
+    for w in [change.u, change.v] {
+        if seen.insert(w.0) {
+            out.push(w);
+        }
+        for x in host.neighbors_iter(w) {
+            if seen.insert(x.0) {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
 /// Patches `index` (valid for `before`) so it becomes valid for `after`,
 /// where the two snapshots differ by exactly `change`. Returns which entries
 /// moved.
@@ -86,12 +135,26 @@ pub fn patch_index_edge(
 ) -> PatchReport {
     let mut report = PatchReport::default();
     if before.label(change.u) == before.label(change.v) {
-        patch_coreness(index, after, change, &mut report);
+        let label = after.label(change.u);
+        let group =
+            || after.vertices().filter(|&w| after.label(w) == label).collect::<Vec<_>>();
+        patch_coreness(index, after, change, group, &mut report);
         if !report.coreness_changed.is_empty() {
             index.delta_max = index.label_coreness.iter().copied().max().unwrap_or(0);
         }
     } else {
-        patch_chi(index, before, after, change, &mut report);
+        let affected = affected_neighborhood(before, after, change);
+        if after.label_count() == 2 {
+            // The Algorithm 7 edge delta is evaluated on whichever snapshot
+            // contains the edge.
+            let host = match change.op {
+                EdgeOp::Insert => after,
+                EdgeOp::Remove => before,
+            };
+            patch_chi_bipartite(index, host, change, &affected, &mut report);
+        } else {
+            patch_chi_multilabel(index, after, &affected, &mut report);
+        }
         if !report.chi_changed.is_empty() {
             index.chi_max = index.butterfly_degree.iter().copied().max().unwrap_or(0);
         }
@@ -99,11 +162,87 @@ pub fn patch_index_edge(
     report
 }
 
-/// δ maintenance for a homogeneous flip, within the edge's label group.
-fn patch_coreness(
+/// Applies a whole batch of edge changes to `index` (valid for `base`)
+/// without materializing any intermediate snapshot: each change flips one
+/// entry of a mutable adjacency overlay (O(1) for the graph part), then
+/// runs the same Algorithm 4 cascade / Algorithm 7 delta the per-edge path
+/// runs — against the overlay. Bit-identical to replaying the changes
+/// through [`patch_index_edge`], at O(maintenance) instead of
+/// O(B·(|V|+|E|)) + O(maintenance) total.
+///
+/// The changes must be sequentially applicable to `base` (the validated
+/// order of a [`bcc_graph::GraphDelta`]). The final snapshot is *not*
+/// built here — commit callers splice it once from the same delta.
+pub fn patch_index_batch(
     index: &mut BccIndex,
-    after: &LabeledGraph,
+    base: &LabeledGraph,
+    changes: &[EdgeChange],
+) -> BatchPatchReport {
+    let mut overlay = OverlayGraph::new(base);
+    let mut report = BatchPatchReport { applied: changes.len(), ..Default::default() };
+    // Labels never move, so the per-label vertex lists the cascades seed
+    // from are computed once per batch — a homogeneous flip then costs
+    // O(label group + cascade), not O(|V|).
+    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); base.label_count()];
+    for v in base.vertices() {
+        groups[base.label(v).index()].push(v);
+    }
+    for change in changes {
+        let mut step = PatchReport::default();
+        // Pre-flip read: equals the per-edge affected_neighborhood (the
+        // post state adds only the endpoints, which are always included).
+        let affected = affected_on(&overlay, change);
+        for w in &affected {
+            report.dirty.insert(w.0);
+        }
+        if overlay.label(change.u) == overlay.label(change.v) {
+            overlay.flip(change);
+            let group = || groups[overlay.label(change.u).index()].as_slice();
+            patch_coreness(index, &overlay, change, group, &mut step);
+        } else if overlay.label_count() == 2 {
+            match change.op {
+                EdgeOp::Insert => {
+                    overlay.flip(change);
+                    patch_chi_bipartite(index, &overlay, change, &affected, &mut step);
+                }
+                EdgeOp::Remove => {
+                    // Evaluate while the overlay still contains the edge.
+                    patch_chi_bipartite(index, &overlay, change, &affected, &mut step);
+                    overlay.flip(change);
+                }
+            }
+        } else {
+            overlay.flip(change);
+            patch_chi_multilabel(index, &overlay, &affected, &mut step);
+        }
+        report.coreness_moves += step.coreness_changed.len();
+        report.chi_moves += step.chi_changed.len();
+        for w in step.coreness_changed.iter().chain(&step.chi_changed) {
+            report.dirty.insert(w.0);
+        }
+    }
+    // The maxima depend only on the final arrays, so one refresh per batch
+    // lands on the same values as the per-edge path's per-change refreshes.
+    if report.coreness_moves > 0 {
+        index.delta_max = index.label_coreness.iter().copied().max().unwrap_or(0);
+    }
+    if report.chi_moves > 0 {
+        index.chi_max = index.butterfly_degree.iter().copied().max().unwrap_or(0);
+    }
+    report
+}
+
+/// δ maintenance for a homogeneous flip, within the edge's label group.
+/// `after` is any [`GraphRead`] of the post-flip graph — a spliced snapshot
+/// on the per-edge path, the live overlay on the batched path. `group`
+/// produces exactly the vertices carrying the flipped edge's label — lazy,
+/// so the k = 0 removal early-out never pays for it (the per-edge path's
+/// closure scans O(|V|); the batched path serves a precomputed slice).
+fn patch_coreness<G: GraphRead, S: AsRef<[VertexId]>>(
+    index: &mut BccIndex,
+    after: &G,
     change: &EdgeChange,
+    group: impl FnOnce() -> S,
     report: &mut PatchReport,
 ) {
     let (u, v) = (change.u, change.v);
@@ -118,8 +257,9 @@ fn patch_coreness(
             // Only the endpoints lost degree, so they are the only possible
             // cascade seeds (Algorithm 4).
             let mut alive = BitSet::new(after.vertex_count());
-            for w in after.vertices() {
-                if after.label(w) == label && index.label_coreness[w.index()] >= k {
+            for &w in group().as_ref() {
+                debug_assert_eq!(after.label(w), label);
+                if index.label_coreness[w.index()] >= k {
                     alive.insert(w.index());
                 }
             }
@@ -146,7 +286,7 @@ fn patch_coreness(
                 }
             }
             while let Some(x) = queue.pop_front() {
-                for &w in after.neighbors(x) {
+                for w in after.neighbors_iter(x) {
                     if after.label(w) == label
                         && index.label_coreness[w.index()] == k
                         && in_candidates.insert(w.index())
@@ -157,8 +297,8 @@ fn patch_coreness(
             }
             // Peel candidates ∪ old (k+1)-core down to the new (k+1)-core.
             let mut alive = in_candidates.clone();
-            for w in after.vertices() {
-                if after.label(w) == label && index.label_coreness[w.index()] > k {
+            for &w in group().as_ref() {
+                if index.label_coreness[w.index()] > k {
                     alive.insert(w.index());
                 }
             }
@@ -176,50 +316,44 @@ fn patch_coreness(
     }
 }
 
-/// χ maintenance for a heterogeneous flip, over the edge's closed
-/// neighborhood.
-fn patch_chi(
+/// χ maintenance on a two-label graph: the aggregate χ *is* the bipartite
+/// butterfly degree, so the Algorithm 7 edge delta applies verbatim. `host`
+/// must contain the flipped edge (post-insert or pre-remove state).
+fn patch_chi_bipartite<G: GraphRead>(
     index: &mut BccIndex,
-    before: &LabeledGraph,
-    after: &LabeledGraph,
+    host: &G,
     change: &EdgeChange,
+    affected: &[VertexId],
     report: &mut PatchReport,
 ) {
-    let affected = affected_neighborhood(before, after, change);
-    if after.label_count() == 2 {
-        // Two labels: the aggregate χ *is* the bipartite butterfly degree,
-        // so the Algorithm 7 edge delta applies verbatim. It is evaluated on
-        // whichever snapshot contains the edge.
-        let cross = bcc_butterfly::BipartiteCross::new(
-            before.label(change.u),
-            before.label(change.v),
-        );
-        let host = match change.op {
-            EdgeOp::Insert => after,
-            EdgeOp::Remove => before,
-        };
-        let host_view = GraphView::new(host);
-        for &p in &affected {
-            let delta = bcc_butterfly::edge_decrement(&host_view, cross, p, change.u, change.v);
-            if delta == 0 {
-                continue;
-            }
-            match change.op {
-                EdgeOp::Insert => index.butterfly_degree[p.index()] += delta,
-                EdgeOp::Remove => index.butterfly_degree[p.index()] -= delta,
-            }
-            report.chi_changed.push(p);
+    let cross = BipartiteCross::new(host.label(change.u), host.label(change.v));
+    for &p in affected {
+        let delta = bcc_butterfly::edge_decrement(host, cross, p, change.u, change.v);
+        if delta == 0 {
+            continue;
         }
-    } else {
-        // Multi-label aggregate: recompute χ locally — still O(d²) per
-        // affected vertex, never a global recount.
-        let view = GraphView::new(after);
-        for &p in &affected {
-            let fresh = hetero_butterfly_degree_of(&view, p);
-            if fresh != index.butterfly_degree[p.index()] {
-                index.butterfly_degree[p.index()] = fresh;
-                report.chi_changed.push(p);
-            }
+        match change.op {
+            EdgeOp::Insert => index.butterfly_degree[p.index()] += delta,
+            EdgeOp::Remove => index.butterfly_degree[p.index()] -= delta,
+        }
+        report.chi_changed.push(p);
+    }
+}
+
+/// χ maintenance with three or more labels: recompute the aggregate χ
+/// locally on the post-flip graph — still O(d²) per affected vertex, never
+/// a global recount.
+fn patch_chi_multilabel<G: GraphRead>(
+    index: &mut BccIndex,
+    after: &G,
+    affected: &[VertexId],
+    report: &mut PatchReport,
+) {
+    for &p in affected {
+        let fresh = hetero_butterfly_degree_of(after, p);
+        if fresh != index.butterfly_degree[p.index()] {
+            index.butterfly_degree[p.index()] = fresh;
+            report.chi_changed.push(p);
         }
     }
 }
@@ -343,5 +477,49 @@ mod tests {
         let (restored, ins) = flip(&after, 0, 2, EdgeOp::Insert);
         patch_index_edge(&mut index, &after, &restored, &ins);
         assert_index_eq(&index, &BccIndex::build(&restored), "3-label insert");
+    }
+
+    #[test]
+    fn batch_patch_matches_per_edge_on_fixtures() {
+        // A mixed batch over the bridged-cliques fixture: homogeneous remove,
+        // heterogeneous insert + remove, and a cancelling pair.
+        let g = butterfly_graph();
+        let changes = [
+            EdgeChange { u: VertexId(0), v: VertexId(1), op: EdgeOp::Remove },
+            EdgeChange { u: VertexId(2), v: VertexId(6), op: EdgeOp::Insert },
+            EdgeChange { u: VertexId(0), v: VertexId(4), op: EdgeOp::Remove },
+            EdgeChange { u: VertexId(0), v: VertexId(1), op: EdgeOp::Insert },
+        ];
+        let mut per_edge = BccIndex::build(&g);
+        let mut batched = per_edge.clone();
+        let mut dirty_ref: FxHashSet<u32> = FxHashSet::default();
+        let mut stepped = g.clone();
+        for change in &changes {
+            let next = apply_change(&stepped, change);
+            for w in affected_neighborhood(&stepped, &next, change) {
+                dirty_ref.insert(w.0);
+            }
+            let report = patch_index_edge(&mut per_edge, &stepped, &next, change);
+            for w in report.coreness_changed.iter().chain(&report.chi_changed) {
+                dirty_ref.insert(w.0);
+            }
+            stepped = next;
+        }
+        let report = patch_index_batch(&mut batched, &g, &changes);
+        assert_eq!(report.applied, 4);
+        assert_index_eq(&batched, &per_edge, "batch vs per-edge replay");
+        assert_index_eq(&batched, &BccIndex::build(&stepped), "batch vs rebuild");
+        assert_eq!(report.dirty, dirty_ref, "batch dirty set is the per-edge union");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let g = butterfly_graph();
+        let reference = BccIndex::build(&g);
+        let mut index = reference.clone();
+        let report = patch_index_batch(&mut index, &g, &[]);
+        assert_eq!(report.applied, 0);
+        assert!(report.dirty.is_empty());
+        assert_index_eq(&index, &reference, "empty batch");
     }
 }

@@ -11,7 +11,7 @@
 //!   is the natural aggregate (and is used only as a search prior for the
 //!   butterfly-core path weight, never for validity checks).
 
-use bcc_graph::{GraphView, LabeledGraph, VertexId};
+use bcc_graph::{GraphRead, GraphView, LabeledGraph, VertexId};
 use rustc_hash::FxHashMap;
 
 /// The offline index: label coreness + heterogeneous butterfly degree.
@@ -72,22 +72,23 @@ fn hetero_butterfly_degrees(view: &GraphView<'_>) -> Vec<u64> {
 /// χ(v) alone — the per-vertex wedge count the full decomposition loops
 /// over, exposed for incremental maintenance (see [`crate::incremental`]):
 /// an edge flip can only change χ inside the flipped edge's closed
-/// neighborhood, so patching recomputes exactly those entries.
-pub fn hetero_butterfly_degree_of(view: &GraphView<'_>, v: VertexId) -> u64 {
-    hetero_chi_into(view, v, &mut FxHashMap::default())
+/// neighborhood, so patching recomputes exactly those entries. Generic over
+/// any [`GraphRead`] source — the batched commit path evaluates it on the
+/// mid-batch [`bcc_graph::OverlayGraph`] without materializing a snapshot.
+pub fn hetero_butterfly_degree_of<G: GraphRead>(g: &G, v: VertexId) -> u64 {
+    hetero_chi_into(g, v, &mut FxHashMap::default())
 }
 
-fn hetero_chi_into(
-    view: &GraphView<'_>,
+fn hetero_chi_into<G: GraphRead>(
+    g: &G,
     v: VertexId,
     paths: &mut FxHashMap<u32, u32>,
 ) -> u64 {
-    let graph = view.graph();
-    let label = graph.label(v);
+    let label = g.label(v);
     paths.clear();
-    for u in view.cross_label_neighbors(v) {
-        for w in view.neighbors(u) {
-            if w != v && graph.label(w) == label {
+    for u in g.cross_label_neighbors_iter(v) {
+        for w in g.neighbors_iter(u) {
+            if w != v && g.label(w) == label {
                 *paths.entry(w.0).or_insert(0) += 1;
             }
         }

@@ -61,7 +61,9 @@ pub mod stats;
 
 pub use engine::EngineConfig;
 pub use fast_dist::IncrementalDistances;
-pub use incremental::{affected_neighborhood, patch_index_edge, PatchReport};
+pub use incremental::{
+    affected_neighborhood, patch_index_batch, patch_index_edge, BatchPatchReport, PatchReport,
+};
 pub use index::BccIndex;
 pub use local::{butterfly_core_path, expand_candidate, PathWeights};
 pub use model::{

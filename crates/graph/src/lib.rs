@@ -12,6 +12,10 @@
 //! * [`GraphDelta`] — staged, validated edge inserts/deletes against a
 //!   snapshot, spliced into a new snapshot in one CSR merge pass (the
 //!   substrate of incremental index maintenance and live serving).
+//! * [`OverlayGraph`] / [`GraphRead`] — a mutable adjacency overlay that
+//!   answers reads for a batch of staged edge flips in O(1) per flip, plus
+//!   the read trait that lets the maintenance algorithms run unchanged over
+//!   CSR snapshots, overlays, and views.
 //! * [`traversal`] — BFS distances, query distance (Definition 5 of the
 //!   paper), connectivity, connected components, and diameter computation.
 //! * [`BitSet`] / [`UnionFind`] — small utility structures used across the
@@ -49,6 +53,7 @@ pub mod graph;
 pub mod io;
 pub mod json;
 pub mod labels;
+pub mod overlay;
 pub mod traversal;
 pub mod unionfind;
 pub mod view;
@@ -58,6 +63,7 @@ pub use builder::GraphBuilder;
 pub use delta::{apply_change, DeltaError, EdgeChange, EdgeOp, GraphDelta};
 pub use graph::{EdgeKind, LabeledGraph, VertexId};
 pub use labels::{Label, LabelInterner};
+pub use overlay::{GraphRead, OverlayGraph};
 pub use traversal::{bfs_distances, query_distance, QueryDistances, INF_DIST};
 pub use unionfind::UnionFind;
 pub use view::GraphView;

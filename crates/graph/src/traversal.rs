@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use crate::graph::{LabeledGraph, VertexId};
+use crate::overlay::GraphRead;
 use crate::view::GraphView;
 
 /// Sentinel distance for unreachable vertices. Per Section 3.1,
@@ -12,7 +13,7 @@ pub const INF_DIST: u32 = u32::MAX;
 
 /// Single-source BFS over a view. Returns per-vertex hop distances, with
 /// [`INF_DIST`] for dead or unreachable vertices.
-pub fn bfs_distances(view: &GraphView<'_>, source: VertexId) -> Vec<u32> {
+pub fn bfs_distances<G: GraphRead>(view: &GraphView<'_, G>, source: VertexId) -> Vec<u32> {
     let n = view.graph().vertex_count();
     let mut dist = vec![INF_DIST; n];
     if !view.is_alive(source) {
@@ -37,8 +38,8 @@ pub fn bfs_distances(view: &GraphView<'_>, source: VertexId) -> Vec<u32> {
 /// source). Only vertices in `unsettled` may be assigned a distance; all
 /// other vertices act as already-visited walls. This is the kernel of the
 /// fast query-distance update of Algorithm 5.
-pub fn bfs_from_frontier(
-    view: &GraphView<'_>,
+pub fn bfs_from_frontier<G: GraphRead>(
+    view: &GraphView<'_, G>,
     frontier: &[(VertexId, u32)],
     dist: &mut [u32],
     may_update: impl Fn(VertexId) -> bool,
@@ -73,7 +74,7 @@ pub struct QueryDistances {
 
 impl QueryDistances {
     /// Runs one BFS per query vertex over `view`.
-    pub fn compute(view: &GraphView<'_>, queries: &[VertexId]) -> Self {
+    pub fn compute<G: GraphRead>(view: &GraphView<'_, G>, queries: &[VertexId]) -> Self {
         QueryDistances {
             per_query: queries.iter().map(|&q| bfs_distances(view, q)).collect(),
             queries: queries.to_vec(),
@@ -93,7 +94,7 @@ impl QueryDistances {
 
     /// `dist(X, Q)` for the whole alive set of `view`: the maximum vertex
     /// query distance (Definition 5 applied to `X = V(view)`).
-    pub fn graph_query_distance(&self, view: &GraphView<'_>) -> u32 {
+    pub fn graph_query_distance<G: GraphRead>(&self, view: &GraphView<'_, G>) -> u32 {
         view.alive_vertices()
             .map(|v| self.vertex_query_distance(v))
             .max()
@@ -103,7 +104,7 @@ impl QueryDistances {
     /// All alive vertices attaining the maximum query distance, together
     /// with that distance. Vertices unreachable from some query vertex
     /// (distance ∞) always dominate.
-    pub fn farthest_vertices(&self, view: &GraphView<'_>) -> (Vec<VertexId>, u32) {
+    pub fn farthest_vertices<G: GraphRead>(&self, view: &GraphView<'_, G>) -> (Vec<VertexId>, u32) {
         let mut best = 0u32;
         let mut out = Vec::new();
         for v in view.alive_vertices() {
@@ -123,13 +124,13 @@ impl QueryDistances {
 }
 
 /// `dist(v, Q)` computed from scratch (convenience wrapper).
-pub fn query_distance(view: &GraphView<'_>, queries: &[VertexId], v: VertexId) -> u32 {
+pub fn query_distance<G: GraphRead>(view: &GraphView<'_, G>, queries: &[VertexId], v: VertexId) -> u32 {
     QueryDistances::compute(view, queries).vertex_query_distance(v)
 }
 
 /// Connected components of the alive subgraph; returns per-vertex component
 /// id (`u32::MAX` for dead vertices) and the component count.
-pub fn connected_components(view: &GraphView<'_>) -> (Vec<u32>, usize) {
+pub fn connected_components<G: GraphRead>(view: &GraphView<'_, G>) -> (Vec<u32>, usize) {
     let n = view.graph().vertex_count();
     let mut comp = vec![u32::MAX; n];
     let mut count = 0u32;
@@ -158,7 +159,7 @@ pub fn connected_components(view: &GraphView<'_>) -> (Vec<u32>, usize) {
 /// components (∞ distances are skipped), matching how the paper reports
 /// diameters of discovered communities. O(|V|·|E|) — fine for communities
 /// and test graphs; use [`diameter_double_sweep`] for large graphs.
-pub fn diameter_exact(view: &GraphView<'_>) -> u32 {
+pub fn diameter_exact<G: GraphRead>(view: &GraphView<'_, G>) -> u32 {
     let mut diameter = 0;
     for v in view.alive_vertices() {
         let dist = bfs_distances(view, v);
@@ -176,7 +177,7 @@ pub fn diameter_exact(view: &GraphView<'_>) -> u32 {
 /// farthest vertex `a`, then BFS from `a`; the largest finite distance found
 /// is a lower bound that is exact on trees and very tight in practice.
 /// Used for the `d_max` column of Table 3 on the larger networks.
-pub fn diameter_double_sweep(view: &GraphView<'_>, seed: VertexId) -> u32 {
+pub fn diameter_double_sweep<G: GraphRead>(view: &GraphView<'_, G>, seed: VertexId) -> u32 {
     if !view.is_alive(seed) {
         return 0;
     }
@@ -200,7 +201,7 @@ pub fn diameter_double_sweep(view: &GraphView<'_>, seed: VertexId) -> u32 {
 /// the upper bound `2·level`; stop as soon as `lb ≥ 2·(level − 1)`. Exact,
 /// and on small-world graphs it typically probes a handful of vertices
 /// instead of all `|V|` (used for the case-study diameter reports).
-pub fn diameter_ifub(view: &GraphView<'_>, seed: VertexId) -> u32 {
+pub fn diameter_ifub<G: GraphRead>(view: &GraphView<'_, G>, seed: VertexId) -> u32 {
     if !view.is_alive(seed) {
         return 0;
     }
@@ -243,7 +244,7 @@ pub fn diameter_ifub(view: &GraphView<'_>, seed: VertexId) -> u32 {
 
 /// Exact eccentricity of `v` within its component (largest finite BFS
 /// distance).
-pub fn eccentricity(view: &GraphView<'_>, v: VertexId) -> u32 {
+pub fn eccentricity<G: GraphRead>(view: &GraphView<'_, G>, v: VertexId) -> u32 {
     let dist = bfs_distances(view, v);
     view.alive_vertices()
         .map(|u| dist[u.index()])

@@ -12,29 +12,50 @@
 //!
 //! Deleting a vertex is O(deg) (to decrement its neighbors' counters);
 //! neighbor iteration filters dead endpoints on the fly.
+//!
+//! The view is generic over any [`GraphRead`] source, defaulting to
+//! [`LabeledGraph`]: the incremental-maintenance cascades run the same
+//! peeling code over an [`crate::OverlayGraph`] mid-batch without ever
+//! materializing the intermediate snapshots.
 
 use crate::bitset::BitSet;
 use crate::graph::{LabeledGraph, VertexId};
+use crate::labels::Label;
+use crate::overlay::GraphRead;
 
-/// A deletable overlay over a [`LabeledGraph`].
-#[derive(Clone, Debug)]
-pub struct GraphView<'g> {
-    graph: &'g LabeledGraph,
+/// A deletable overlay over any [`GraphRead`] source (a [`LabeledGraph`]
+/// CSR by default, or an [`crate::OverlayGraph`] mid-commit).
+#[derive(Debug)]
+pub struct GraphView<'g, G: GraphRead = LabeledGraph> {
+    graph: &'g G,
     alive: BitSet,
     degree: Vec<u32>,
     intra_degree: Vec<u32>,
     alive_count: usize,
 }
 
-impl<'g> GraphView<'g> {
+// Manual impl: `&'g G` is always cloneable, no `G: Clone` bound needed.
+impl<G: GraphRead> Clone for GraphView<'_, G> {
+    fn clone(&self) -> Self {
+        GraphView {
+            graph: self.graph,
+            alive: self.alive.clone(),
+            degree: self.degree.clone(),
+            intra_degree: self.intra_degree.clone(),
+            alive_count: self.alive_count,
+        }
+    }
+}
+
+impl<'g, G: GraphRead> GraphView<'g, G> {
     /// A view containing every vertex of `graph`.
-    pub fn new(graph: &'g LabeledGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         let n = graph.vertex_count();
         let mut degree = vec![0u32; n];
         let mut intra_degree = vec![0u32; n];
         for v in graph.vertices() {
             degree[v.index()] = graph.degree(v) as u32;
-            intra_degree[v.index()] = graph.same_label_neighbors(v).count() as u32;
+            intra_degree[v.index()] = graph.same_label_neighbors_iter(v).count() as u32;
         }
         GraphView {
             graph,
@@ -46,7 +67,7 @@ impl<'g> GraphView<'g> {
     }
 
     /// A view containing exactly the vertices in `members`.
-    pub fn from_vertices(graph: &'g LabeledGraph, members: impl IntoIterator<Item = VertexId>) -> Self {
+    pub fn from_vertices(graph: &'g G, members: impl IntoIterator<Item = VertexId>) -> Self {
         let n = graph.vertex_count();
         let mut alive = BitSet::new(n);
         for v in members {
@@ -56,7 +77,7 @@ impl<'g> GraphView<'g> {
     }
 
     /// A view from a pre-built alive set.
-    pub fn from_alive(graph: &'g LabeledGraph, alive: BitSet) -> Self {
+    pub fn from_alive(graph: &'g G, alive: BitSet) -> Self {
         assert_eq!(alive.capacity(), graph.vertex_count(), "alive set capacity mismatch");
         let n = graph.vertex_count();
         let mut degree = vec![0u32; n];
@@ -68,7 +89,7 @@ impl<'g> GraphView<'g> {
             let label = graph.label(v);
             let mut deg = 0;
             let mut intra = 0;
-            for &u in graph.neighbors(v) {
+            for u in graph.neighbors_iter(v) {
                 if alive.contains(u.index()) {
                     deg += 1;
                     if graph.label(u) == label {
@@ -90,7 +111,7 @@ impl<'g> GraphView<'g> {
 
     /// The underlying immutable graph.
     #[inline]
-    pub fn graph(&self) -> &'g LabeledGraph {
+    pub fn graph(&self) -> &'g G {
         self.graph
     }
 
@@ -136,12 +157,11 @@ impl<'g> GraphView<'g> {
         self.alive.iter().map(|i| VertexId(i as u32))
     }
 
-    /// Iterates the alive neighbors of `v`.
+    /// Iterates the alive neighbors of `v`. (Callers guard aliveness of `v`
+    /// itself; use [`GraphRead::neighbors_iter`] for the dead-safe variant.)
     pub fn neighbors<'a>(&'a self, v: VertexId) -> impl Iterator<Item = VertexId> + 'a {
         self.graph
-            .neighbors(v)
-            .iter()
-            .copied()
+            .neighbors_iter(v)
             .filter(move |&u| self.alive.contains(u.index()))
     }
 
@@ -165,7 +185,7 @@ impl<'g> GraphView<'g> {
         }
         self.alive_count -= 1;
         let label = self.graph.label(v);
-        for &u in self.graph.neighbors(v) {
+        for u in self.graph.neighbors_iter(v) {
             if self.alive.contains(u.index()) {
                 self.degree[u.index()] -= 1;
                 if self.graph.label(u) == label {
@@ -232,10 +252,55 @@ impl<'g> GraphView<'g> {
     }
 }
 
+/// A view is itself a readable graph: the live subgraph it represents.
+/// `vertex_count` still sizes the full id space (dead ids included) so
+/// per-vertex arrays stay index-compatible with the base graph.
+impl<G: GraphRead> GraphRead for GraphView<'_, G> {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        GraphView::edge_count(self)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        self.graph.label(v)
+    }
+
+    #[inline]
+    fn label_count(&self) -> usize {
+        self.graph.label_count()
+    }
+
+    fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive_vertices()
+    }
+
+    fn neighbors_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        // Dead-safe: a dead vertex has no live neighbors (and its base
+        // adjacency is never scanned).
+        let take = if self.is_alive(v) { usize::MAX } else { 0 };
+        self.neighbors(v).take(take)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        GraphView::degree(self, v)
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.is_alive(u) && self.is_alive(v) && self.graph.has_edge(u, v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphBuilder;
+    use crate::overlay::OverlayGraph;
+    use crate::{EdgeChange, EdgeOp, GraphBuilder};
 
     fn path_graph(n: usize) -> LabeledGraph {
         let mut b = GraphBuilder::new();
@@ -310,5 +375,36 @@ mod tests {
         view.remove_vertex(a1);
         assert_eq!(view.intra_degree(a0), 0);
         assert_eq!(view.cross_degree(a0), 1);
+    }
+
+    #[test]
+    fn view_over_an_overlay_tracks_staged_flips() {
+        // The same peeling machinery runs over an OverlayGraph mid-commit:
+        // counters must reflect the staged (not the base) adjacency.
+        let g = path_graph(4); // 0-1-2-3, labels A B A B
+        let mut overlay = OverlayGraph::new(&g);
+        overlay.flip(&EdgeChange { u: VertexId(0), v: VertexId(2), op: EdgeOp::Insert });
+        overlay.flip(&EdgeChange { u: VertexId(2), v: VertexId(3), op: EdgeOp::Remove });
+        let mut view = GraphView::new(&overlay);
+        assert_eq!(view.alive_count(), 4);
+        assert_eq!(view.edge_count(), 3);
+        assert_eq!(view.intra_degree(VertexId(0)), 1, "staged homogeneous edge {{0, 2}}");
+        assert_eq!(view.degree(VertexId(3)), 0, "staged removal of {{2, 3}}");
+        view.remove_vertex(VertexId(2));
+        assert_eq!(view.degree(VertexId(0)), 1);
+        assert_eq!(view.intra_degree(VertexId(0)), 0);
+        assert!(view.connected(VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    fn graph_read_on_views_is_dead_safe() {
+        let g = path_graph(4);
+        let mut view = GraphView::new(&g);
+        view.remove_vertex(VertexId(1));
+        assert_eq!(GraphRead::neighbors_iter(&view, VertexId(1)).count(), 0);
+        assert_eq!(GraphRead::vertices(&view).count(), 3);
+        assert!(!GraphRead::has_edge(&view, VertexId(0), VertexId(1)));
+        assert!(GraphRead::has_edge(&view, VertexId(2), VertexId(3)));
+        assert_eq!(GraphRead::vertex_count(&view), 4, "id space keeps dead ids");
     }
 }

@@ -8,14 +8,23 @@
 //!
 //! Snapshots stay immutable under mutation: `add_edge`/`remove_edge` lines
 //! *stage* a validated [`GraphDelta`] against the current snapshot, and
-//! [`GraphRegistry::commit`] replays it into a **new** snapshot — patching
+//! [`GraphRegistry::commit`] turns it into a **new** snapshot — patching
 //! the already-built BCindex in place with the Algorithm 4 cascades and
-//! Algorithm 7 butterfly deltas (`bcc_core::incremental`) instead of
-//! rebuilding — while in-flight requests keep their `Arc` to the old one.
-//! The commit reports the *dirty vertex set* (mutation neighborhood plus
-//! every index entry the cascades moved) so the serving layer can
-//! invalidate result-cache entries by community membership instead of
-//! clearing wholesale.
+//! Algorithm 7 butterfly deltas (`bcc_core::patch_index_batch`, which runs
+//! them against a mutable adjacency overlay: O(1) graph work per edge, and
+//! exactly **one** CSR materialization per commit via the
+//! [`GraphDelta::apply`] merge pass) — while in-flight requests keep their
+//! `Arc` to the old one. The commit reports the *dirty vertex set*
+//! (mutation neighborhoods plus every index entry the cascades moved) so
+//! the serving layer can invalidate result-cache entries by community
+//! membership instead of clearing wholesale.
+//!
+//! Publishing the committed snapshot re-checks, under the `graphs` write
+//! lock, that the registered generation is still the one the batch was
+//! staged and patched against: a concurrent [`GraphRegistry::insert`] of
+//! the same name between the commit's read and its write would otherwise be
+//! silently clobbered by the committed old-lineage snapshot. On mismatch
+//! the commit fails with a structured error and the new registration wins.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -244,52 +253,87 @@ impl GraphRegistry {
             .map_or(0, |slot| slot.delta.len())
     }
 
-    /// Applies every change staged for `name`: replays the delta one edge
-    /// at a time, patching the BCindex in place (Algorithm 4 cascades for
-    /// coreness, Algorithm 7 deltas for butterfly degrees) when it had been
-    /// built, and registers the patched snapshot under a fresh generation.
-    /// In-flight requests keep their `Arc` to the old snapshot; results they
-    /// cache afterwards carry the dead generation and age out of the LRU.
+    /// Applies every change staged for `name`: patches the BCindex in place
+    /// over a mutable adjacency overlay (Algorithm 4 cascades for coreness,
+    /// Algorithm 7 deltas for butterfly degrees; `bcc_core::patch_index_batch`)
+    /// when it had been built, splices the final snapshot in **one** CSR
+    /// merge pass, and registers it under a fresh generation. In-flight
+    /// requests keep their `Arc` to the old snapshot; results they cache
+    /// afterwards carry the dead generation and age out of the LRU.
+    ///
+    /// Fails — dropping the committed snapshot — if `name` was re-registered
+    /// between the commit's read of the entry and the publish: the live
+    /// generation is re-checked under the write lock (see module docs).
     pub fn commit(&self, name: &str) -> Result<CommitOutcome, String> {
         let entry = self
             .get(name)
             .ok_or_else(|| format!("no graph registered as `{name}`"))?;
-        let staged = self.pending.lock().unwrap().remove(name);
-        let Some(staged) = staged else {
-            return Err(format!("nothing staged for graph `{name}`"));
+        self.commit_entry(entry, || ())
+    }
+
+    /// The commit body, parameterized for deterministic race tests: `entry`
+    /// is the snapshot the caller read (tests pass a stale one to stand in
+    /// a concurrent re-registration), and `before_publish` runs after
+    /// patching but before the publish re-check — the other race window.
+    fn commit_entry(
+        &self,
+        entry: Arc<GraphEntry>,
+        before_publish: impl FnOnce(),
+    ) -> Result<CommitOutcome, String> {
+        let name = entry.name();
+        let staged = {
+            let mut pending = self.pending.lock().unwrap();
+            let Some(slot) = pending.get(name) else {
+                return Err(format!("nothing staged for graph `{name}`"));
+            };
+            if slot.generation != entry.generation() {
+                // Two distinct mismatches. If the slot is pinned to the
+                // *currently live* registration, this commit simply read a
+                // snapshot that has since been replaced — the batch belongs
+                // to the new lineage and must be left for it, not consumed.
+                // Otherwise the slot is pinned to a dead generation —
+                // staging is optimistic-concurrency: a batch is validated
+                // against exactly one snapshot, so once that snapshot was
+                // replaced (by a re-registration or a sibling commit) the
+                // batch cannot soundly apply and is dropped, as
+                // [`GraphRegistry::stage_edge`] would on next touch.
+                let live = self.graphs.read().unwrap().get(name).map(|e| e.generation());
+                if live == Some(slot.generation) {
+                    return Err(format!(
+                        "graph `{name}` was re-registered before commit; staged changes \
+                         kept for the new snapshot"
+                    ));
+                }
+                pending.remove(name);
+                return Err(format!(
+                    "graph `{name}` moved to a new snapshot after staging (re-registered \
+                     or committed concurrently); staged changes dropped"
+                ));
+            }
+            pending.remove(name).expect("slot checked present under the lock")
         };
-        if staged.generation != entry.generation() {
-            return Err(format!(
-                "graph `{name}` was re-registered after staging; staged changes dropped"
-            ));
-        }
         let applied = staged.delta.len();
         let old_generation = entry.generation();
         let (new_entry, dirty) = match entry.index_if_built() {
             Some(built) => {
                 let started = Instant::now();
                 let mut index = built.index.clone();
-                let mut dirty: FxHashSet<u32> = FxHashSet::default();
-                let mut current = entry.graph().clone();
-                for change in staged.delta.changes() {
-                    let next = bcc_graph::apply_change(&current, change);
-                    for w in bcc_core::affected_neighborhood(&current, &next, change) {
-                        dirty.insert(w.0);
-                    }
-                    let report = bcc_core::patch_index_edge(&mut index, &current, &next, change);
-                    for w in report.coreness_changed.iter().chain(&report.chi_changed) {
-                        dirty.insert(w.0);
-                    }
-                    current = next;
-                }
+                // O(1) graph work per staged edge: the cascades read the
+                // overlay, never an intermediate snapshot. The only CSR
+                // materialization of the whole commit is the one merge pass
+                // below — no clone of the base graph either (the batch API
+                // borrows it).
+                let report =
+                    bcc_core::patch_index_batch(&mut index, entry.graph(), staged.delta.changes());
+                let graph = staged.delta.apply(entry.graph());
                 let built = BuiltIndex {
                     index,
                     // Cumulative offline investment: the original build plus
                     // every patch since.
                     build_time: built.build_time + started.elapsed(),
                 };
-                let entry = GraphEntry::with_built(name.to_owned(), current, built);
-                (Arc::new(entry), Some(dirty))
+                let entry = GraphEntry::with_built(name.to_owned(), graph, built);
+                (Arc::new(entry), Some(report.dirty))
             }
             None => {
                 // No index yet: splice the whole batch in one pass and stay
@@ -298,10 +342,20 @@ impl GraphRegistry {
                 (Arc::new(GraphEntry::new(name.to_owned(), graph)), None)
             }
         };
-        self.graphs
-            .write()
-            .unwrap()
-            .insert(name.to_owned(), Arc::clone(&new_entry));
+        before_publish();
+        let mut graphs = self.graphs.write().unwrap();
+        match graphs.get(name) {
+            Some(live) if live.generation() == old_generation => {
+                graphs.insert(name.to_owned(), Arc::clone(&new_entry));
+            }
+            _ => {
+                return Err(format!(
+                    "graph `{name}` moved to a new snapshot during commit (re-registered \
+                     or committed concurrently); committed snapshot discarded"
+                ));
+            }
+        }
+        drop(graphs);
         Ok(CommitOutcome { entry: new_entry, old_generation, applied, dirty })
     }
 
@@ -442,6 +496,110 @@ mod tests {
         reg.insert("g", tiny_graph());
         reg.stage_edge(&stale, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
         assert!(reg.commit("g").unwrap_err().contains("re-registered"));
+    }
+
+    #[test]
+    fn commit_loses_to_a_concurrent_reregistration() {
+        // The race the publish re-check closes: a `register` of the same
+        // name lands between commit's read of the entry and its write. The
+        // hook makes the interleaving deterministic while keeping the
+        // re-registration on its own thread, like a real client.
+        let reg = Arc::new(GraphRegistry::new());
+        let entry = reg.insert("g", tiny_graph());
+        entry.index(); // patched path
+        reg.stage_edge(&entry, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+
+        let racer = Arc::clone(&reg);
+        let err = reg
+            .commit_entry(Arc::clone(&entry), move || {
+                std::thread::spawn(move || {
+                    racer.insert("g", tiny_graph());
+                })
+                .join()
+                .expect("re-registration thread");
+            })
+            .unwrap_err();
+        assert!(err.contains("moved to a new snapshot during commit"), "{err}");
+
+        // The concurrent registration won: its snapshot is live (edge intact,
+        // not the committed removal) and nothing is left staged.
+        let live = reg.get("g").unwrap();
+        assert_eq!(live.graph().edge_count(), 1, "committed old-lineage snapshot discarded");
+        assert_ne!(live.generation(), entry.generation());
+        assert_eq!(reg.pending_len("g"), 0);
+        // The next stage/commit cycle against the new snapshot succeeds.
+        reg.stage_edge(&live, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+        let outcome = reg.commit("g").unwrap();
+        assert_eq!(outcome.entry.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn stale_commit_never_consumes_a_newer_registrations_batch() {
+        // The other half of the race: commit read its entry *before* a
+        // re-registration, and a third client has already staged changes
+        // against the new snapshot. The stale commit must fail without
+        // eating that batch.
+        let reg = GraphRegistry::new();
+        let stale = reg.insert("g", tiny_graph());
+        let fresh = reg.insert("g", tiny_graph());
+        reg.stage_edge(&fresh, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+
+        let err = reg.commit_entry(Arc::clone(&stale), || ()).unwrap_err();
+        assert!(err.contains("re-registered before commit"), "{err}");
+        assert_eq!(reg.pending_len("g"), 1, "the new lineage's batch survives");
+        // The rightful owner commits it cleanly.
+        let outcome = reg.commit("g").unwrap();
+        assert_eq!(outcome.applied, 1);
+        assert_eq!(outcome.entry.graph().edge_count(), 0);
+
+        // A slot pinned to a *dead* generation is still dropped (the
+        // pre-existing cleanup semantics).
+        let stale2 = reg.insert("g", tiny_graph());
+        reg.stage_edge(&stale2, bcc_graph::VertexId(0), bcc_graph::VertexId(1), false).unwrap();
+        reg.insert("g", tiny_graph());
+        let err = reg.commit("g").unwrap_err();
+        assert!(err.contains("staged changes dropped"), "{err}");
+        assert_eq!(reg.pending_len("g"), 0);
+    }
+
+    #[test]
+    fn batched_commit_patch_equals_rebuild() {
+        // Several staged changes, one commit: the batch-patched index must
+        // be bit-identical to a from-scratch build on the final snapshot,
+        // with the dirty set covering all mutation neighborhoods.
+        let reg = GraphRegistry::new();
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+        let c: Vec<_> = (0..4).map(|_| b.add_vertex("B")).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(a[i], a[j]);
+                b.add_edge(c[i], c[j]);
+            }
+        }
+        for &x in &a[..2] {
+            for &y in &c[..2] {
+                b.add_edge(x, y);
+            }
+        }
+        let entry = reg.insert("g", b.build());
+        entry.index();
+        reg.stage_edge(&entry, a[0], a[1], false).unwrap();
+        reg.stage_edge(&entry, a[2], c[2], true).unwrap();
+        reg.stage_edge(&entry, a[0], c[0], false).unwrap();
+        reg.stage_edge(&entry, a[0], a[1], true).unwrap();
+        let outcome = reg.commit("g").unwrap();
+        assert_eq!(outcome.applied, 4);
+        let patched = &outcome.entry.index_if_built().unwrap().index;
+        let rebuilt = BccIndex::build(outcome.entry.graph());
+        assert_eq!(patched.label_coreness, rebuilt.label_coreness);
+        assert_eq!(patched.butterfly_degree, rebuilt.butterfly_degree);
+        assert_eq!(patched.delta_max, rebuilt.delta_max);
+        assert_eq!(patched.chi_max, rebuilt.chi_max);
+        let dirty = outcome.dirty.as_ref().unwrap();
+        for v in [a[0], a[1], a[2], c[0], c[2]] {
+            assert!(dirty.contains(&v.0), "endpoint {v} must be dirty");
+        }
     }
 
     #[test]

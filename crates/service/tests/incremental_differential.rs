@@ -45,6 +45,110 @@ fn expect_output(service: &BccService, line: &str) -> String {
     }
 }
 
+/// Pulls the integer value of `"field":N` out of a JSON response line.
+fn json_uint(response: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let start = response
+        .find(&needle)
+        .unwrap_or_else(|| panic!("`{field}` missing in `{response}`"))
+        + needle.len();
+    response[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("`{field}` not an integer in `{response}`"))
+}
+
+/// Two 4-clique communities per label side, far apart: a pair of bridged
+/// L/R cliques on vertices 0..8 and another on 8..16, with a long path of
+/// alternating labels between them so the graph stays connected but the
+/// clusters never share community members.
+fn two_clusters() -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<VertexId> = (0..16)
+        .map(|i| b.add_vertex(if (i / 4) % 2 == 0 { "L" } else { "R" }))
+        .collect();
+    for cluster in [0usize, 8] {
+        for side in [cluster, cluster + 4] {
+            for i in side..side + 4 {
+                for j in (i + 1)..side + 4 {
+                    b.add_edge(vs[i], vs[j]);
+                }
+            }
+        }
+        // A 2×2 butterfly bridges the cluster's L and R cliques.
+        for &x in &vs[cluster..cluster + 2] {
+            for &y in &vs[cluster + 4..cluster + 6] {
+                b.add_edge(x, y);
+            }
+        }
+    }
+    let path: Vec<VertexId> = (0..6)
+        .map(|i| b.add_vertex(if i % 2 == 0 { "L" } else { "R" }))
+        .collect();
+    b.add_edge(vs[7], path[0]);
+    for w in path.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.add_edge(path[5], vs[8]);
+    b.build()
+}
+
+/// Scoped invalidation, deterministically non-vacuous: warm entries in the
+/// untouched cluster survive a batched commit that only mutates the other
+/// cluster — and the batched `retained`/`invalidated` counts match the
+/// per-edge twin's survivors exactly.
+#[test]
+fn batched_commit_retains_far_entries_like_per_edge_twin() {
+    let base = two_clusters();
+    let config = || ServiceConfig { workers: 2, ..ServiceConfig::default() };
+    let batched = BccService::with_graph(config(), base.clone());
+    let twin = BccService::with_graph(config(), base.clone());
+    batched.registry().get("default").unwrap().index();
+    twin.registry().get("default").unwrap().index();
+
+    // Warm one entry per cluster (cluster 0: vertices 0..8 with its L/R
+    // butterfly; cluster 1: vertices 8..16).
+    for line in ["search ql=0 qr=4", "search ql=8 qr=12"] {
+        let a = expect_output(&batched, line);
+        assert!(a.contains("\"ok\":true"), "{a}");
+        assert_eq!(a, expect_output(&twin, line));
+    }
+
+    // Mutate only cluster 1: drop and re-route two of its cross edges and
+    // one homogeneous edge. Cluster 0's community never intersects. The
+    // batched service stages all three and commits once; the per-edge twin
+    // commits after every stage.
+    let flips = ["remove_edge u=8 v=12", "add_edge u=10 v=14", "remove_edge u=9 v=10"];
+    let mut twin_last_retained = 0;
+    for line in flips {
+        assert!(expect_output(&batched, line).contains("\"ok\":true"));
+        assert!(expect_output(&twin, line).contains("\"ok\":true"));
+        let committed = expect_output(&twin, "commit");
+        assert!(committed.contains("\"index_patched\":true"), "{committed}");
+        twin_last_retained = json_uint(&committed, "retained");
+    }
+
+    let committed = expect_output(&batched, "commit");
+    assert!(committed.contains("\"index_patched\":true"), "{committed}");
+    assert_eq!(json_uint(&committed, "applied"), 3);
+    let retained = json_uint(&committed, "retained");
+    assert!(retained >= 1, "cluster-0 entry must survive: {committed}");
+    assert_eq!(retained, twin_last_retained, "batched vs per-edge survivors: {committed}");
+    assert_eq!(
+        json_uint(&committed, "invalidated"),
+        1,
+        "only the mutated cluster's entry drops: {committed}"
+    );
+
+    // The retained entry still serves byte-identically post-commit.
+    assert_eq!(
+        expect_output(&batched, "search ql=0 qr=4"),
+        expect_output(&twin, "search ql=0 qr=4")
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -113,6 +217,116 @@ proptest! {
         }
         let mline = format!("msearch q=0,{} k=1", n - 1);
         prop_assert_eq!(expect_output(&service, &mline), expect_output(&fresh, &mline));
+    }
+
+    /// One batched commit versus a per-edge-commit twin versus a cold
+    /// rebuild, driven entirely through the protocol: the same flip
+    /// sequence staged once and committed in one batch must produce
+    /// byte-identical search responses, a bit-identical BCindex, and the
+    /// same dirty-set-scoped invalidation outcome — the batched commit's
+    /// `retained` count equals the per-edge twin's final survivor count
+    /// (an entry survives iff it intersects no per-edge dirty set, and the
+    /// batch dirty set is exactly the union of the per-edge ones).
+    #[test]
+    fn batched_commit_matches_per_edge_twin_and_cold_rebuild(
+        n in 6usize..12,
+        label_bits in proptest::collection::vec(0u8..3, 1..10),
+        edge_bits in proptest::collection::vec(0u8..2, 1..64),
+        flips in proptest::collection::vec((0usize..16, 0usize..16), 1..24),
+    ) {
+        let base = graph_from_bits(n, &label_bits, &edge_bits);
+        let config = || ServiceConfig { workers: 2, ..ServiceConfig::default() };
+        let batched = BccService::with_graph(config(), base.clone());
+        let twin = BccService::with_graph(config(), base.clone());
+        batched.registry().get("default").unwrap().index();
+        twin.registry().get("default").unwrap().index();
+
+        // Seed both caches with the same warm entries (Ok and Err outcomes).
+        let seeds: Vec<String> = [(0usize, n - 1), (1, n / 2), (2, n - 2), (0, n + 7)]
+            .iter()
+            .filter(|(ql, qr)| ql != qr)
+            .map(|(ql, qr)| format!("search ql={ql} qr={qr}"))
+            .collect();
+        for line in &seeds {
+            prop_assert_eq!(expect_output(&batched, line), expect_output(&twin, line));
+        }
+
+        // Same flip sequence: staged-only on `batched`, commit-per-edge on
+        // `twin`. Verbs are resolved on the twin's live snapshot, which the
+        // batched service's base ∪ staged overlay mirrors exactly.
+        let mut staged_count = 0usize;
+        let mut twin_last_retained = 0u64;
+        for &(a, b) in &flips {
+            let (u, v) = (a % n, b % n);
+            if u == v {
+                continue;
+            }
+            let live = twin.registry().get("default").unwrap();
+            let verb = if live.graph().has_edge(VertexId(u as u32), VertexId(v as u32)) {
+                "remove_edge"
+            } else {
+                "add_edge"
+            };
+            let line = format!("{verb} u={u} v={v}");
+            let twin_out = expect_output(&twin, &line);
+            prop_assert!(twin_out.contains("\"ok\":true"), "{}", twin_out);
+            let batched_out = expect_output(&batched, &line);
+            prop_assert!(batched_out.contains("\"ok\":true"), "{}", batched_out);
+            let committed = expect_output(&twin, "commit");
+            prop_assert!(committed.contains("\"index_patched\":true"), "{}", committed);
+            twin_last_retained = json_uint(&committed, "retained");
+            staged_count += 1;
+        }
+        if staged_count == 0 {
+            continue; // every flip degenerated to a self-loop — skip the case
+        }
+
+        let committed = expect_output(&batched, "commit");
+        prop_assert!(committed.contains("\"ok\":true"), "{}", committed);
+        prop_assert!(committed.contains("\"index_patched\":true"), "{}", committed);
+        prop_assert_eq!(json_uint(&committed, "applied"), staged_count as u64);
+        // Scoped invalidation equivalence: survivors of the one batched
+        // commit == survivors of the whole per-edge commit chain.
+        prop_assert_eq!(
+            json_uint(&committed, "retained"),
+            twin_last_retained,
+            "batched retained != per-edge twin survivors: {}",
+            committed
+        );
+
+        // Identical final snapshots and bit-identical patched indices.
+        let batched_entry = batched.registry().get("default").unwrap();
+        let twin_entry = twin.registry().get("default").unwrap();
+        prop_assert_eq!(batched_entry.graph().edge_count(), twin_entry.graph().edge_count());
+        let batched_index = &batched_entry.index_if_built().unwrap().index;
+        let twin_index = &twin_entry.index_if_built().unwrap().index;
+        prop_assert_eq!(&batched_index.label_coreness, &twin_index.label_coreness);
+        prop_assert_eq!(&batched_index.butterfly_degree, &twin_index.butterfly_degree);
+        let rebuilt = BccIndex::build(batched_entry.graph());
+        prop_assert_eq!(&batched_index.label_coreness, &rebuilt.label_coreness);
+        prop_assert_eq!(&batched_index.butterfly_degree, &rebuilt.butterfly_degree);
+        prop_assert_eq!(batched_index.delta_max, rebuilt.delta_max);
+        prop_assert_eq!(batched_index.chi_max, rebuilt.chi_max);
+
+        // Byte-identical serving: cold service on the final snapshot, with
+        // the same pre-commit search lines replayed so seq counters align.
+        let cold = BccService::with_graph(config(), batched_entry.graph().clone());
+        for line in &seeds {
+            let _ = expect_output(&cold, line);
+        }
+        for (ql, qr, method) in [(0usize, n - 1, "lp"), (1, n / 2, "l2p"), (2, n - 2, "online")] {
+            if ql == qr {
+                continue;
+            }
+            let line = format!("search ql={ql} qr={qr} method={method}");
+            let from_batched = expect_output(&batched, &line);
+            prop_assert_eq!(&from_batched, &expect_output(&twin, &line), "twin diverged on `{}`", line);
+            prop_assert_eq!(&from_batched, &expect_output(&cold, &line), "cold diverged on `{}`", line);
+        }
+        let mline = format!("msearch q=0,{} k=1", n - 1);
+        let from_batched = expect_output(&batched, &mline);
+        prop_assert_eq!(&from_batched, &expect_output(&twin, &mline));
+        prop_assert_eq!(&from_batched, &expect_output(&cold, &mline));
     }
 
     /// Batched commits (several staged changes, one commit) agree with a
