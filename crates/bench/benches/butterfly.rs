@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bcc_butterfly::{
-    butterfly_degrees, leader_decrement, total_butterflies, total_butterflies_priority,
-    BipartiteCross, ButterflyCounts,
+    butterfly_degrees, butterfly_degrees_hash, butterfly_degrees_priority, leader_decrement,
+    total_butterflies, total_butterflies_priority, BipartiteCross, ButterflyCounts,
 };
 use bcc_datasets::{PlantedConfig, PlantedNetwork};
 use bcc_graph::{GraphView, Label};
@@ -31,12 +31,22 @@ fn bench_counting(c: &mut Criterion) {
         let view = GraphView::new(&net.graph);
         let cross = BipartiteCross::new(Label(0), Label(1));
         group.bench_with_input(
-            BenchmarkId::new("alg3_per_vertex", communities),
+            BenchmarkId::new("alg3_per_vertex_flat", communities),
             &communities,
             |b, _| b.iter(|| butterfly_degrees(&view, cross)),
         );
         group.bench_with_input(
-            BenchmarkId::new("pair_hash_total", communities),
+            BenchmarkId::new("alg3_per_vertex_hash", communities),
+            &communities,
+            |b, _| b.iter(|| butterfly_degrees_hash(&view, cross)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("alg3_per_vertex_priority", communities),
+            &communities,
+            |b, _| b.iter(|| butterfly_degrees_priority(&view, cross)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("side_sum_total", communities),
             &communities,
             |b, _| b.iter(|| total_butterflies(&view, cross)),
         );

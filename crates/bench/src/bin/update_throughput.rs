@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p bcc-bench --bin update_throughput -- \
-//!     [--scale 0.25] [--updates 12] [--out update_throughput.json]
+//!     [--scale 0.25] [--updates 12] [--threads 1] [--out update_throughput.json]
 //! ```
+//!
+//! `--threads` (default 1) sets the worker count of the *rebuild* side via
+//! `BccIndex::build_with_threads` — the patch-vs-rebuild gate below is
+//! against the sequential rebuild by default (the seed comparison), and the
+//! knob lets a multi-core run pit patching against the parallel build too.
 //!
 //! Each update is a random valid flip (remove an existing edge or insert an
 //! absent pair). For every flip the binary times the patch path (CSR splice
@@ -83,7 +88,7 @@ fn assert_index_eq(patched: &BccIndex, rebuilt: &BccIndex, context: &str) {
     assert_eq!(patched.chi_max, rebuilt.chi_max, "χ_max diverged {context}");
 }
 
-fn bench_network(name: &str, scale: f64, updates: usize, seed: u64) -> Row {
+fn bench_network(name: &str, scale: f64, updates: usize, threads: usize, seed: u64) -> Row {
     let spec = match name {
         "dblp" => bcc_datasets::dblp(scale),
         "baidu1" => bcc_datasets::baidu1(scale),
@@ -99,7 +104,7 @@ fn bench_network(name: &str, scale: f64, updates: usize, seed: u64) -> Row {
     );
 
     let build_started = Instant::now();
-    let mut index = BccIndex::build(&graph);
+    let mut index = BccIndex::build_with_threads(&graph, threads);
     let build_time = build_started.elapsed();
 
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -115,7 +120,7 @@ fn bench_network(name: &str, scale: f64, updates: usize, seed: u64) -> Row {
         patch_total += patch_started.elapsed();
 
         let rebuild_started = Instant::now();
-        let rebuilt = BccIndex::build(&after);
+        let rebuilt = BccIndex::build_with_threads(&after, threads);
         rebuild_total += rebuild_started.elapsed();
 
         assert_index_eq(
@@ -261,6 +266,7 @@ fn main() {
     let args = Args::parse();
     let scale = args.get("scale", 0.25f64);
     let updates = args.get("updates", 12usize).max(1);
+    let threads = args.get("threads", 1usize);
     let batches_arg = args.get("batches", String::from("1,16,256,4096"));
     let batch_scale = args.get("batch-scale", 1.0f64);
     let out = args.get("out", String::new());
@@ -274,7 +280,7 @@ fn main() {
     let rows: Vec<Row> = ["dblp", "baidu1"]
         .iter()
         .enumerate()
-        .map(|(i, name)| bench_network(name, scale, updates, 0xBCC + i as u64))
+        .map(|(i, name)| bench_network(name, scale, updates, threads, 0xBCC + i as u64))
         .collect();
 
     let mut table = Table::new(

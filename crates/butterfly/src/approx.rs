@@ -14,10 +14,9 @@
 //!
 //! Both take an explicit seed so estimates are reproducible.
 
-use bcc_graph::{GraphView, VertexId};
+use bcc_graph::{GraphView, VertexId, WedgeScratch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::bipartite::BipartiteCross;
 use crate::counting::choose2;
@@ -44,6 +43,7 @@ pub fn approx_total_butterflies_pairs(
     }
     let total_pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut scratch = WedgeScratch::new(view.graph().vertex_count());
     let mut acc = 0.0f64;
     for _ in 0..samples {
         let i = rng.gen_range(0..n);
@@ -52,11 +52,12 @@ pub fn approx_total_butterflies_pairs(
             j += 1;
         }
         let (v, w) = (side[i], side[j]);
-        let v_neighbors: FxHashSet<u32> = cross.cross_neighbors(view, v).map(|u| u.0).collect();
-        let common = cross
-            .cross_neighbors(view, w)
-            .filter(|u| v_neighbors.contains(&u.0))
-            .count() as u64;
+        scratch.reset_for(view.graph().vertex_count());
+        for u in cross.cross_neighbors(view, v) {
+            scratch.mark(u);
+        }
+        let common =
+            cross.cross_neighbors(view, w).filter(|&u| scratch.contains(u)).count() as u64;
         acc += choose2(common) as f64;
     }
     acc / samples as f64 * total_pairs
@@ -73,40 +74,40 @@ pub fn approx_total_butterflies_espar(
 ) -> f64 {
     assert!(p > 0.0 && p <= 1.0, "keep probability must be in (0, 1]");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = view.graph().vertex_count();
     // Sample the kept cross edges (each undirected edge decided once, from
-    // its left endpoint).
-    let mut kept: FxHashMap<u32, Vec<VertexId>> = FxHashMap::default();
+    // its left endpoint, in ascending id order — the sampling sequence is
+    // part of the per-seed contract) into dense adjacency, both directions.
+    let mut kept_left: Vec<(VertexId, Vec<VertexId>)> = Vec::new();
+    let mut right_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     for v in cross.side_vertices(view, cross.left) {
         let kept_neighbors: Vec<VertexId> = cross
             .cross_neighbors(view, v)
             .filter(|_| rng.gen_bool(p))
             .collect();
         if !kept_neighbors.is_empty() {
-            kept.insert(v.0, kept_neighbors);
+            for &u in &kept_neighbors {
+                right_adj[u.index()].push(v);
+            }
+            kept_left.push((v, kept_neighbors));
         }
     }
-    // Exact pair-hash count restricted to kept edges, centered on the left.
-    let mut pair_counts: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-    let mut right_adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-    for (&v, neighbors) in &kept {
+    // Exact count restricted to kept edges: wedge-count from the left side
+    // over one reused scratch. Each kept butterfly has two left vertices,
+    // so the incremental pair sum counts it exactly twice.
+    let mut scratch = WedgeScratch::new(n);
+    let mut twice = 0u64;
+    for (v, neighbors) in &kept_left {
+        scratch.reset_for(n);
         for u in neighbors {
-            right_adj.entry(u.0).or_default().push(v);
-        }
-    }
-    for lefts in right_adj.values() {
-        for i in 0..lefts.len() {
-            for j in (i + 1)..lefts.len() {
-                let key = if lefts[i] < lefts[j] {
-                    (lefts[i], lefts[j])
-                } else {
-                    (lefts[j], lefts[i])
-                };
-                *pair_counts.entry(key).or_insert(0) += 1;
+            for &w in &right_adj[u.index()] {
+                if w != *v {
+                    twice += (scratch.bump(w) - 1) as u64;
+                }
             }
         }
     }
-    let count: u64 = pair_counts.values().map(|&c| choose2(c as u64)).sum();
-    count as f64 / p.powi(4)
+    (twice / 2) as f64 / p.powi(4)
 }
 
 #[cfg(test)]

@@ -3,11 +3,34 @@
 //! The butterfly degree χ(v) (Definition 3) is
 //! `χ(v) = Σ_{w ∈ N²_v} C(|N(v) ∩ N(w)|, 2)` where neighborhoods are taken
 //! in the bipartite cross-graph. Algorithm 3 computes it by counting 2-hop
-//! paths into a hash map instead of doing pairwise set intersections; we key
-//! the map with `u32` vertex ids and use FxHash (hot integer-keyed map, per
-//! the workspace performance guide).
+//! paths per endpoint instead of doing pairwise set intersections.
+//!
+//! ## Kernels
+//!
+//! The hot kernels accumulate wedge endpoints in a dense epoch-stamped
+//! [`WedgeScratch`] (flat `u32` counters indexed by vertex id, O(1) logical
+//! clear — no hashing, no per-vertex allocation), and fold the binomial sum
+//! incrementally: raising a counter from `c − 1` to `c` adds exactly
+//! `C(c, 2) − C(c − 1, 2) = c − 1` new pairs, so one pass over the wedges
+//! yields `Σ_w C(P[w], 2)` with no second pass over the counters.
+//!
+//! * [`butterfly_degrees`] / [`butterfly_degree_of`] — Algorithm 3 on the
+//!   flat scratch;
+//! * [`butterfly_degrees_priority`] — the same per-vertex counts via
+//!   vertex-priority wedge processing in the style of Wang et al. [41]
+//!   (BFC-VP): every butterfly is charged to its highest-priority vertex,
+//!   bounding repeated wedge work on skewed degree distributions;
+//! * [`total_butterflies`] / [`total_butterflies_priority`] — exact global
+//!   counts on the same scratch;
+//! * [`butterfly_degrees_hash`] — the seed's `FxHashMap` kernel, retained
+//!   verbatim as the differential reference for tests and the
+//!   `index_build` benchmark.
+//!
+//! All counting kernels are generic over [`GraphRead`], so they run
+//! unchanged on a CSR snapshot, a peeling [`bcc_graph::GraphView`], or a
+//! mid-batch [`bcc_graph::OverlayGraph`].
 
-use bcc_graph::{GraphRead, GraphView, Label, VertexId};
+use bcc_graph::{GraphRead, GraphView, Label, VertexId, WedgeScratch};
 use rustc_hash::FxHashMap;
 
 use crate::bipartite::BipartiteCross;
@@ -84,11 +107,14 @@ impl ButterflyCounts {
         self.chi.iter().sum::<u64>() / 4
     }
 
-    /// An arbitrary vertex on `label`'s side attaining the side maximum.
+    /// The vertex on `label`'s side attaining the side maximum, or `None`
+    /// when the side contains **no butterflies** (max χ = 0): Definition
+    /// 4(4) defines a leader by χ(v) ≥ b ≥ 1, so a χ = 0 vertex is never a
+    /// leader and callers must not treat one as such.
     pub fn side_argmax(&self, view: &GraphView<'_>, label: Label) -> Option<VertexId> {
         let graph = view.graph();
         view.alive_vertices()
-            .filter(|&v| graph.label(v) == label)
+            .filter(|&v| graph.label(v) == label && self.chi[v.index()] > 0)
             .max_by_key(|&v| self.chi[v.index()])
     }
 }
@@ -96,9 +122,57 @@ impl ButterflyCounts {
 /// Algorithm 3: butterfly degree of every vertex in the cross-graph.
 ///
 /// For each vertex `v`, counts 2-hop paths `v → u → w` (with `u` on the
-/// opposite side and `w ≠ v` back on `v`'s side) into a hash map `P`, then
-/// sums `C(P[w], 2)`.
+/// opposite side and `w ≠ v` back on `v`'s side) into one reused
+/// [`WedgeScratch`], folding `Σ_w C(P[w], 2)` incrementally.
 pub fn butterfly_degrees<G: GraphRead>(g: &G, cross: BipartiteCross) -> Vec<u64> {
+    let n = g.vertex_count();
+    let mut chi = vec![0u64; n];
+    let mut scratch = WedgeScratch::new(n);
+    for v in g.vertices() {
+        if cross.opposite(g.label(v)).is_none() {
+            continue;
+        }
+        chi[v.index()] = butterfly_degree_of_with(g, cross, v, &mut scratch);
+    }
+    chi
+}
+
+/// Butterfly degree of a single vertex (the Algorithm 3 kernel restricted
+/// to one vertex). Used when a leader must be re-validated without
+/// recounting the whole side. Borrows a thread-local scratch; loops should
+/// call [`butterfly_degree_of_with`] with an explicit one instead.
+pub fn butterfly_degree_of<G: GraphRead>(g: &G, cross: BipartiteCross, v: VertexId) -> u64 {
+    WedgeScratch::with_thread_local(|scratch| butterfly_degree_of_with(g, cross, v, scratch))
+}
+
+/// [`butterfly_degree_of`] on a caller-provided scratch (reused across an
+/// entire traversal — the form every hot loop uses).
+pub fn butterfly_degree_of_with<G: GraphRead>(
+    g: &G,
+    cross: BipartiteCross,
+    v: VertexId,
+    scratch: &mut WedgeScratch,
+) -> u64 {
+    if cross.opposite(g.label(v)).is_none() {
+        return 0;
+    }
+    scratch.reset_for(g.vertex_count());
+    let mut chi = 0u64;
+    for u in cross.cross_neighbors(g, v) {
+        for w in cross.cross_neighbors(g, u) {
+            if w != v {
+                chi += (scratch.bump(w) - 1) as u64;
+            }
+        }
+    }
+    chi
+}
+
+/// The seed's Algorithm 3 kernel — `FxHashMap` wedge accumulators —
+/// retained bit-for-bit as the differential reference: the kernel tests and
+/// the `index_build` benchmark pin the flat kernels against it (equal
+/// output, and the flat kernel must be faster).
+pub fn butterfly_degrees_hash<G: GraphRead>(g: &G, cross: BipartiteCross) -> Vec<u64> {
     let n = g.vertex_count();
     let mut chi = vec![0u64; n];
     let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
@@ -119,92 +193,124 @@ pub fn butterfly_degrees<G: GraphRead>(g: &G, cross: BipartiteCross) -> Vec<u64>
     chi
 }
 
-/// Butterfly degree of a single vertex (same wedge-hashing kernel as
-/// Algorithm 3, restricted to one vertex). Used when a leader must be
-/// re-validated without recounting the whole side.
-pub fn butterfly_degree_of<G: GraphRead>(g: &G, cross: BipartiteCross, v: VertexId) -> u64 {
-    if cross.opposite(g.label(v)).is_none() {
-        return 0;
-    }
-    let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
-    for u in cross.cross_neighbors(g, v) {
-        for w in cross.cross_neighbors(g, u) {
-            if w != v {
-                *paths.entry(w.0).or_insert(0) += 1;
-            }
+/// The cross-degree of every vertex in `cross`, the priority key of the
+/// vertex-priority kernels (0 for vertices outside the cross-graph).
+fn cross_degrees<G: GraphRead>(g: &G, cross: BipartiteCross) -> Vec<u32> {
+    let mut deg = vec![0u32; g.vertex_count()];
+    for v in g.vertices() {
+        if cross.contains(g, v) {
+            deg[v.index()] = cross.cross_degree(g, v) as u32;
         }
     }
-    paths.values().map(|&c| choose2(c as u64)).sum()
+    deg
 }
 
-/// Exact global butterfly count via pair hashing: for every *center* vertex
-/// `u` on one side, every pair of its cross neighbors `{v, w}` contributes a
-/// wedge; butterflies = `Σ_{pairs} C(count, 2)`. The center side is chosen
-/// to minimize `Σ C(deg, 2)`.
-pub fn total_butterflies(view: &GraphView<'_>, cross: BipartiteCross) -> u64 {
-    let wedge_cost = |side: Label| -> u64 {
-        cross
-            .side_vertices(view, side)
-            .map(|v| choose2(cross.cross_degree(view, v) as u64))
-            .sum()
-    };
-    let center_side = if wedge_cost(cross.left) <= wedge_cost(cross.right) {
-        cross.left
-    } else {
-        cross.right
-    };
-    let mut pair_counts: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-    for u in cross.side_vertices(view, center_side) {
-        let neighbors: Vec<VertexId> = cross.cross_neighbors(view, u).collect();
-        for i in 0..neighbors.len() {
-            for j in (i + 1)..neighbors.len() {
-                let key = (neighbors[i].0, neighbors[j].0);
-                *pair_counts.entry(key).or_insert(0) += 1;
+/// Per-vertex butterfly degrees via vertex-priority wedge processing
+/// (BFC-VP, Wang et al. [41]): every butterfly is enumerated exactly once,
+/// from its highest-priority vertex `u` (priority orders by cross degree,
+/// then id), and its +1 is credited to all four members. High-degree hubs
+/// are therefore never re-walked from their low-degree partners, which
+/// bounds repeated wedge work on skewed degree distributions.
+///
+/// Exact — returns the same array as [`butterfly_degrees`], pinned by the
+/// differential suites.
+pub fn butterfly_degrees_priority<G: GraphRead>(g: &G, cross: BipartiteCross) -> Vec<u64> {
+    let n = g.vertex_count();
+    let mut chi = vec![0u64; n];
+    let deg = cross_degrees(g, cross);
+    let priority = |v: VertexId| (deg[v.index()], v.0);
+    let mut scratch = WedgeScratch::new(n);
+    // (mid, far) wedge pairs below the current start vertex, reused.
+    let mut wedges: Vec<(u32, u32)> = Vec::new();
+    for u in g.vertices() {
+        if cross.opposite(g.label(u)).is_none() {
+            continue;
+        }
+        scratch.reset_for(n);
+        wedges.clear();
+        let pu = priority(u);
+        for v in cross.cross_neighbors(g, u) {
+            if priority(v) >= pu {
+                continue;
+            }
+            for w in cross.cross_neighbors(g, v) {
+                if w != u && priority(w) < pu {
+                    scratch.bump(w);
+                    wedges.push((v.0, w.0));
+                }
             }
         }
+        // A far endpoint w with c wedges closes C(c, 2) butterflies with u;
+        // each is one butterfly of u and of w, and each wedge mid v is in
+        // c − 1 of them (one per other mid sharing the (u, w) pair).
+        let mut du = 0u64;
+        for &w in scratch.touched() {
+            let pairs = choose2(scratch.count(VertexId(w)) as u64);
+            du += pairs;
+            chi[w as usize] += pairs;
+        }
+        chi[u.index()] += du;
+        for &(v, w) in &wedges {
+            chi[v as usize] += (scratch.count(VertexId(w)) - 1) as u64;
+        }
     }
-    pair_counts.values().map(|&c| choose2(c as u64)).sum()
+    chi
+}
+
+/// Exact global butterfly count. Each butterfly has exactly two vertices on
+/// either side, so summing the Algorithm 3 per-vertex kernel over one side
+/// counts every butterfly twice; the side is chosen to minimize the wedge
+/// work `Σ C(deg, 2)` of the implied centers (the opposite side), and the
+/// whole count runs on one reused scratch — no per-center allocation.
+pub fn total_butterflies<G: GraphRead>(g: &G, cross: BipartiteCross) -> u64 {
+    let wedge_cost = |side: Label| -> u64 {
+        cross
+            .side_vertices(g, side)
+            .map(|v| choose2(cross.cross_degree(g, v) as u64))
+            .sum()
+    };
+    // Wedges from side S route through centers on the opposite side: start
+    // from the side whose *opposite* is cheaper.
+    let start_side = if wedge_cost(cross.left) <= wedge_cost(cross.right) {
+        cross.right
+    } else {
+        cross.left
+    };
+    let mut scratch = WedgeScratch::new(g.vertex_count());
+    let mut twice = 0u64;
+    for v in cross.side_vertices(g, start_side) {
+        twice += butterfly_degree_of_with(g, cross, v, &mut scratch);
+    }
+    twice / 2
 }
 
 /// Exact global butterfly count with the vertex-priority wedge processing of
 /// Wang et al. [41]: each butterfly is counted exactly once from its
-/// highest-priority vertex, where priority orders by (degree, id). High
-/// degree vertices are visited first, which bounds repeated wedge work on
-/// skewed graphs.
-pub fn total_butterflies_priority(view: &GraphView<'_>, cross: BipartiteCross) -> u64 {
-    let graph = view.graph();
-    // priority(v) = (cross degree, id); compare tuples.
-    let deg: Vec<u32> = (0..graph.vertex_count() as u32)
-        .map(|i| {
-            let v = VertexId(i);
-            if view.is_alive(v) && cross.contains(view, v) {
-                cross.cross_degree(view, v) as u32
-            } else {
-                0
-            }
-        })
-        .collect();
+/// highest-priority vertex, where priority orders by (cross degree, id).
+/// High degree vertices are visited first, which bounds repeated wedge work
+/// on skewed graphs.
+pub fn total_butterflies_priority<G: GraphRead>(g: &G, cross: BipartiteCross) -> u64 {
+    let n = g.vertex_count();
+    let deg = cross_degrees(g, cross);
     let priority = |v: VertexId| (deg[v.index()], v.0);
-
+    let mut scratch = WedgeScratch::new(n);
     let mut total = 0u64;
-    let mut wedge_count: FxHashMap<u32, u32> = FxHashMap::default();
-    for u in view.alive_vertices() {
-        if cross.opposite(graph.label(u)).is_none() {
+    for u in g.vertices() {
+        if cross.opposite(g.label(u)).is_none() {
             continue;
         }
-        wedge_count.clear();
+        scratch.reset_for(n);
         let pu = priority(u);
-        for v in cross.cross_neighbors(view, u) {
+        for v in cross.cross_neighbors(g, u) {
             if priority(v) >= pu {
                 continue;
             }
-            for w in cross.cross_neighbors(view, v) {
+            for w in cross.cross_neighbors(g, v) {
                 if w != u && priority(w) < pu {
-                    *wedge_count.entry(w.0).or_insert(0) += 1;
+                    total += (scratch.bump(w) - 1) as u64;
                 }
             }
         }
-        total += wedge_count.values().map(|&c| choose2(c as u64)).sum::<u64>();
     }
     total
 }
@@ -377,6 +483,12 @@ mod tests {
             let expected = brute_force_butterfly_degrees(&view, cross);
             let fast = butterfly_degrees(&view, cross);
             assert_eq!(fast, expected, "trial {trial}");
+            assert_eq!(butterfly_degrees_hash(&view, cross), expected, "trial {trial} (hash)");
+            assert_eq!(
+                butterfly_degrees_priority(&view, cross),
+                expected,
+                "trial {trial} (priority)"
+            );
             let total: u64 = expected.iter().sum::<u64>() / 4;
             assert_eq!(total_butterflies(&view, cross), total, "trial {trial}");
             assert_eq!(total_butterflies_priority(&view, cross), total, "trial {trial}");
@@ -411,5 +523,51 @@ mod tests {
         let counts = ButterflyCounts::compute(&view, cross);
         assert_eq!(counts.side_argmax(&view, g.label(hub)), Some(hub));
         assert_eq!(counts.side_max(g.label(hub)), counts.chi(hub));
+    }
+
+    #[test]
+    fn side_argmax_is_none_without_butterflies() {
+        // A 4-cycle missing one chord: edges (l0,r0), (l0,r1), (l1,r0) form
+        // wedges but no butterfly — χ = 0 everywhere. Definition 4(4) admits
+        // no leader, so side_argmax must not nominate an arbitrary χ = 0
+        // vertex on either side (nor on a populated side of an otherwise
+        // empty cross-graph).
+        let mut b = GraphBuilder::new();
+        let l0 = b.add_vertex("L");
+        let l1 = b.add_vertex("L");
+        let r0 = b.add_vertex("R");
+        let r1 = b.add_vertex("R");
+        for (x, y) in [(l0, r0), (l0, r1), (l1, r0)] {
+            b.add_edge(x, y);
+        }
+        let g = b.build();
+        let view = GraphView::new(&g);
+        let counts = ButterflyCounts::compute(&view, cross_of(&g));
+        assert_eq!(counts.max_left, 0);
+        assert_eq!(counts.side_argmax(&view, g.label(l0)), None);
+        assert_eq!(counts.side_argmax(&view, g.label(r0)), None);
+        assert!(!counts.satisfies_leader_condition(1));
+    }
+
+    #[test]
+    fn side_argmax_ignores_chi_zero_vertices_next_to_real_leaders() {
+        // One butterfly plus a pendant left vertex with a single cross edge:
+        // the pendant has χ = 0 and must never shadow the real argmax, and
+        // the butterfly members must still be found.
+        let mut b = GraphBuilder::new();
+        let ql = b.add_vertex("SE");
+        let v5 = b.add_vertex("SE");
+        let qr = b.add_vertex("UI");
+        let u3 = b.add_vertex("UI");
+        let pendant = b.add_vertex("SE");
+        for (x, y) in [(ql, qr), (ql, u3), (v5, qr), (v5, u3), (pendant, qr)] {
+            b.add_edge(x, y);
+        }
+        let g = b.build();
+        let view = GraphView::new(&g);
+        let counts = ButterflyCounts::compute(&view, cross_of(&g));
+        let leader = counts.side_argmax(&view, g.label(ql)).expect("side has a butterfly");
+        assert_ne!(leader, pendant);
+        assert_eq!(counts.chi(leader), 1);
     }
 }

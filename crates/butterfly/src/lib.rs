@@ -6,8 +6,10 @@
 //! This crate implements:
 //!
 //! * [`counting`] — the per-vertex butterfly-degree algorithm of the paper's
-//!   Algorithm 3 (hash-map wedge counting), a global pair-hash counter, and
-//!   a vertex-priority global counter in the style of Wang et al. [41];
+//!   Algorithm 3 on a dense epoch-stamped wedge scratch (plus a BFC-VP-style
+//!   vertex-priority per-vertex variant and global counters in the style of
+//!   Wang et al. [41]; the seed's hash-map kernel is retained as the
+//!   differential reference);
 //! * [`update`] — Algorithm 7, the O(d²) butterfly-degree *update* for a
 //!   leader vertex when a single vertex is deleted;
 //! * [`leader`] — Algorithm 6, leader-pair identification by binary search
@@ -46,8 +48,9 @@ pub mod update;
 pub use approx::{approx_total_butterflies_espar, approx_total_butterflies_pairs};
 pub use bipartite::BipartiteCross;
 pub use counting::{
-    butterfly_degree_of, butterfly_degrees, total_butterflies, total_butterflies_priority,
-    ButterflyCounts,
+    brute_force_butterfly_degrees, butterfly_degree_of, butterfly_degree_of_with,
+    butterfly_degrees, butterfly_degrees_hash, butterfly_degrees_priority, total_butterflies,
+    total_butterflies_priority, ButterflyCounts,
 };
 pub use leader::{identify_leader, LeaderConfig};
-pub use update::{edge_decrement, leader_decrement};
+pub use update::{edge_decrement, edge_decrement_with, leader_decrement, leader_decrement_with};

@@ -15,10 +15,12 @@
 //! All routines read through [`bcc_graph::GraphRead`]: Algorithm 1 passes
 //! its live [`bcc_graph::GraphView`], the incremental index maintenance
 //! passes a bare snapshot or the mid-batch [`bcc_graph::OverlayGraph`] —
-//! no O(|V|) view construction on the maintenance path.
+//! no O(|V|) view construction on the maintenance path. Neighborhood
+//! membership runs on the dense epoch-stamped [`WedgeScratch`] (no hash
+//! sets); the `*_with` variants take the scratch explicitly so loops reuse
+//! one allocation across many deltas.
 
-use bcc_graph::{GraphRead, VertexId};
-use rustc_hash::FxHashSet;
+use bcc_graph::{GraphRead, VertexId, WedgeScratch};
 
 use crate::bipartite::BipartiteCross;
 use crate::counting::choose2;
@@ -26,12 +28,26 @@ use crate::counting::choose2;
 /// How much χ(p) decreases when `v` is deleted. Must be called while `v` is
 /// still live in `g` (i.e. *before* the view deletes it).
 ///
-/// Returns 0 when either vertex lies outside the cross-graph.
+/// Returns 0 when either vertex lies outside the cross-graph. Borrows a
+/// thread-local [`WedgeScratch`] for the neighborhood marks; hot loops
+/// (e.g. the Algorithm 1 peel, the batched index patcher) should pass an
+/// explicit reused scratch via [`leader_decrement_with`].
 pub fn leader_decrement<G: GraphRead>(
     g: &G,
     cross: BipartiteCross,
     p: VertexId,
     v: VertexId,
+) -> u64 {
+    WedgeScratch::with_thread_local(|scratch| leader_decrement_with(g, cross, p, v, scratch))
+}
+
+/// [`leader_decrement`] on a caller-provided scratch.
+pub fn leader_decrement_with<G: GraphRead>(
+    g: &G,
+    cross: BipartiteCross,
+    p: VertexId,
+    v: VertexId,
+    scratch: &mut WedgeScratch,
 ) -> u64 {
     if p == v {
         return 0; // the caller is about to lose the leader entirely
@@ -43,14 +59,17 @@ pub fn leader_decrement<G: GraphRead>(
     if lp == lv {
         // Same side: butterflies containing p and v choose 2 common cross
         // neighbors.
-        let alpha = common_cross_neighbors(g, cross, p, v);
+        let alpha = common_cross_neighbors(g, cross, p, v, scratch);
         choose2(alpha as u64)
     } else {
         // Opposite sides: only butterflies using the edge (p, v) die.
         if !cross.cross_neighbors(g, p).any(|u| u == v) {
             return 0;
         }
-        let p_neighbors: FxHashSet<u32> = cross.cross_neighbors(g, p).map(|u| u.0).collect();
+        scratch.reset_for(g.vertex_count());
+        for u in cross.cross_neighbors(g, p) {
+            scratch.mark(u);
+        }
         let mut beta = 0u64;
         for u in cross.cross_neighbors(g, v) {
             if u == p {
@@ -58,10 +77,8 @@ pub fn leader_decrement<G: GraphRead>(
             }
             // |N(u) ∩ N(p)| − 1: common cross neighbors of u and p other
             // than v itself (v is common since u ∈ N(v) and v ∈ N(p)).
-            let common = cross
-                .cross_neighbors(g, u)
-                .filter(|w| p_neighbors.contains(&w.0))
-                .count() as u64;
+            let common =
+                cross.cross_neighbors(g, u).filter(|&w| scratch.contains(w)).count() as u64;
             beta += common.saturating_sub(1);
         }
         beta
@@ -90,13 +107,26 @@ pub fn edge_decrement<G: GraphRead>(
     u: VertexId,
     v: VertexId,
 ) -> u64 {
+    WedgeScratch::with_thread_local(|scratch| edge_decrement_with(g, cross, p, u, v, scratch))
+}
+
+/// [`edge_decrement`] on a caller-provided scratch — the form the batched
+/// index patcher uses, one scratch for a whole commit.
+pub fn edge_decrement_with<G: GraphRead>(
+    g: &G,
+    cross: BipartiteCross,
+    p: VertexId,
+    u: VertexId,
+    v: VertexId,
+    scratch: &mut WedgeScratch,
+) -> u64 {
     debug_assert!(g.has_edge(u, v), "edge deltas are evaluated while the edge exists");
     debug_assert_ne!(g.label(u), g.label(v), "cross edges are heterogeneous");
     if p == u {
-        return leader_decrement(g, cross, u, v);
+        return leader_decrement_with(g, cross, u, v, scratch);
     }
     if p == v {
-        return leader_decrement(g, cross, v, u);
+        return leader_decrement_with(g, cross, v, u, scratch);
     }
     let lp = g.label(p);
     if cross.opposite(lp).is_none() {
@@ -116,21 +146,23 @@ pub fn edge_decrement<G: GraphRead>(
     }
     // Common cross neighbors of p and the same-side endpoint, minus `far`
     // itself (counted in the intersection because far ∈ N(near) ∩ N(p)).
-    (common_cross_neighbors(g, cross, p, near) as u64).saturating_sub(1)
+    (common_cross_neighbors(g, cross, p, near, scratch) as u64).saturating_sub(1)
 }
 
-/// `|N(a) ∩ N(b)|` in the cross-graph for two same-side vertices.
+/// `|N(a) ∩ N(b)|` in the cross-graph for two same-side vertices, marking
+/// `N(a)` in the scratch and probing it with `N(b)`.
 fn common_cross_neighbors<G: GraphRead>(
     g: &G,
     cross: BipartiteCross,
     a: VertexId,
     b: VertexId,
+    scratch: &mut WedgeScratch,
 ) -> usize {
-    let a_set: FxHashSet<u32> = cross.cross_neighbors(g, a).map(|u| u.0).collect();
-    cross
-        .cross_neighbors(g, b)
-        .filter(|u| a_set.contains(&u.0))
-        .count()
+    scratch.reset_for(g.vertex_count());
+    for u in cross.cross_neighbors(g, a) {
+        scratch.mark(u);
+    }
+    cross.cross_neighbors(g, b).filter(|&u| scratch.contains(u)).count()
 }
 
 #[cfg(test)]

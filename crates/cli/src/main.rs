@@ -4,8 +4,8 @@
 //! bcc stats    <graph-file>
 //! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
 //! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N] [--method online|lp|l2p]
-//! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME]
-//! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME]
+//! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+//! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
 //! bcc generate <output-file> [--network baidu1|baidu2|amazon|dblp|youtube|livejournal|orkut] [--scale F]
 //! bcc case     <flight|trade|fiction|academic> [--out FILE]
 //! ```
@@ -45,12 +45,17 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   bcc stats    <graph-file>
-  bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
-  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p]
-  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME]
-  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME]
+  bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N]
+  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N]
+  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
   bcc case     <flight|trade|fiction|academic> [--out FILE]
+
+--index-threads parallelizes the offline BCindex build (0 = one thread per
+core). Defaults: 0 for serve/batch (the build amortizes across a session),
+1 for one-shot search/msearch (a single query does not grab every core
+unasked). The produced index is bit-identical at any setting.
 
 serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
 `msearch q=<v>,<v>,...` / `add_edge u=<v> v=<v>` / `remove_edge u=<v> v=<v>` /
@@ -85,6 +90,19 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
         .filter(|w| w[0] == name)
         .map(|w| w[1].as_str())
         .collect()
+}
+
+/// The shared `--index-threads` knob (0 ⇒ one per available core): how
+/// many workers the offline BCindex build uses. Any value produces a
+/// bit-identical index — the knob only moves build wall time. `default`
+/// applies when the flag is absent: 0 for the serving commands (the build
+/// is amortized across a whole session), 1 for one-shot search/msearch
+/// (a single query should not grab every core unasked).
+fn index_threads(args: &[String], default: usize) -> Result<usize, String> {
+    flag_value(args, "--index-threads")
+        .map(|t| t.parse().map_err(|_| "--index-threads must be an integer".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or(default))
 }
 
 fn load(args: &[String]) -> Result<LabeledGraph, String> {
@@ -154,7 +172,7 @@ fn search(args: &[String]) -> Result<(), String> {
         "lp" => LpBcc::default().search(&graph, &query, &params),
         "l2p" => {
             let index_started = Instant::now();
-            let index = BccIndex::build(&graph);
+            let index = BccIndex::build_with_threads(&graph, index_threads(args, 1)?);
             println!("index build   : {:?}", index_started.elapsed());
             let search_started = Instant::now();
             let result = bcc_core::L2pBcc::default().search(&graph, &index, &query, &params);
@@ -218,7 +236,7 @@ fn msearch(args: &[String]) -> Result<(), String> {
     let index = match strategy {
         MultiStrategy::Local { .. } => {
             let index_started = Instant::now();
-            let index = BccIndex::build(&graph);
+            let index = BccIndex::build_with_threads(&graph, index_threads(args, 1)?);
             println!("index build   : {:?}", index_started.elapsed());
             Some(index)
         }
@@ -269,6 +287,7 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
             .unwrap_or(4096),
         default_timeout_ms: None,
         default_graph: flag_value(args, "--name").unwrap_or(&stem).to_string(),
+        index_threads: index_threads(args, 0)?,
     };
     let service = BccService::with_graph(config, graph);
     // Banner on stderr: stdout carries only protocol responses.

@@ -403,6 +403,50 @@ mod tests {
         assert!(outcome.community.contains(&VertexId(5)));
     }
 
+    /// Pins the Definition 4(4) semantics at the leader-certification call
+    /// site below (`counts.side_argmax` in `run_peel`): a label pair whose
+    /// cross-graph holds **no** butterflies nominates no leader at all
+    /// (`side_argmax` returns `None`, never an arbitrary χ = 0 vertex), so
+    /// every certified leader comes from a pair that does have butterflies.
+    #[test]
+    fn certified_leaders_come_only_from_butterfly_pairs() {
+        // Three 4-cliques A, B, C; butterflies A×B ({a0,a1}×{b0,b1}) and
+        // B×C ({b2,b3}×{c0,c1}); no A–C cross edge at all, so the (A, C)
+        // pair counts zero butterflies on both sides while staying part of
+        // a connected (Definition 7) candidate through B.
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+        let mid: Vec<_> = (0..4).map(|_| b.add_vertex("B")).collect();
+        let c: Vec<_> = (0..4).map(|_| b.add_vertex("C")).collect();
+        for grp in [&a, &mid, &c] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(grp[i], grp[j]);
+                }
+            }
+        }
+        for &x in &a[..2] {
+            for &y in &mid[..2] {
+                b.add_edge(x, y);
+            }
+        }
+        for &x in &mid[2..] {
+            for &y in &c[..2] {
+                b.add_edge(x, y);
+            }
+        }
+        let g = b.build();
+        let query = MbccQuery::new(vec![a[0], mid[0], c[0]]);
+        let params = MbccParams::new(vec![3, 3, 3], 1);
+        let (outcome, _) = run(&g, &query, &params, EngineConfig::online());
+        assert_eq!(outcome.community.len(), 12, "nothing needs peeling");
+        // Side A certifies through the A×B butterflies, side C through
+        // B×C; the butterfly-less (A, C) pair contributes nothing.
+        assert!(a[..2].contains(&outcome.leaders[0]), "A leader {:?}", outcome.leaders);
+        assert!(mid[..2].contains(&outcome.leaders[1]), "B leader {:?}", outcome.leaders);
+        assert!(c[..2].contains(&outcome.leaders[2]), "C leader {:?}", outcome.leaders);
+    }
+
     #[test]
     fn result_is_valid_bcc() {
         let (g, query, params) = tailed_bcc();

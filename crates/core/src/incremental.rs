@@ -37,10 +37,13 @@
 
 use bcc_butterfly::BipartiteCross;
 use bcc_cohesion::{cascade_label_core_from_seeds, reduce_to_label_core, LabelCoreThresholds};
-use bcc_graph::{BitSet, EdgeChange, EdgeOp, GraphRead, GraphView, LabeledGraph, OverlayGraph, VertexId};
+use bcc_graph::{
+    BitSet, EdgeChange, EdgeOp, GraphRead, GraphView, LabeledGraph, OverlayGraph, VertexId,
+    WedgeScratch,
+};
 use rustc_hash::FxHashSet;
 
-use crate::index::{hetero_butterfly_degree_of, BccIndex};
+use crate::index::{hetero_butterfly_degree_of_with, BccIndex};
 
 /// Which index entries one [`patch_index_edge`] call moved.
 #[derive(Clone, Debug, Default)]
@@ -144,6 +147,8 @@ pub fn patch_index_edge(
         }
     } else {
         let affected = affected_neighborhood(before, after, change);
+        // One flat scratch for every per-vertex delta of this flip.
+        let mut scratch = WedgeScratch::new(after.vertex_count());
         if after.label_count() == 2 {
             // The Algorithm 7 edge delta is evaluated on whichever snapshot
             // contains the edge.
@@ -151,9 +156,9 @@ pub fn patch_index_edge(
                 EdgeOp::Insert => after,
                 EdgeOp::Remove => before,
             };
-            patch_chi_bipartite(index, host, change, &affected, &mut report);
+            patch_chi_bipartite(index, host, change, &affected, &mut scratch, &mut report);
         } else {
-            patch_chi_multilabel(index, after, &affected, &mut report);
+            patch_chi_multilabel(index, after, &affected, &mut scratch, &mut report);
         }
         if !report.chi_changed.is_empty() {
             index.chi_max = index.butterfly_degree.iter().copied().max().unwrap_or(0);
@@ -180,6 +185,8 @@ pub fn patch_index_batch(
 ) -> BatchPatchReport {
     let mut overlay = OverlayGraph::new(base);
     let mut report = BatchPatchReport { applied: changes.len(), ..Default::default() };
+    // One flat scratch serves every χ delta of the whole commit.
+    let mut scratch = WedgeScratch::new(base.vertex_count());
     // Labels never move, so the per-label vertex lists the cascades seed
     // from are computed once per batch — a homogeneous flip then costs
     // O(label group + cascade), not O(|V|).
@@ -203,17 +210,17 @@ pub fn patch_index_batch(
             match change.op {
                 EdgeOp::Insert => {
                     overlay.flip(change);
-                    patch_chi_bipartite(index, &overlay, change, &affected, &mut step);
+                    patch_chi_bipartite(index, &overlay, change, &affected, &mut scratch, &mut step);
                 }
                 EdgeOp::Remove => {
                     // Evaluate while the overlay still contains the edge.
-                    patch_chi_bipartite(index, &overlay, change, &affected, &mut step);
+                    patch_chi_bipartite(index, &overlay, change, &affected, &mut scratch, &mut step);
                     overlay.flip(change);
                 }
             }
         } else {
             overlay.flip(change);
-            patch_chi_multilabel(index, &overlay, &affected, &mut step);
+            patch_chi_multilabel(index, &overlay, &affected, &mut scratch, &mut step);
         }
         report.coreness_moves += step.coreness_changed.len();
         report.chi_moves += step.chi_changed.len();
@@ -324,11 +331,13 @@ fn patch_chi_bipartite<G: GraphRead>(
     host: &G,
     change: &EdgeChange,
     affected: &[VertexId],
+    scratch: &mut WedgeScratch,
     report: &mut PatchReport,
 ) {
     let cross = BipartiteCross::new(host.label(change.u), host.label(change.v));
     for &p in affected {
-        let delta = bcc_butterfly::edge_decrement(host, cross, p, change.u, change.v);
+        let delta =
+            bcc_butterfly::edge_decrement_with(host, cross, p, change.u, change.v, scratch);
         if delta == 0 {
             continue;
         }
@@ -347,10 +356,11 @@ fn patch_chi_multilabel<G: GraphRead>(
     index: &mut BccIndex,
     after: &G,
     affected: &[VertexId],
+    scratch: &mut WedgeScratch,
     report: &mut PatchReport,
 ) {
     for &p in affected {
-        let fresh = hetero_butterfly_degree_of(after, p);
+        let fresh = hetero_butterfly_degree_of_with(after, p, scratch);
         if fresh != index.butterfly_degree[p.index()] {
             index.butterfly_degree[p.index()] = fresh;
             report.chi_changed.push(p);

@@ -10,9 +10,24 @@
 //!   is exactly the paper's per-vertex butterfly index; with more labels it
 //!   is the natural aggregate (and is used only as a search prior for the
 //!   butterfly-core path weight, never for validity checks).
+//!
+//! The build is the offline cost every `register` and every cold L2P query
+//! pays. Its χ half runs on the flat epoch-stamped wedge scratch
+//! ([`bcc_graph::WedgeScratch`] — no hashing, no per-vertex allocation) and
+//! parallelizes over vertex chunks ([`BccIndex::build_with_threads`]);
+//! every configuration is bit-identical to the retained seed implementation
+//! ([`BccIndex::build_reference`]).
 
-use bcc_graph::{GraphRead, GraphView, LabeledGraph, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bcc_graph::{GraphRead, GraphView, LabeledGraph, VertexId, WedgeScratch};
 use rustc_hash::FxHashMap;
+
+/// Vertices handed to one parallel χ worker per claim of the atomic
+/// cursor — small enough that skewed wedge costs still balance across
+/// workers, large enough that the cursor is not contended.
+const CHI_CHUNK: usize = 256;
 
 /// The offline index: label coreness + heterogeneous butterfly degree.
 #[derive(Clone, Debug)]
@@ -29,11 +44,61 @@ pub struct BccIndex {
 
 impl BccIndex {
     /// Builds the index for `graph` (run once offline, reused across
-    /// queries).
+    /// queries) on the calling thread, with the flat wedge kernel.
+    /// Equivalent to [`BccIndex::build_with_threads`] at 1 thread.
     pub fn build(graph: &LabeledGraph) -> Self {
+        Self::build_with_threads(graph, 1)
+    }
+
+    /// Builds the index with up to `threads` worker threads (0 ⇒ one per
+    /// available core). The build has two independent halves — the δ
+    /// peeling pass and the per-vertex χ wedge counts — so the parallel
+    /// path runs them as one task pool: a single atomic cursor hands out
+    /// the δ decomposition and fixed-size χ vertex chunks to
+    /// `std::thread::scope` workers, each with its own [`WedgeScratch`].
+    /// Per-vertex χ is an independent exact computation, so any thread
+    /// count produces a **bit-identical** index (pinned by the test suite
+    /// and the `index_build` benchmark).
+    ///
+    /// This is hand-rolled `std::thread` parallelism on purpose: the
+    /// workspace builds offline, so its `rayon` is the sequential shim
+    /// under `vendor/` — routing the build through `par_iter()` would
+    /// silently run on one core.
+    pub fn build_with_threads(graph: &LabeledGraph, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        let n = graph.vertex_count();
+        let (label_coreness, butterfly_degree) = if threads <= 1 || n <= CHI_CHUNK {
+            let view = GraphView::new(graph);
+            (
+                bcc_cohesion::label_core_decomposition(&view),
+                hetero_butterfly_degrees(graph),
+            )
+        } else {
+            build_halves_parallel(graph, threads)
+        };
+        let delta_max = label_coreness.iter().copied().max().unwrap_or(0);
+        let chi_max = butterfly_degree.iter().copied().max().unwrap_or(0);
+        BccIndex {
+            label_coreness,
+            butterfly_degree,
+            delta_max,
+            chi_max,
+        }
+    }
+
+    /// The seed implementation — hash-map wedge accumulators, one thread —
+    /// retained verbatim as the differential oracle: tests and the
+    /// `index_build` benchmark require every [`BccIndex::build_with_threads`]
+    /// configuration to reproduce this index bit for bit (and the flat
+    /// kernel to beat it).
+    pub fn build_reference(graph: &LabeledGraph) -> Self {
         let view = GraphView::new(graph);
         let label_coreness = bcc_cohesion::label_core_decomposition(&view);
-        let butterfly_degree = hetero_butterfly_degrees(&view);
+        let butterfly_degree = hetero_butterfly_degrees_hash(&view);
         let delta_max = label_coreness.iter().copied().max().unwrap_or(0);
         let chi_max = butterfly_degree.iter().copied().max().unwrap_or(0);
         BccIndex {
@@ -57,14 +122,75 @@ impl BccIndex {
     }
 }
 
+/// The parallel build body: δ and the χ chunks drain through one atomic
+/// cursor (task 0 = the δ decomposition, tasks 1.. = χ chunks of
+/// [`CHI_CHUNK`] vertices), claimed by `threads` scoped workers — the
+/// calling thread is one of them.
+fn build_halves_parallel(graph: &LabeledGraph, threads: usize) -> (Vec<u32>, Vec<u64>) {
+    let n = graph.vertex_count();
+    let mut chi = vec![0u64; n];
+    // Each chunk slot is claimed by exactly one worker (the cursor never
+    // hands an index out twice), the Mutex<Option<..>> just makes that
+    // ownership transfer safe to express.
+    let chunks: Vec<Mutex<Option<&mut [u64]>>> =
+        chi.chunks_mut(CHI_CHUNK).map(|c| Mutex::new(Some(c))).collect();
+    let coreness_slot: Mutex<Option<Vec<u32>>> = Mutex::new(None);
+    let cursor = AtomicUsize::new(0);
+    let tasks = chunks.len() + 1;
+    // A worker beyond the task count would only pay its spawn + scratch
+    // allocation to observe an exhausted cursor.
+    let threads = threads.min(tasks);
+    let worker = || {
+        let mut scratch = WedgeScratch::new(n);
+        loop {
+            let task = cursor.fetch_add(1, Ordering::Relaxed);
+            if task >= tasks {
+                break;
+            }
+            if task == 0 {
+                let view = GraphView::new(graph);
+                *coreness_slot.lock().unwrap() =
+                    Some(bcc_cohesion::label_core_decomposition(&view));
+            } else {
+                let idx = task - 1;
+                let slice =
+                    chunks[idx].lock().unwrap().take().expect("chunk claimed exactly once");
+                let start = idx * CHI_CHUNK;
+                for (off, out) in slice.iter_mut().enumerate() {
+                    *out = hetero_butterfly_degree_of_with(
+                        graph,
+                        VertexId((start + off) as u32),
+                        &mut scratch,
+                    );
+                }
+            }
+        }
+    };
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(worker);
+        }
+        worker();
+    });
+    drop(chunks);
+    let label_coreness = coreness_slot
+        .into_inner()
+        .unwrap()
+        .expect("the δ task ran: task 0 is claimed before the cursor passes it");
+    (label_coreness, chi)
+}
+
 /// Butterfly degrees where the "opposite side" of a vertex is *any* other
 /// label: wedges v → u → w with `ℓ(u) ≠ ℓ(v)` and `ℓ(w) = ℓ(v)`. Reduces to
-/// Algorithm 3 on two-label graphs.
-fn hetero_butterfly_degrees(view: &GraphView<'_>) -> Vec<u64> {
-    let mut chi = vec![0u64; view.graph().vertex_count()];
-    let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
-    for v in view.alive_vertices() {
-        chi[v.index()] = hetero_chi_into(view, v, &mut paths);
+/// Algorithm 3 on two-label graphs. One flat [`WedgeScratch`] serves the
+/// whole pass. Public for the `index_build` benchmark, which times this χ
+/// pass against [`hetero_butterfly_degrees_hash`].
+pub fn hetero_butterfly_degrees<G: GraphRead>(g: &G) -> Vec<u64> {
+    let n = g.vertex_count();
+    let mut chi = vec![0u64; n];
+    let mut scratch = WedgeScratch::new(n);
+    for v in g.vertices() {
+        chi[v.index()] = hetero_butterfly_degree_of_with(g, v, &mut scratch);
     }
     chi
 }
@@ -75,28 +201,53 @@ fn hetero_butterfly_degrees(view: &GraphView<'_>) -> Vec<u64> {
 /// neighborhood, so patching recomputes exactly those entries. Generic over
 /// any [`GraphRead`] source — the batched commit path evaluates it on the
 /// mid-batch [`bcc_graph::OverlayGraph`] without materializing a snapshot.
+/// Borrows a thread-local scratch; loops should pass their own via
+/// [`hetero_butterfly_degree_of_with`].
 pub fn hetero_butterfly_degree_of<G: GraphRead>(g: &G, v: VertexId) -> u64 {
-    hetero_chi_into(g, v, &mut FxHashMap::default())
+    WedgeScratch::with_thread_local(|scratch| hetero_butterfly_degree_of_with(g, v, scratch))
 }
 
-fn hetero_chi_into<G: GraphRead>(
+/// [`hetero_butterfly_degree_of`] on a caller-provided scratch — the flat
+/// Algorithm 3 kernel every maintenance loop and build worker reuses.
+pub fn hetero_butterfly_degree_of_with<G: GraphRead>(
     g: &G,
     v: VertexId,
-    paths: &mut FxHashMap<u32, u32>,
+    scratch: &mut WedgeScratch,
 ) -> u64 {
     let label = g.label(v);
-    paths.clear();
+    scratch.reset_for(g.vertex_count());
+    let mut chi = 0u64;
     for u in g.cross_label_neighbors_iter(v) {
         for w in g.neighbors_iter(u) {
             if w != v && g.label(w) == label {
-                *paths.entry(w.0).or_insert(0) += 1;
+                chi += (scratch.bump(w) - 1) as u64;
             }
         }
     }
-    paths
-        .values()
-        .map(|&c| (c as u64) * (c as u64).saturating_sub(1) / 2)
-        .sum()
+    chi
+}
+
+/// The seed's hash-map χ pass, retained for [`BccIndex::build_reference`]
+/// and as the timing baseline of the `index_build` benchmark.
+pub fn hetero_butterfly_degrees_hash(view: &GraphView<'_>) -> Vec<u64> {
+    let mut chi = vec![0u64; view.graph().vertex_count()];
+    let mut paths: FxHashMap<u32, u32> = FxHashMap::default();
+    for v in view.alive_vertices() {
+        let label = view.graph().label(v);
+        paths.clear();
+        for u in view.cross_label_neighbors_iter(v) {
+            for w in view.neighbors_iter(u) {
+                if w != v && view.graph().label(w) == label {
+                    *paths.entry(w.0).or_insert(0) += 1;
+                }
+            }
+        }
+        chi[v.index()] = paths
+            .values()
+            .map(|&c| (c as u64) * (c as u64).saturating_sub(1) / 2)
+            .sum();
+    }
+    chi
 }
 
 #[cfg(test)]
@@ -137,6 +288,42 @@ mod tests {
         let index = BccIndex::build(&g);
         assert_eq!(index.delta_max, 0);
         assert_eq!(index.chi_max, 0);
+    }
+
+    #[test]
+    fn every_thread_count_is_bit_identical_to_the_seed_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x1D3);
+        // Sizes straddle the CHI_CHUNK threshold so both the sequential
+        // shortcut and the real chunked parallel path are exercised.
+        for (n, labels, p) in [(60usize, 2usize, 0.2), (320, 3, 0.03), (700, 4, 0.015)] {
+            let names: Vec<String> = (0..labels).map(|i| format!("G{i}")).collect();
+            let mut b = GraphBuilder::new();
+            let vs: Vec<_> =
+                (0..n).map(|_| b.add_vertex(&names[rng.gen_range(0..labels)])).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(p) {
+                        b.add_edge(vs[i], vs[j]);
+                    }
+                }
+            }
+            let g = b.build();
+            let reference = BccIndex::build_reference(&g);
+            for threads in [1usize, 2, 3, 7, 0] {
+                let built = BccIndex::build_with_threads(&g, threads);
+                assert_eq!(
+                    built.label_coreness, reference.label_coreness,
+                    "δ (n={n}, threads={threads})"
+                );
+                assert_eq!(
+                    built.butterfly_degree, reference.butterfly_degree,
+                    "χ (n={n}, threads={threads})"
+                );
+                assert_eq!(built.delta_max, reference.delta_max);
+                assert_eq!(built.chi_max, reference.chi_max);
+            }
+        }
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub use fast_dist::IncrementalDistances;
 pub use incremental::{
     affected_neighborhood, patch_index_batch, patch_index_edge, BatchPatchReport, PatchReport,
 };
-pub use index::BccIndex;
+pub use index::{
+    hetero_butterfly_degree_of, hetero_butterfly_degree_of_with, hetero_butterfly_degrees,
+    hetero_butterfly_degrees_hash, BccIndex,
+};
 pub use local::{butterfly_core_path, expand_candidate, PathWeights};
 pub use model::{
     is_valid_bcc, is_valid_mbcc, BccParams, BccQuery, BccResult, MbccParams, MbccQuery,

@@ -190,6 +190,36 @@ fn batched_patching_matches_per_edge_replay_256() {
     run_batched(51, 48, 3, 0.12, 256);
 }
 
+/// Every prefix of a batch, patched through `patch_index_batch` (flat
+/// scratch kernels over the mid-batch overlay), reproduces the **seed**
+/// implementation — `BccIndex::build_reference`, the retained hash-kernel
+/// build — bit for bit on the materialized prefix snapshot. This pins the
+/// whole rewritten offline path (flat wedge kernels + overlay reads) to the
+/// seed semantics at every intermediate state, not just batch ends.
+#[test]
+fn batch_prefixes_match_the_seed_reference_at_every_step() {
+    for (seed, n, labels, p, batch) in
+        [(70u64, 14usize, 2usize, 0.3, 12usize), (71, 12, 3, 0.3, 12), (72, 16, 4, 0.2, 10)]
+    {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let base = random_graph(&mut rng, n, labels, p);
+        let delta = random_batch(&mut rng, &base, batch);
+        let changes = delta.changes();
+        let built = BccIndex::build(&base);
+        assert_index_eq(&built, &BccIndex::build_reference(&base), "flat vs seed build");
+        for k in 0..=changes.len() {
+            let mut patched = built.clone();
+            patch_index_batch(&mut patched, &base, &changes[..k]);
+            let snapshot = OverlayGraph::from_changes(&base, &changes[..k]).materialize();
+            assert_index_eq(
+                &patched,
+                &BccIndex::build_reference(&snapshot),
+                &format!("(seed {seed}, prefix {k}/{batch})"),
+            );
+        }
+    }
+}
+
 #[test]
 fn batched_patching_matches_per_edge_replay_4096() {
     // A sparse 1024-vertex graph keeps per-vertex degrees (and the O(d²)

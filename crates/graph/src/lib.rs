@@ -21,6 +21,8 @@
 //! * [`BitSet`] / [`UnionFind`] — small utility structures used across the
 //!   workspace (union-find implements the cross-group connectivity check of
 //!   Section 7).
+//! * [`WedgeScratch`] — the dense epoch-stamped counter/marker scratch the
+//!   butterfly wedge kernels run on (O(1) logical clear, no hashing).
 //! * [`io`] — a plain-text edge-list + label-file format for persisting
 //!   datasets and loading them from the CLI.
 //!
@@ -54,6 +56,7 @@ pub mod io;
 pub mod json;
 pub mod labels;
 pub mod overlay;
+pub mod scratch;
 pub mod traversal;
 pub mod unionfind;
 pub mod view;
@@ -64,6 +67,7 @@ pub use delta::{apply_change, DeltaError, EdgeChange, EdgeOp, GraphDelta};
 pub use graph::{EdgeKind, LabeledGraph, VertexId};
 pub use labels::{Label, LabelInterner};
 pub use overlay::{GraphRead, OverlayGraph};
+pub use scratch::WedgeScratch;
 pub use traversal::{bfs_distances, query_distance, QueryDistances, INF_DIST};
 pub use unionfind::UnionFind;
 pub use view::GraphView;

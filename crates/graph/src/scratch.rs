@@ -1,0 +1,249 @@
+//! Dense epoch-stamped scratch for wedge counting and neighborhood marking.
+//!
+//! Every butterfly kernel in the workspace has the same inner shape: walk
+//! the 2-hop neighborhood of a vertex and count, per endpoint `w`, how many
+//! paths arrived there (or merely remember that `w` was seen). The seed
+//! implementation kept those counters in an `FxHashMap<u32, u32>` — one
+//! hash + probe per wedge, a clear per start vertex, and allocator traffic
+//! proportional to the neighborhood. [`WedgeScratch`] replaces the map with
+//! flat arrays indexed by [`VertexId`]:
+//!
+//! * `count[v]` — the counter, valid only while `stamp[v]` equals the
+//!   current epoch, so *logical* clearing is one integer increment
+//!   ([`WedgeScratch::reset_for`]) with no pass over the arrays;
+//! * `touched` — the distinct vertices stamped this epoch, for kernels that
+//!   need a second pass over the non-zero counters.
+//!
+//! One scratch is reused across every start vertex of a traversal (and, via
+//! [`WedgeScratch::with_thread_local`], across calls that cannot thread a
+//! `&mut` through their signature). Cache behavior is the point: the hot
+//! loop is two dependent loads and a store into dense arrays — no hashing,
+//! no probing, no per-vertex allocation.
+//!
+//! ## Counter width
+//!
+//! Counters stay `u32`, matching the seed's hash-map values: a counter for
+//! `w` counts 2-hop paths from one start vertex, which is bounded by
+//! `|N(v) ∩ N(w)| ≤ n − 1 < 2³²` on any simple graph addressed by `u32`
+//! vertex ids — the width cannot overflow in the butterfly kernels. The
+//! policy for other callers is **saturate at `u32::MAX`** in release builds
+//! and panic via `debug_assert` in debug builds (see
+//! [`WedgeScratch::bump`]), pinned by the boundary tests below.
+
+use crate::graph::VertexId;
+
+/// Reusable dense wedge-counting scratch (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct WedgeScratch {
+    /// Current epoch; `count[v]` is live iff `stamp[v] == epoch`.
+    epoch: u32,
+    stamp: Vec<u32>,
+    count: Vec<u32>,
+    /// Distinct vertex ids stamped this epoch.
+    touched: Vec<u32>,
+}
+
+impl WedgeScratch {
+    /// A scratch sized for vertex ids `< capacity`.
+    pub fn new(capacity: usize) -> Self {
+        WedgeScratch {
+            epoch: 1,
+            stamp: vec![0; capacity],
+            count: vec![0; capacity],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh epoch (all counters logically zero, O(1)) and grows
+    /// the arrays to cover vertex ids `< capacity` if needed.
+    pub fn reset_for(&mut self, capacity: usize) {
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+            self.count.resize(capacity, 0);
+        }
+        self.touched.clear();
+        // On (astronomically unlikely) epoch wrap, physically clear the
+        // stamps once so stale epoch-0 stamps can never read as live.
+        match self.epoch.checked_add(1) {
+            Some(next) => self.epoch = next,
+            None => {
+                self.stamp.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// The live counter slot for `v`, stamping it (and recording it in
+    /// `touched`) on first access this epoch.
+    #[inline]
+    fn slot(&mut self, v: VertexId) -> &mut u32 {
+        let i = v.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.count[i] = 0;
+            self.touched.push(v.0);
+        }
+        &mut self.count[i]
+    }
+
+    /// Increments `v`'s counter and returns the new value. Saturates at
+    /// `u32::MAX` (debug builds assert the boundary is never reached; the
+    /// butterfly kernels cannot reach it — see the module docs).
+    #[inline]
+    pub fn bump(&mut self, v: VertexId) -> u32 {
+        let c = self.slot(v);
+        debug_assert!(*c < u32::MAX, "wedge counter overflow at {v}");
+        *c = c.saturating_add(1);
+        *c
+    }
+
+    /// Marks `v` as a member of this epoch's set without counting.
+    #[inline]
+    pub fn mark(&mut self, v: VertexId) {
+        let _ = self.slot(v);
+    }
+
+    /// Whether `v` was bumped or marked this epoch.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.stamp[v.index()] == self.epoch
+    }
+
+    /// `v`'s counter this epoch (0 if untouched).
+    #[inline]
+    pub fn count(&self, v: VertexId) -> u32 {
+        if self.contains(v) {
+            self.count[v.index()]
+        } else {
+            0
+        }
+    }
+
+    /// The distinct vertices bumped or marked this epoch, in first-touch
+    /// order.
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Runs `f` with a thread-local scratch, for call sites that cannot
+    /// thread a `&mut WedgeScratch` through their signature (e.g. the
+    /// single-shot convenience wrappers around the butterfly kernels).
+    /// Non-reentrant: `f` must not call back into `with_thread_local`.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut WedgeScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<WedgeScratch> =
+                std::cell::RefCell::new(WedgeScratch::default());
+        }
+        SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut s = WedgeScratch::new(4);
+        s.reset_for(4);
+        assert_eq!(s.bump(VertexId(2)), 1);
+        assert_eq!(s.bump(VertexId(2)), 2);
+        assert_eq!(s.bump(VertexId(0)), 1);
+        assert_eq!(s.count(VertexId(2)), 2);
+        assert_eq!(s.count(VertexId(1)), 0);
+        assert!(s.contains(VertexId(0)));
+        assert_eq!(s.touched(), &[2, 0]);
+        s.reset_for(4);
+        assert_eq!(s.count(VertexId(2)), 0, "reset is a logical clear");
+        assert!(!s.contains(VertexId(0)));
+        assert!(s.touched().is_empty());
+    }
+
+    #[test]
+    fn mark_is_membership_only() {
+        let mut s = WedgeScratch::new(3);
+        s.reset_for(3);
+        s.mark(VertexId(1));
+        assert!(s.contains(VertexId(1)));
+        assert_eq!(s.count(VertexId(1)), 0);
+        assert_eq!(s.bump(VertexId(1)), 1, "bump after mark starts from 0");
+        assert_eq!(s.touched(), &[1]);
+    }
+
+    #[test]
+    fn reset_for_grows_capacity() {
+        let mut s = WedgeScratch::new(2);
+        s.reset_for(2);
+        s.bump(VertexId(1));
+        s.reset_for(8);
+        assert_eq!(s.bump(VertexId(7)), 1);
+        assert_eq!(s.count(VertexId(1)), 0);
+    }
+
+    #[test]
+    fn epoch_wrap_clears_stale_stamps() {
+        let mut s = WedgeScratch::new(2);
+        s.reset_for(2);
+        s.bump(VertexId(0));
+        s.epoch = u32::MAX; // fast-forward to the wrap boundary
+        s.stamp[1] = 1; // a stale stamp that must not read as live post-wrap
+        s.reset_for(2);
+        assert_eq!(s.epoch, 1);
+        assert!(!s.contains(VertexId(0)));
+        assert!(!s.contains(VertexId(1)));
+        assert_eq!(s.bump(VertexId(1)), 1);
+    }
+
+    /// The counter-width policy at its boundary: the step *to* `u32::MAX`
+    /// is legal in every build profile.
+    #[test]
+    fn bump_reaches_u32_max() {
+        let mut s = WedgeScratch::new(1);
+        s.reset_for(1);
+        s.stamp[0] = s.epoch;
+        s.count[0] = u32::MAX - 1;
+        s.touched.push(0);
+        assert_eq!(s.bump(VertexId(0)), u32::MAX);
+    }
+
+    /// Past the boundary, debug builds panic…
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "wedge counter overflow")]
+    fn bump_past_u32_max_panics_in_debug() {
+        let mut s = WedgeScratch::new(1);
+        s.reset_for(1);
+        s.stamp[0] = s.epoch;
+        s.count[0] = u32::MAX;
+        s.touched.push(0);
+        s.bump(VertexId(0));
+    }
+
+    /// …and release builds saturate (runs under `cargo test --release`).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn bump_past_u32_max_saturates_in_release() {
+        let mut s = WedgeScratch::new(1);
+        s.reset_for(1);
+        s.stamp[0] = s.epoch;
+        s.count[0] = u32::MAX;
+        s.touched.push(0);
+        assert_eq!(s.bump(VertexId(0)), u32::MAX);
+    }
+
+    #[test]
+    fn thread_local_scratch_is_reusable() {
+        let a = WedgeScratch::with_thread_local(|s| {
+            s.reset_for(4);
+            s.bump(VertexId(3));
+            s.bump(VertexId(3))
+        });
+        assert_eq!(a, 2);
+        let b = WedgeScratch::with_thread_local(|s| {
+            s.reset_for(4);
+            s.count(VertexId(3))
+        });
+        assert_eq!(b, 0, "each use starts a fresh epoch");
+    }
+}

@@ -58,24 +58,39 @@ pub struct GraphEntry {
     generation: u64,
     graph: LabeledGraph,
     index: OnceLock<BuiltIndex>,
+    /// Worker threads for the lazy index build (0 ⇒ one per core) —
+    /// stamped by the registry that created the entry.
+    index_threads: usize,
 }
 
 impl GraphEntry {
-    /// Wraps `graph` under `name` (index unbuilt).
+    /// Wraps `graph` under `name` (index unbuilt, single-thread build).
     pub fn new(name: impl Into<String>, graph: LabeledGraph) -> Self {
+        Self::with_index_threads(name, graph, 1)
+    }
+
+    /// Wraps `graph` under `name`, building the index with `threads`
+    /// workers when it is first needed (0 ⇒ one per available core). Any
+    /// thread count produces a bit-identical index.
+    pub fn with_index_threads(
+        name: impl Into<String>,
+        graph: LabeledGraph,
+        threads: usize,
+    ) -> Self {
         GraphEntry {
             name: name.into(),
             generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
             graph,
             index: OnceLock::new(),
+            index_threads: threads,
         }
     }
 
     /// Wraps `graph` with an already-built (patched) index — the commit
     /// path: the new snapshot inherits the old snapshot's index, updated in
     /// place, so no request ever pays a rebuild.
-    fn with_built(name: String, graph: LabeledGraph, built: BuiltIndex) -> Self {
-        let entry = GraphEntry::new(name, graph);
+    fn with_built(name: String, graph: LabeledGraph, built: BuiltIndex, threads: usize) -> Self {
+        let entry = GraphEntry::with_index_threads(name, graph, threads);
         entry.index.set(built).expect("fresh OnceLock accepts exactly one value");
         entry
     }
@@ -101,7 +116,7 @@ impl GraphEntry {
     pub fn index(&self) -> &BuiltIndex {
         self.index.get_or_init(|| {
             let started = Instant::now();
-            let index = BccIndex::build(&self.graph);
+            let index = BccIndex::build_with_threads(&self.graph, self.index_threads);
             BuiltIndex { index, build_time: started.elapsed() }
         })
     }
@@ -147,23 +162,49 @@ impl CommitOutcome {
 /// A named collection of [`GraphEntry`]s behind a `RwLock` — writes happen
 /// only at registration time and commit time, reads are a brief map lookup
 /// per request — plus the per-graph staging area for edge mutations.
-#[derive(Default)]
 pub struct GraphRegistry {
     graphs: RwLock<HashMap<String, Arc<GraphEntry>>>,
     pending: Mutex<HashMap<String, PendingDelta>>,
+    /// Build-thread count stamped onto every entry this registry creates
+    /// (0 ⇒ one per core). Defaults to 1 — sequential, the seed behavior;
+    /// the service layer passes its own knob through.
+    index_threads: usize,
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        GraphRegistry::with_index_threads(1)
+    }
 }
 
 impl GraphRegistry {
-    /// An empty registry.
+    /// An empty registry (single-thread index builds).
     pub fn new() -> Self {
         GraphRegistry::default()
+    }
+
+    /// An empty registry whose entries build their BCindex with `threads`
+    /// workers (0 ⇒ one per available core). Parallelism only moves the
+    /// build's wall time: the index bits are identical at any setting.
+    pub fn with_index_threads(threads: usize) -> Self {
+        GraphRegistry {
+            graphs: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            index_threads: threads,
+        }
+    }
+
+    /// The build-thread count stamped onto new entries.
+    pub fn index_threads(&self) -> usize {
+        self.index_threads
     }
 
     /// Registers `graph` under `name`, replacing any previous entry with
     /// that name (in-flight requests keep their `Arc` to the old snapshot).
     pub fn insert(&self, name: impl Into<String>, graph: LabeledGraph) -> Arc<GraphEntry> {
         let name = name.into();
-        let entry = Arc::new(GraphEntry::new(name.clone(), graph));
+        let entry =
+            Arc::new(GraphEntry::with_index_threads(name.clone(), graph, self.index_threads));
         self.graphs
             .write()
             .unwrap()
@@ -332,14 +373,20 @@ impl GraphRegistry {
                     // every patch since.
                     build_time: built.build_time + started.elapsed(),
                 };
-                let entry = GraphEntry::with_built(name.to_owned(), graph, built);
+                let entry =
+                    GraphEntry::with_built(name.to_owned(), graph, built, entry.index_threads);
                 (Arc::new(entry), Some(report.dirty))
             }
             None => {
                 // No index yet: splice the whole batch in one pass and stay
                 // lazy. No cascade ran, so no scoped dirty set exists.
                 let graph = staged.delta.apply(entry.graph());
-                (Arc::new(GraphEntry::new(name.to_owned(), graph)), None)
+                let entry = GraphEntry::with_index_threads(
+                    name.to_owned(),
+                    graph,
+                    entry.index_threads,
+                );
+                (Arc::new(entry), None)
             }
         };
         before_publish();

@@ -46,6 +46,11 @@ pub struct ServiceConfig {
     pub default_timeout_ms: Option<u64>,
     /// Registry key used when a request names no graph.
     pub default_graph: String,
+    /// Threads for the offline BCindex build of registered graphs (0 ⇒ one
+    /// per available core — the default: the build is the cold-start cost
+    /// of every `register` and first L2P query, and any thread count yields
+    /// a bit-identical index).
+    pub index_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +60,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             default_timeout_ms: None,
             default_graph: "default".into(),
+            index_threads: 0,
         }
     }
 }
@@ -205,9 +211,10 @@ impl BccService {
     pub fn new(config: ServiceConfig) -> Self {
         let pool = WorkerPool::new(config.workers);
         let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let registry = GraphRegistry::with_index_threads(config.index_threads);
         BccService {
             config,
-            registry: GraphRegistry::new(),
+            registry,
             pool,
             cache,
             counters: Arc::new(Mutex::new(Counters::default())),
