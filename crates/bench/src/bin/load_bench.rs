@@ -1,0 +1,306 @@
+//! Multi-client TCP load benchmark: sustained q/s and p50/p99 latency
+//! through `bcc-service`'s socket front-end, plus a deterministic overload
+//! phase proving the admission controller rejects — with a structured
+//! error, never a hang — when the queue is full.
+//!
+//! ```text
+//! cargo run --release -p bcc-bench --bin load_bench -- \
+//!     [--scale 0.3] [--queries 32] [--clients 8] [--out load_bench.json]
+//! ```
+//!
+//! Phase 1 drives one client over the line codec; phase 2 drives
+//! `--clients` concurrent clients (alternating line/binary codecs), each
+//! with its own distinct query set (cold cache both times — fresh server
+//! per phase). The binary *verifies* the serving invariants and exits
+//! non-zero on failure so CI can gate on it:
+//!
+//! * every overload response is the structured `overloaded` error;
+//! * N-client throughput ≥ 1-client throughput (SKIPPED on single-core
+//!   machines, where concurrency cannot help).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bcc_bench::Args;
+use bcc_datasets::{queries, QueryConstraints};
+use bcc_eval::Table;
+use bcc_service::{BccService, Priority, Server, ServerConfig, ServiceConfig};
+
+/// One benchmark client over either codec.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    binary: bool,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr, binary: bool) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        // Latency bench: measure the service, not Nagle + delayed ACKs.
+        stream.set_nodelay(true).expect("set_nodelay");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+            binary,
+        }
+    }
+
+    fn round_trip(&mut self, payload: &str) -> String {
+        let mut frame = Vec::with_capacity(5 + payload.len());
+        if self.binary {
+            frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            frame.extend_from_slice(payload.as_bytes());
+        } else {
+            frame.extend_from_slice(payload.as_bytes());
+            frame.push(b'\n');
+        }
+        self.writer.write_all(&frame).expect("send request");
+        self.writer.flush().expect("flush");
+        if self.binary {
+            let mut prefix = [0u8; 4];
+            self.reader.read_exact(&mut prefix).expect("response prefix");
+            let mut payload = vec![0u8; u32::from_be_bytes(prefix) as usize];
+            self.reader.read_exact(&mut payload).expect("response payload");
+            String::from_utf8(payload).expect("utf8 response")
+        } else {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("response line");
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            line
+        }
+    }
+}
+
+/// Distinct query lines for one client (seed-disjoint across clients so
+/// the result cache cannot serve one client from another's work).
+fn query_lines(net: &bcc_datasets::PlantedNetwork, count: usize, seed: u64) -> Vec<String> {
+    let qs = queries::random_community_queries(
+        net,
+        count,
+        QueryConstraints { degree_rank: 0, inter_distance: None },
+        seed,
+    );
+    let mut seen = std::collections::HashSet::new();
+    qs.iter()
+        .enumerate()
+        .filter(|(_, q)| {
+            let (a, b) = (q.vertices[0].0, q.vertices[1].0);
+            seen.insert((a.min(b), a.max(b)))
+        })
+        .map(|(i, q)| {
+            let method = ["lp", "online", "l2p"][i % 3];
+            format!("search ql={} qr={} method={method}", q.vertices[0].0, q.vertices[1].0)
+        })
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx]
+}
+
+struct Phase {
+    label: &'static str,
+    clients: usize,
+    requests: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Runs one phase: a fresh server, `client_lines[i]` played by client `i`
+/// (even clients binary, odd clients lines), per-request latencies pooled.
+fn run_phase(
+    label: &'static str,
+    graph: &bcc_graph::LabeledGraph,
+    client_lines: &[Vec<String>],
+) -> Phase {
+    let service = Arc::new(BccService::with_graph(
+        ServiceConfig { workers: 0, cache_capacity: 4096, ..Default::default() },
+        graph.clone(),
+    ));
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind bench server");
+    let addr = handle.addr();
+
+    // Pre-warm the BCindex so the one-off offline build (an l2p cold-start
+    // cost, not a serving latency) doesn't land in some client's p99.
+    if let Some(line) = client_lines.iter().flatten().find(|l| l.ends_with("l2p")) {
+        let mut warm = Client::connect(addr, false);
+        warm.round_trip(line);
+    }
+
+    let started = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = client_lines
+            .iter()
+            .enumerate()
+            .map(|(i, lines)| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr, i % 2 == 0);
+                    lines
+                        .iter()
+                        .map(|line| {
+                            let t = Instant::now();
+                            let response = client.round_trip(line);
+                            assert!(
+                                response.contains("\"ok\":"),
+                                "malformed response: {response}"
+                            );
+                            t.elapsed()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    handle.join();
+
+    let mut ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Phase {
+        label,
+        clients: client_lines.len(),
+        requests: ms.len(),
+        qps: ms.len() as f64 / wall,
+        p50_ms: percentile(&ms, 0.50),
+        p99_ms: percentile(&ms, 0.99),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", 0.3f64);
+    let per_client = args.get("queries", 32usize);
+    let clients = args.get("clients", 8usize).max(2);
+    let out = args.get("out", String::new());
+    let out_path = (!out.is_empty()).then_some(out);
+
+    let spec = bcc_datasets::dblp(scale);
+    let net = spec.build();
+    eprintln!(
+        "planted {} x{scale}: {} vertices, {} edges",
+        spec.name,
+        net.graph.vertex_count(),
+        net.graph.edge_count()
+    );
+
+    let all_lines: Vec<Vec<String>> = (0..clients)
+        .map(|i| query_lines(&net, per_client, 0xBCC + i as u64))
+        .collect();
+    let total: usize = all_lines.iter().map(Vec::len).sum();
+    eprintln!("workload: {clients} clients, {total} distinct query lines total");
+
+    let single = run_phase("1 client", &net.graph, &all_lines[..1]);
+    let multi = run_phase("N clients", &net.graph, &all_lines);
+
+    // Overload phase: a depth-0 queue whose only slot is held externally —
+    // every request must be rejected, structurally, immediately.
+    let service = Arc::new(BccService::with_graph(
+        ServiceConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+        net.graph.clone(),
+    ));
+    let handle = Server::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig { concurrency: 1, queue_depth: 0, ..ServerConfig::default() },
+    )
+    .expect("bind overload server");
+    let permit = handle
+        .admission()
+        .admit(u64::MAX, Priority::Normal, None)
+        .expect("hold the only admission slot");
+    let mut client = Client::connect(handle.addr(), false);
+    let overload_requests = 16usize;
+    let reject_started = Instant::now();
+    for line in all_lines[0].iter().take(overload_requests).cycle().take(overload_requests) {
+        let response = client.round_trip(line);
+        assert!(
+            response.contains("\"error\":{\"kind\":\"overloaded\""),
+            "INVARIANT VIOLATED: overload must reject with the structured \
+             error, got: {response}"
+        );
+    }
+    let reject_elapsed = reject_started.elapsed();
+    drop(permit);
+    drop(client);
+    let rejected = service.stats().rejected_overloaded;
+    handle.shutdown();
+    handle.join();
+    assert_eq!(
+        rejected, overload_requests as u64,
+        "INVARIANT VIOLATED: every overload request is counted rejected"
+    );
+    println!(
+        "overload: {overload_requests} requests rejected structurally in {:.1} ms total",
+        reject_elapsed.as_secs_f64() * 1e3
+    );
+
+    let mut table = Table::new(
+        format!("TCP load bench on {} x{scale} ({total} distinct queries)", spec.name),
+        vec![
+            "phase".into(),
+            "clients".into(),
+            "requests".into(),
+            "q/s".into(),
+            "p50 ms".into(),
+            "p99 ms".into(),
+        ],
+    );
+    for phase in [&single, &multi] {
+        table.push_row(vec![
+            phase.label.to_string(),
+            phase.clients.to_string(),
+            phase.requests.to_string(),
+            format!("{:.0}", phase.qps),
+            format!("{:.2}", phase.p50_ms),
+            format!("{:.2}", phase.p99_ms),
+        ]);
+    }
+    table.push_row(vec![
+        "overload".into(),
+        "1".into(),
+        overload_requests.to_string(),
+        format!("{:.0}", overload_requests as f64 / reject_elapsed.as_secs_f64()),
+        "-".into(),
+        "-".into(),
+    ]);
+    println!("{}", table.render());
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 2 {
+        println!(
+            "throughput gate SKIPPED: {cores} core(s) available — concurrent \
+             clients cannot outrun one client without parallelism"
+        );
+    } else {
+        assert!(
+            multi.qps >= single.qps,
+            "INVARIANT VIOLATED: {clients}-client throughput ({:.0} q/s) fell \
+             below 1-client throughput ({:.0} q/s) on a {cores}-core machine",
+            multi.qps,
+            single.qps
+        );
+        println!(
+            "scaling: {clients} clients {:.0} q/s vs 1 client {:.0} q/s ({:.1}x)",
+            multi.qps,
+            single.qps,
+            multi.qps / single.qps
+        );
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, table.to_json()).expect("write JSON summary");
+        eprintln!("wrote JSON summary to {path}");
+    }
+}

@@ -5,6 +5,7 @@
 //! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
 //! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N] [--method online|lp|l2p]
 //! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+//! bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N]
 //! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
 //! bcc generate <output-file> [--network baidu1|baidu2|amazon|dblp|youtube|livejournal|orkut] [--scale F]
 //! bcc case     <flight|trade|fiction|academic> [--out FILE]
@@ -22,7 +23,7 @@ use bcc_core::{
     BccIndex, BccParams, BccQuery, LpBcc, MbccParams, MbccQuery, MultiLabelBcc, MultiStrategy,
 };
 use bcc_graph::{GraphView, LabeledGraph, VertexId};
-use bcc_service::{BccService, ServiceConfig};
+use bcc_service::{BccService, Server, ServerConfig, ServiceConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +49,7 @@ const USAGE: &str = "usage:
   bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N]
   bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N]
   bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+  bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N] [serve flags]
   bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
   bcc case     <flight|trade|fiction|academic> [--out FILE]
@@ -63,7 +65,15 @@ serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
 result line per request; batch runs a file of such lines concurrently and
 prints results in input order. add_edge/remove_edge stage live edge updates;
 commit applies them, patching the BCindex in place and invalidating only the
-affected cache entries.";
+affected cache entries.
+
+listen serves the same protocol over TCP to many concurrent clients, each on
+its own connection (newline-delimited JSON or length-prefixed binary frames,
+negotiated per connection from its first byte). --max-conns caps concurrent
+connections; --queue-depth bounds the admission queue — requests beyond it
+are rejected with a structured `overloaded` error. A `quit` line closes the
+issuing connection; `shutdown` stops the whole server. The bound address is
+printed to stderr.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -72,6 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "search" => search(args),
         "msearch" => msearch(args),
         "serve" => serve(args),
+        "listen" => listen(args),
         "batch" => batch(args),
         "generate" => generate(args),
         "case" => case(args),
@@ -314,6 +325,31 @@ fn serve(args: &[String]) -> Result<(), String> {
     service
         .run_session(stdin.lock(), stdout.lock())
         .map_err(|e| e.to_string())
+}
+
+fn listen(args: &[String]) -> Result<(), String> {
+    // `listen <graph-file> <addr>`: the graph file rides in the same slot
+    // as serve's, so `start_service` applies unchanged.
+    let addr = args.get(2).ok_or("missing listen address (e.g. 127.0.0.1:7447)")?;
+    let mut config = ServerConfig::default();
+    if let Some(m) = flag_value(args, "--max-conns") {
+        config.max_connections = m.parse().map_err(|_| "--max-conns must be an integer")?;
+    }
+    if let Some(q) = flag_value(args, "--queue-depth") {
+        config.queue_depth = q.parse().map_err(|_| "--queue-depth must be an integer")?;
+    }
+    if let Some(t) = flag_value(args, "--timeout-ms") {
+        config.default_timeout_ms =
+            Some(t.parse().map_err(|_| "--timeout-ms must be an integer")?);
+    }
+    let service = std::sync::Arc::new(start_service(args)?);
+    let handle = Server::bind(service, addr.as_str(), config).map_err(|e| e.to_string())?;
+    // Stderr like the serve banner — and the *bound* address, so `:0`
+    // callers (tests, scripts) learn the kernel-chosen port.
+    eprintln!("listening on {}", handle.addr());
+    handle.join();
+    eprintln!("server shut down");
+    Ok(())
 }
 
 fn batch(args: &[String]) -> Result<(), String> {

@@ -20,21 +20,60 @@ enum DegreeMode {
 
 fn decomposition<G: GraphRead>(view: &GraphView<'_, G>, mode: DegreeMode) -> Vec<u32> {
     let n = view.graph().vertex_count();
-    let mut degree = vec![0u32; n];
-    let mut max_degree = 0u32;
     let alive: Vec<VertexId> = view.collect_vertices();
+    let mut degree = vec![0u32; n];
     for &v in &alive {
-        let d = match mode {
+        degree[v.index()] = match mode {
             DegreeMode::All => view.degree(v) as u32,
             DegreeMode::SameLabelOnly => view.intra_degree(v) as u32,
         };
-        degree[v.index()] = d;
-        max_degree = max_degree.max(d);
     }
+    match mode {
+        DegreeMode::All => {
+            peel(n, &alive, degree, |v, out| out.extend(view.neighbors(v)))
+        }
+        DegreeMode::SameLabelOnly => {
+            peel(n, &alive, degree, |v, out| out.extend(view.same_label_neighbors(v)))
+        }
+    }
+}
+
+/// [`label_core_decomposition`] straight off any [`GraphRead`] source,
+/// skipping the [`GraphView`] construction entirely. `GraphView::new` pays
+/// an O(|V| + |E|) pass to seed alive/degree/intra-degree state the peeling
+/// never mutates — on a full snapshot the only quantity the decomposition
+/// needs is each vertex's same-label degree, which this computes in one
+/// pass of its own. The parallel index build
+/// (`bcc_core::BccIndex::build_with_threads`) used to pay the view setup
+/// inside its δ task; it and the sequential build arm now share this
+/// view-free path. Bit-identical to `label_core_decomposition` over
+/// `GraphView::new(g)` by construction (same vertex order, same neighbor
+/// order, same peeling) — pinned by tests here and by the index
+/// differential suite.
+pub fn label_core_decomposition_direct<G: GraphRead>(g: &G) -> Vec<u32> {
+    let n = g.vertex_count();
+    let alive: Vec<VertexId> = g.vertices().collect();
+    let mut degree = vec![0u32; n];
+    for &v in &alive {
+        degree[v.index()] = g.same_label_neighbors_iter(v).count() as u32;
+    }
+    peel(n, &alive, degree, |v, out| out.extend(g.same_label_neighbors_iter(v)))
+}
+
+/// The shared Batagelj–Zaversnik peeling engine: `degree` holds each alive
+/// vertex's starting degree (whichever edge set the caller counts) and
+/// `neighbors` appends exactly those neighbors to the scratch buffer.
+fn peel(
+    n: usize,
+    alive: &[VertexId],
+    degree: Vec<u32>,
+    mut neighbors: impl FnMut(VertexId, &mut Vec<VertexId>),
+) -> Vec<u32> {
+    let max_degree = alive.iter().map(|&v| degree[v.index()]).max().unwrap_or(0);
 
     // Bucket sort vertices by degree (Batagelj–Zaversnik).
     let mut bin_start = vec![0usize; max_degree as usize + 2];
-    for &v in &alive {
+    for &v in alive {
         bin_start[degree[v.index()] as usize + 1] += 1;
     }
     for i in 1..bin_start.len() {
@@ -44,7 +83,7 @@ fn decomposition<G: GraphRead>(view: &GraphView<'_, G>, mode: DegreeMode) -> Vec
     let mut ordered = vec![VertexId(0); alive.len()];
     {
         let mut cursor = bin_start.clone();
-        for &v in &alive {
+        for &v in alive {
             let d = degree[v.index()] as usize;
             position[v.index()] = cursor[d];
             ordered[cursor[d]] = v;
@@ -53,17 +92,16 @@ fn decomposition<G: GraphRead>(view: &GraphView<'_, G>, mode: DegreeMode) -> Vec
     }
 
     let mut coreness = vec![0u32; n];
-    let mut current_degree = degree.clone();
+    let mut current_degree = degree;
     let mut processed = vec![false; n];
+    let mut scratch: Vec<VertexId> = Vec::new();
     for i in 0..ordered.len() {
         let v = ordered[i];
         processed[v.index()] = true;
         coreness[v.index()] = current_degree[v.index()];
-        let neighbors: Vec<VertexId> = match mode {
-            DegreeMode::All => view.neighbors(v).collect(),
-            DegreeMode::SameLabelOnly => view.same_label_neighbors(v).collect(),
-        };
-        for u in neighbors {
+        scratch.clear();
+        neighbors(v, &mut scratch);
+        for u in scratch.drain(..) {
             if processed[u.index()] {
                 continue;
             }
@@ -193,6 +231,29 @@ mod tests {
         let core = core_decomposition(&view);
         assert_eq!(core[0], 0, "dead vertices report coreness 0");
         assert!(core[1..].iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn direct_label_core_matches_view_path() {
+        // The view-free path must be bit-identical to peeling a fresh full
+        // view — the parallel index build relies on this.
+        for (n, seed_edges) in [
+            (6usize, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]),
+            (8, vec![(0, 1), (0, 2), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (4, 7), (0, 4)]),
+        ] {
+            let mut b = GraphBuilder::new();
+            let vs: Vec<_> = (0..n)
+                .map(|i| b.add_vertex(if i % 2 == 0 { "A" } else { "B" }))
+                .collect();
+            for (u, v) in seed_edges {
+                b.add_edge(vs[u], vs[v]);
+            }
+            let g = b.build();
+            assert_eq!(
+                label_core_decomposition_direct(&g),
+                label_core_decomposition(&GraphView::new(&g)),
+            );
+        }
     }
 
     #[test]

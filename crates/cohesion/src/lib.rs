@@ -37,7 +37,9 @@ pub mod core_maintain;
 pub mod support;
 pub mod truss;
 
-pub use core_decomp::{core_decomposition, label_core_decomposition, max_coreness};
+pub use core_decomp::{
+    core_decomposition, label_core_decomposition, label_core_decomposition_direct, max_coreness,
+};
 pub use core_maintain::{
     cascade_label_core, cascade_label_core_from_seeds, reduce_to_k_core, reduce_to_label_core,
     LabelCoreThresholds,

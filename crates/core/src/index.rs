@@ -72,9 +72,8 @@ impl BccIndex {
         };
         let n = graph.vertex_count();
         let (label_coreness, butterfly_degree) = if threads <= 1 || n <= CHI_CHUNK {
-            let view = GraphView::new(graph);
             (
-                bcc_cohesion::label_core_decomposition(&view),
+                bcc_cohesion::label_core_decomposition_direct(graph),
                 hetero_butterfly_degrees(graph),
             )
         } else {
@@ -148,9 +147,12 @@ fn build_halves_parallel(graph: &LabeledGraph, threads: usize) -> (Vec<u32>, Vec
                 break;
             }
             if task == 0 {
-                let view = GraphView::new(graph);
+                // View-free δ: `label_core_decomposition_direct` peels the
+                // snapshot as-is, so the worker no longer pays the
+                // O(|V| + |E|) `GraphView::new` alive/degree setup that the
+                // χ half never needed (ROADMAP carried item).
                 *coreness_slot.lock().unwrap() =
-                    Some(bcc_cohesion::label_core_decomposition(&view));
+                    Some(bcc_cohesion::label_core_decomposition_direct(graph));
             } else {
                 let idx = task - 1;
                 let slice =

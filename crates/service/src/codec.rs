@@ -1,0 +1,283 @@
+//! Wire codecs: how request and response payloads are framed on a byte
+//! stream.
+//!
+//! Payloads themselves are transport-agnostic — request lines in on one
+//! side, one-line JSON out on the other — and identical across codecs; a
+//! codec only decides where one payload ends and the next begins:
+//!
+//! * [`LineCodec`] — newline-delimited UTF-8, the historical `bcc serve`
+//!   protocol, byte-identical to the pre-refactor loop.
+//! * [`BinaryCodec`] — a 4-byte big-endian payload length followed by the
+//!   payload bytes, capped at [`MAX_FRAME_LEN`] (16 MiB). Violations are
+//!   [`CodecError::Protocol`] errors: the session answers with a structured
+//!   error line and closes the connection.
+//!
+//! The codec is negotiated from the **first byte** of the stream and fixed
+//! for the connection's lifetime: a binary frame opens with the high byte
+//! of its length, which the 16 MiB cap confines to `0x00` or `0x01` — two
+//! bytes no text protocol line ever starts with (they are ASCII control
+//! characters, and line one would have to *begin* with one).
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum binary-frame payload length: 16 MiB.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Which framing a stream speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Newline-delimited UTF-8 payloads.
+    Lines,
+    /// 4-byte big-endian length prefix + payload.
+    Binary,
+}
+
+impl CodecKind {
+    /// Selects the codec from the first byte of a stream. `0x00`/`0x01`
+    /// can only open a valid (cap-respecting) binary frame; anything else
+    /// is text.
+    pub fn negotiate(first_byte: u8) -> CodecKind {
+        if first_byte <= 0x01 {
+            CodecKind::Binary
+        } else {
+            CodecKind::Lines
+        }
+    }
+
+    /// Human-readable name (logs, stats).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodecKind::Lines => "lines",
+            CodecKind::Binary => "binary",
+        }
+    }
+}
+
+/// Why a codec read failed.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying stream failed (disconnect, reset, ...).
+    Io(io::Error),
+    /// The peer violated the framing protocol (oversized frame, truncated
+    /// frame, non-UTF-8 payload). The session reports a structured error
+    /// and closes the connection.
+    Protocol(String),
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// One framing discipline. Stateless — both implementations are zero-sized
+/// — but the trait keeps the session generic over framing.
+pub trait Codec: Send {
+    /// The framing this codec implements.
+    fn kind(&self) -> CodecKind;
+
+    /// Reads the next request payload. `Ok(None)` is clean end-of-stream
+    /// (EOF at a payload boundary); EOF mid-frame is a protocol error.
+    /// On success also returns the wire bytes consumed (payload + framing).
+    fn read_request(
+        &self,
+        reader: &mut dyn BufRead,
+    ) -> Result<Option<(String, u64)>, CodecError>;
+
+    /// Writes one response payload, returning the wire bytes written.
+    fn write_response(&self, writer: &mut dyn Write, payload: &str) -> io::Result<u64>;
+}
+
+/// Newline-delimited framing (the historical protocol). Requests may end in
+/// `\n` or `\r\n`; responses always end in `\n`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LineCodec;
+
+impl Codec for LineCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lines
+    }
+
+    fn read_request(
+        &self,
+        reader: &mut dyn BufRead,
+    ) -> Result<Option<(String, u64)>, CodecError> {
+        let mut line = String::new();
+        let read = reader.read_line(&mut line)?;
+        if read == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some((line, read as u64)))
+    }
+
+    fn write_response(&self, writer: &mut dyn Write, payload: &str) -> io::Result<u64> {
+        writer.write_all(payload.as_bytes())?;
+        writer.write_all(b"\n")?;
+        Ok(payload.len() as u64 + 1)
+    }
+}
+
+/// Length-prefixed binary framing: 4-byte big-endian payload length, then
+/// the payload, per direction. Payloads above [`MAX_FRAME_LEN`] are
+/// protocol errors.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BinaryCodec;
+
+impl BinaryCodec {
+    /// Encodes one payload as a standalone frame (client helper; the tests
+    /// and the load bench speak the protocol through this).
+    pub fn encode_frame(payload: &str) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload.as_bytes());
+        frame
+    }
+}
+
+impl Codec for BinaryCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Binary
+    }
+
+    fn read_request(
+        &self,
+        reader: &mut dyn BufRead,
+    ) -> Result<Option<(String, u64)>, CodecError> {
+        // EOF before any prefix byte is a clean end-of-stream; EOF after a
+        // partial prefix or mid-payload means the peer died mid-frame. The
+        // two must be told apart *before* `read_exact` — its buffer is
+        // unspecified on failure — so probe for buffered/readable data first.
+        if reader.fill_buf()?.is_empty() {
+            return Ok(None);
+        }
+        let mut prefix = [0u8; 4];
+        reader.read_exact(&mut prefix).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                CodecError::Protocol("stream ended inside a frame length prefix".into())
+            } else {
+                CodecError::Io(e)
+            }
+        })?;
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Protocol(format!(
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                CodecError::Protocol(format!(
+                    "stream ended inside a {len}-byte frame payload"
+                ))
+            } else {
+                CodecError::Io(e)
+            }
+        })?;
+        let payload = String::from_utf8(payload).map_err(|_| {
+            CodecError::Protocol("frame payload is not valid UTF-8".into())
+        })?;
+        Ok(Some((payload, 4 + len as u64)))
+    }
+
+    fn write_response(&self, writer: &mut dyn Write, payload: &str) -> io::Result<u64> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "response payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap",
+                    payload.len()
+                ),
+            ));
+        }
+        writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+        writer.write_all(payload.as_bytes())?;
+        Ok(4 + payload.len() as u64)
+    }
+}
+
+/// The codec selected by [`CodecKind::negotiate`], as a trait object.
+pub fn codec_for(kind: CodecKind) -> Box<dyn Codec> {
+    match kind {
+        CodecKind::Lines => Box::new(LineCodec),
+        CodecKind::Binary => Box::new(BinaryCodec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_is_by_first_byte() {
+        assert_eq!(CodecKind::negotiate(0x00), CodecKind::Binary);
+        assert_eq!(CodecKind::negotiate(0x01), CodecKind::Binary);
+        for b in [0x02u8, b'\t', b' ', b'#', b's', b'q', 0xff] {
+            assert_eq!(CodecKind::negotiate(b), CodecKind::Lines, "byte {b:#04x}");
+        }
+    }
+
+    #[test]
+    fn line_codec_round_trip_and_crlf() {
+        let codec = LineCodec;
+        let mut out = Vec::new();
+        let wrote = codec.write_response(&mut out, "{\"ok\":true}").unwrap();
+        assert_eq!(out, b"{\"ok\":true}\n");
+        assert_eq!(wrote, out.len() as u64);
+
+        let mut input: &[u8] = b"search ql=a qr=b\r\nquit\n";
+        let (first, n1) = codec.read_request(&mut input).unwrap().unwrap();
+        assert_eq!(first, "search ql=a qr=b");
+        assert_eq!(n1, 18);
+        let (second, _) = codec.read_request(&mut input).unwrap().unwrap();
+        assert_eq!(second, "quit");
+        assert!(codec.read_request(&mut input).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn binary_codec_round_trip() {
+        let codec = BinaryCodec;
+        let mut wire = Vec::new();
+        let wrote = codec.write_response(&mut wire, "hello").unwrap();
+        assert_eq!(wrote, 9);
+        assert_eq!(&wire[..4], &[0, 0, 0, 5]);
+        let mut stream: &[u8] = &wire;
+        let (payload, read) = codec.read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(payload, "hello");
+        assert_eq!(read, 9);
+        assert!(codec.read_request(&mut stream).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn binary_codec_rejects_oversized_and_truncated() {
+        let codec = BinaryCodec;
+        // Length prefix over the cap: protocol error before any payload read.
+        let over = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
+        let mut stream: &[u8] = &over;
+        assert!(matches!(
+            codec.read_request(&mut stream),
+            Err(CodecError::Protocol(m)) if m.contains("cap")
+        ));
+        // Truncated prefix.
+        let mut stream: &[u8] = &[0x00, 0x00];
+        assert!(matches!(
+            codec.read_request(&mut stream),
+            Err(CodecError::Protocol(m)) if m.contains("length prefix")
+        ));
+        // Truncated payload.
+        let mut stream: &[u8] = &[0x00, 0x00, 0x00, 0x05, b'h', b'i'];
+        assert!(matches!(
+            codec.read_request(&mut stream),
+            Err(CodecError::Protocol(m)) if m.contains("payload")
+        ));
+        // Non-UTF-8 payload.
+        let mut stream: &[u8] = &[0x00, 0x00, 0x00, 0x02, 0xff, 0xfe];
+        assert!(matches!(
+            codec.read_request(&mut stream),
+            Err(CodecError::Protocol(m)) if m.contains("UTF-8")
+        ));
+    }
+}

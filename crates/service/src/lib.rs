@@ -54,21 +54,29 @@
 //! ```
 
 pub mod cache;
+pub mod codec;
 pub mod pool;
 pub mod registry;
 pub mod request;
 pub mod response;
+pub mod server;
 pub mod service;
+pub mod session;
 
 pub use cache::{CacheCounters, LruCache};
+pub use codec::{codec_for, BinaryCodec, Codec, CodecError, CodecKind, LineCodec, MAX_FRAME_LEN};
 pub use pool::{default_workers, Ticket, WaitError, WorkerPool};
 pub use registry::{BuiltIndex, CommitOutcome, GraphEntry, GraphRegistry};
 pub use request::{
-    parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, QueryKind,
-    QueryRequest, RequestError,
+    parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, Priority,
+    QueryKind, QueryRequest, RequestError,
 };
 pub use response::{CommitSummary, MutateOutcome, MutateResponse, QueryOutcome, QueryResponse};
-pub use service::{BccService, LineOutcome, Pending, ServiceConfig, ServiceStats};
+pub use server::{Admission, AdmissionPermit, AdmitError, Server, ServerConfig, ServerHandle};
+pub use service::{
+    BccService, LineOutcome, Pending, ServiceConfig, ServiceStats, TransportCounters,
+};
+pub use session::{session_error_json, SeqPolicy, Session, SessionConfig, SessionEnd};
 
 /// Compile-time audit that every type the worker pool shares across threads
 /// is `Send + Sync`: the graph snapshot, the index, the searchers, and the
@@ -93,5 +101,7 @@ mod send_sync_audit {
         assert_send_sync::<crate::WorkerPool>();
         assert_send_sync::<crate::BccService>();
         assert_send_sync::<crate::QueryResponse>();
+        assert_send_sync::<crate::TransportCounters>();
+        assert_send_sync::<crate::Admission>();
     }
 }

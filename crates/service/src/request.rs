@@ -5,14 +5,17 @@
 //! ```text
 //! search  ql=<name|id> qr=<name|id> [k1=N] [k2=N] [b=N]
 //!         [method=online|lp|l2p] [graph=NAME] [timeout_ms=N]
+//!         [priority=low|normal|high]
 //! msearch q=<name|id>,<name|id>[,...] [k=N] [b=N]
 //!         [method=online|lp|l2p] [graph=NAME] [timeout_ms=N]
+//!         [priority=low|normal|high]
 //! add_edge    u=<name|id> v=<name|id> [graph=NAME]
 //! remove_edge u=<name|id> v=<name|id> [graph=NAME]
 //! commit  [graph=NAME]
 //! stats
 //! graphs
 //! quit
+//! shutdown
 //! ```
 //!
 //! `add_edge`/`remove_edge` *stage* validated edge changes against a named
@@ -73,6 +76,44 @@ impl Method {
     }
 }
 
+/// Admission priority of a request. Priorities only matter where requests
+/// compete for execution — the TCP front-end's admission queue dispatches
+/// higher priorities first (fairness and FIFO break ties). The sequential
+/// `serve`/`batch` paths accept the key and ignore it, so a line's output
+/// bytes never depend on its priority.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Dispatched only when nothing more urgent waits.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Dispatched ahead of normal/low traffic.
+    High,
+}
+
+impl Priority {
+    /// Protocol token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Priority, RequestError> {
+        match token {
+            "low" => Ok(Priority::Low),
+            "normal" => Ok(Priority::Normal),
+            "high" => Ok(Priority::High),
+            other => Err(RequestError::parse(format!(
+                "unknown priority `{other}` (expected low|normal|high)"
+            ))),
+        }
+    }
+}
+
 /// A parsed query request: the two-label pair form or the m-label form.
 /// Vertex tokens stay unresolved strings — resolution needs the graph and
 /// happens in the service.
@@ -86,6 +127,8 @@ pub struct QueryRequest {
     pub method: Method,
     /// Per-request deadline in milliseconds.
     pub timeout_ms: Option<u64>,
+    /// Admission priority (TCP front-end only; see [`Priority`]).
+    pub priority: Priority,
 }
 
 /// The query shape.
@@ -169,8 +212,13 @@ pub enum ParsedLine {
     Stats,
     /// `graphs` — list registry keys.
     Graphs,
-    /// `quit` — end the session.
+    /// `quit` — end the session. Over TCP this closes only the issuing
+    /// connection; in `bcc serve` (one stdin session) it ends the process.
     Quit,
+    /// `shutdown` — stop serving entirely. The TCP server closes every
+    /// session and stops accepting; in `bcc serve`/`bcc batch` there is
+    /// only one session, so it degenerates to [`ParsedLine::Quit`].
+    Shutdown,
     /// Blank line or comment — produce no output.
     Empty,
 }
@@ -256,6 +304,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, RequestError> {
         "stats" => expect_bare(verb, &rest, ParsedLine::Stats),
         "graphs" => expect_bare(verb, &rest, ParsedLine::Graphs),
         "quit" | "exit" => expect_bare(verb, &rest, ParsedLine::Quit),
+        "shutdown" => expect_bare(verb, &rest, ParsedLine::Shutdown),
         "search" => parse_search(&rest).map(ParsedLine::Request),
         "msearch" => parse_msearch(&rest).map(ParsedLine::Request),
         "add_edge" => parse_edge_mutation(&rest, true).map(ParsedLine::Mutate),
@@ -263,7 +312,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, RequestError> {
         "commit" => parse_commit(&rest).map(ParsedLine::Mutate),
         other => Err(RequestError::parse(format!(
             "unknown verb `{other}` (expected search|msearch|add_edge|remove_edge|commit|\
-             stats|graphs|quit)"
+             stats|graphs|quit|shutdown)"
         ))),
     }
 }
@@ -331,14 +380,18 @@ impl<'a> KeyValues<'a> {
 
 fn take_common(
     kv: &mut KeyValues<'_>,
-) -> Result<(Option<String>, Method, Option<u64>), RequestError> {
+) -> Result<(Option<String>, Method, Option<u64>, Priority), RequestError> {
     let graph = kv.take("graph").map(str::to_owned);
     let method = match kv.take("method") {
         Some(token) => Method::parse(token)?,
         None => Method::Lp,
     };
     let timeout_ms = kv.take_num::<u64>("timeout_ms")?;
-    Ok((graph, method, timeout_ms))
+    let priority = match kv.take("priority") {
+        Some(token) => Priority::parse(token)?,
+        None => Priority::Normal,
+    };
+    Ok((graph, method, timeout_ms, priority))
 }
 
 fn parse_search(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
@@ -354,13 +407,14 @@ fn parse_search(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
     let k1 = kv.take_num::<u32>("k1")?;
     let k2 = kv.take_num::<u32>("k2")?;
     let b = kv.take_num::<u64>("b")?;
-    let (graph, method, timeout_ms) = take_common(&mut kv)?;
+    let (graph, method, timeout_ms, priority) = take_common(&mut kv)?;
     kv.finish()?;
     Ok(QueryRequest {
         graph,
         kind: QueryKind::Pair { ql, qr, k1, k2, b },
         method,
         timeout_ms,
+        priority,
     })
 }
 
@@ -409,13 +463,14 @@ fn parse_msearch(tokens: &[&str]) -> Result<QueryRequest, RequestError> {
     }
     let k = kv.take_num::<u32>("k")?;
     let b = kv.take_num::<u64>("b")?;
-    let (graph, method, timeout_ms) = take_common(&mut kv)?;
+    let (graph, method, timeout_ms, priority) = take_common(&mut kv)?;
     kv.finish()?;
     Ok(QueryRequest {
         graph,
         kind: QueryKind::Multi { qs, k, b },
         method,
         timeout_ms,
+        priority,
     })
 }
 
@@ -580,9 +635,34 @@ mod tests {
         assert_eq!(parse_line("graphs").unwrap(), ParsedLine::Graphs);
         assert_eq!(parse_line("quit").unwrap(), ParsedLine::Quit);
         assert_eq!(parse_line("exit").unwrap(), ParsedLine::Quit);
+        assert_eq!(parse_line("shutdown").unwrap(), ParsedLine::Shutdown);
         assert_eq!(parse_line("").unwrap(), ParsedLine::Empty);
         assert_eq!(parse_line("   ").unwrap(), ParsedLine::Empty);
         assert_eq!(parse_line("# a comment").unwrap(), ParsedLine::Empty);
+    }
+
+    #[test]
+    fn parses_priority() {
+        let ParsedLine::Request(req) = parse_line("search ql=a qr=b").unwrap() else {
+            panic!()
+        };
+        assert_eq!(req.priority, Priority::Normal);
+        let ParsedLine::Request(req) =
+            parse_line("search ql=a qr=b priority=high").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(req.priority, Priority::High);
+        let ParsedLine::Request(req) = parse_line("msearch q=a,b priority=low").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(req.priority, Priority::Low);
+        assert!(Priority::High > Priority::Normal && Priority::Normal > Priority::Low);
+        let err = parse_line("search ql=a qr=b priority=urgent").unwrap_err();
+        assert!(err.message.contains("unknown priority"), "{}", err.message);
+        let err = parse_line("shutdown now").unwrap_err();
+        assert!(err.message.contains("takes no arguments"), "{}", err.message);
     }
 
     #[test]

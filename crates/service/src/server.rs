@@ -1,0 +1,536 @@
+//! The TCP front-end: accept loop, connection limit, and the admission
+//! controller that stands between sessions and the worker pool.
+//!
+//! One OS thread per connection runs a [`Session`]; the accept loop bounds
+//! how many exist at once (`max_connections`), turning extras away with a
+//! structured `overloaded` error. Inside the connection limit, the
+//! [`Admission`] gate bounds how many requests may *wait* for the worker
+//! pool (`queue_depth`) and how many may occupy it (`concurrency`):
+//!
+//! * a request arriving to a full wait queue is rejected immediately with
+//!   `{"ok":false,...,"error":{"kind":"overloaded",...}}` — the client
+//!   always gets an answer, never a silent drop or an unbounded stall;
+//! * waiting requests dispatch by **priority** first (`priority=high`
+//!   before `normal` before `low`), then **per-session fairness** (the
+//!   session served least often goes first, so one chatty client cannot
+//!   starve the rest), then FIFO;
+//! * a request whose deadline expires while queued gets the standard
+//!   structured `timeout` error without ever touching the pool — the
+//!   admission queue honors the same `timeout_ms` the executor does.
+//!
+//! `shutdown` from any session closes every session, stops the accept
+//! loop, and joins all threads — [`ServerHandle::join`] returns only when
+//! nothing is left running.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::codec::{Codec, LineCodec};
+use crate::request::Priority;
+use crate::session::{session_error_json, Session, SessionConfig, SessionEnd};
+use crate::service::{BccService, TransportCounters};
+
+/// Tunables for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrent connections; extras are rejected with a
+    /// structured `overloaded` error (newline-framed: rejection happens
+    /// before the first byte arrives, so no codec was negotiated).
+    pub max_connections: usize,
+    /// Maximum requests waiting in the admission queue (beyond those
+    /// executing); an arrival past this bound is rejected immediately.
+    pub queue_depth: usize,
+    /// Requests allowed to occupy the worker pool at once (0 ⇒ the pool's
+    /// worker count).
+    pub concurrency: usize,
+    /// Deadline inherited by requests that carry no `timeout_ms`
+    /// (`None` ⇒ the service default applies).
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            queue_depth: 128,
+            concurrency: 0,
+            default_timeout_ms: None,
+        }
+    }
+}
+
+/// Why [`Admission::admit`] refused a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The wait queue is full; the message describes the limit.
+    Overloaded(String),
+    /// The request's deadline expired while it waited.
+    DeadlineExpired,
+}
+
+/// One queued request.
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    ticket: u64,
+    session: u64,
+    priority: Priority,
+}
+
+#[derive(Default)]
+struct AdmState {
+    in_flight: usize,
+    waiting: Vec<Waiter>,
+    next_ticket: u64,
+    /// Requests dispatched per session — the fairness key.
+    served: HashMap<u64, u64>,
+}
+
+/// The admission controller: a bounded, priority- and fairness-ordered
+/// wait queue in front of the worker pool. Sessions block in
+/// [`Admission::admit`]; the returned permit occupies one execution slot
+/// until dropped.
+pub struct Admission {
+    concurrency: usize,
+    queue_depth: usize,
+    transport: Arc<TransportCounters>,
+    state: Mutex<AdmState>,
+    available: Condvar,
+}
+
+/// Holds one admission slot; dropping it releases the slot and wakes
+/// waiters.
+pub struct AdmissionPermit<'a> {
+    admission: &'a Admission,
+}
+
+impl std::fmt::Debug for AdmissionPermit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AdmissionPermit")
+    }
+}
+
+impl Admission {
+    /// A gate allowing `concurrency` concurrent executions and
+    /// `queue_depth` waiters, counting into `transport`.
+    pub fn new(
+        concurrency: usize,
+        queue_depth: usize,
+        transport: Arc<TransportCounters>,
+    ) -> Self {
+        Admission {
+            concurrency: concurrency.max(1),
+            queue_depth,
+            transport,
+            state: Mutex::new(AdmState::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admits one request for `session`, blocking until a slot is free and
+    /// this request is the best-entitled waiter (priority, then least-served
+    /// session, then FIFO). Fails fast with [`AdmitError::Overloaded`] when
+    /// the wait queue is full, and with [`AdmitError::DeadlineExpired`] if
+    /// `deadline` passes while queued.
+    pub fn admit(
+        &self,
+        session: u64,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<AdmissionPermit<'_>, AdmitError> {
+        let mut state = self.state.lock().unwrap();
+        if state.in_flight < self.concurrency && state.waiting.is_empty() {
+            return Ok(self.dispatch(&mut state, session));
+        }
+        if state.waiting.len() >= self.queue_depth {
+            self.transport.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmitError::Overloaded(format!(
+                "admission queue full ({} executing, {} waiting, queue depth {})",
+                state.in_flight,
+                state.waiting.len(),
+                self.queue_depth
+            )));
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.waiting.push(Waiter { ticket, session, priority });
+        loop {
+            if state.in_flight < self.concurrency && self.best(&state) == Some(ticket) {
+                let idx = state
+                    .waiting
+                    .iter()
+                    .position(|w| w.ticket == ticket)
+                    .expect("own ticket is queued");
+                state.waiting.swap_remove(idx);
+                let permit = self.dispatch(&mut state, session);
+                // More slots may be free — let the next-best waiter check.
+                self.available.notify_all();
+                return Ok(permit);
+            }
+            state = match deadline {
+                None => self.available.wait(state).unwrap(),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        let idx = state
+                            .waiting
+                            .iter()
+                            .position(|w| w.ticket == ticket)
+                            .expect("own ticket is queued");
+                        state.waiting.swap_remove(idx);
+                        self.transport
+                            .admission_timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(state);
+                        // The freed queue slot may unblock an arrival path
+                        // decision; waiters re-evaluate harmlessly.
+                        self.available.notify_all();
+                        return Err(AdmitError::DeadlineExpired);
+                    }
+                    self.available.wait_timeout(state, deadline - now).unwrap().0
+                }
+            };
+        }
+    }
+
+    /// Occupies a slot for `session` (state lock held).
+    fn dispatch<'a>(&'a self, state: &mut AdmState, session: u64) -> AdmissionPermit<'a> {
+        state.in_flight += 1;
+        *state.served.entry(session).or_insert(0) += 1;
+        self.transport.admitted.fetch_add(1, Ordering::Relaxed);
+        AdmissionPermit { admission: self }
+    }
+
+    /// The ticket entitled to the next free slot: highest priority, then
+    /// the session dispatched least often, then lowest ticket (FIFO).
+    fn best(&self, state: &AdmState) -> Option<u64> {
+        state
+            .waiting
+            .iter()
+            .min_by_key(|w| {
+                (
+                    std::cmp::Reverse(w.priority),
+                    state.served.get(&w.session).copied().unwrap_or(0),
+                    w.ticket,
+                )
+            })
+            .map(|w| w.ticket)
+    }
+
+    /// Snapshot of (executing, waiting) — for tests and the load bench.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap();
+        (state.in_flight, state.waiting.len())
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.admission.state.lock().unwrap();
+        state.in_flight -= 1;
+        drop(state);
+        self.admission.available.notify_all();
+    }
+}
+
+/// Everything the accept loop, session threads, and [`ServerHandle`] share.
+struct Shared {
+    service: Arc<BccService>,
+    config: ServerConfig,
+    admission: Admission,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    /// Live session sockets, keyed by session id — `shutdown` closes them
+    /// all (each session thread then unblocks out of its read).
+    live: Mutex<HashMap<u64, TcpStream>>,
+    session_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Flips the shutdown flag once: closes every live session socket and
+    /// wakes the accept loop with a throwaway self-connection.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for stream in self.live.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running TCP server. Obtained from [`Server::bind`]; dropping the
+/// handle does **not** stop the server — call [`ServerHandle::shutdown`]
+/// (or send a `shutdown` line) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// The TCP front-end constructor (see the module docs).
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:4000`; port 0 picks a free port) and
+    /// starts accepting. Each accepted connection gets a session thread;
+    /// queries admission-gate onto the service's worker pool.
+    pub fn bind<A: ToSocketAddrs>(
+        service: Arc<BccService>,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let concurrency = if config.concurrency == 0 {
+            service.workers()
+        } else {
+            config.concurrency
+        };
+        let admission =
+            Admission::new(concurrency, config.queue_depth, Arc::clone(service.transport()));
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            admission,
+            addr,
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(0),
+            live: Mutex::new(HashMap::new()),
+            session_threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("bcc-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle { shared, accept_thread: Some(accept_thread) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The admission gate (tests and the load bench occupy slots directly
+    /// to provoke deterministic overload).
+    pub fn admission(&self) -> &Admission {
+        &self.shared.admission
+    }
+
+    /// Initiates shutdown: stop accepting, close every session.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has fully stopped — the accept loop exited
+    /// and every session thread was joined. (Returns immediately only
+    /// after [`ServerHandle::shutdown`] or a client's `shutdown` line;
+    /// otherwise this is "serve forever".)
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let threads = std::mem::take(&mut *self.shared.session_threads.lock().unwrap());
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The accept loop: enforce the connection limit, spawn session threads.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let transport = Arc::clone(shared.service.transport());
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let active = transport.active_sessions.load(Ordering::Relaxed);
+        if active >= shared.config.max_connections as u64 {
+            transport.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            reject_connection(stream, active, shared.config.max_connections);
+            continue;
+        }
+        transport.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        transport.active_sessions.fetch_add(1, Ordering::Relaxed);
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        if let Ok(registered) = stream.try_clone() {
+            shared.live.lock().unwrap().insert(id, registered);
+        }
+        let session_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("bcc-session-{id}"))
+            .spawn(move || session_thread(session_shared, id, stream));
+        match spawned {
+            Ok(handle) => shared.session_threads.lock().unwrap().push(handle),
+            Err(_) => {
+                // Spawn failure: undo the bookkeeping; the stream drops.
+                shared.live.lock().unwrap().remove(&id);
+                transport.active_sessions.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Best-effort structured rejection of an over-limit connection. The codec
+/// is negotiated from bytes the server has not read yet, so rejections are
+/// always newline-framed.
+fn reject_connection(mut stream: TcpStream, active: u64, limit: usize) {
+    let line = session_error_json(
+        None,
+        "overloaded",
+        &format!("connection limit reached ({active} active, limit {limit})"),
+    );
+    let _ = LineCodec.write_response(&mut stream, &line);
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One connection's thread: run the session, then tear down bookkeeping
+/// and propagate `shutdown` to the whole server.
+fn session_thread(shared: Arc<Shared>, id: u64, stream: TcpStream) {
+    // One request-response per round trip: without TCP_NODELAY, Nagle
+    // holds each small response hostage to the peer's delayed ACK
+    // (~40 ms per round trip on loopback).
+    let _ = stream.set_nodelay(true);
+    let end = match stream.try_clone() {
+        Ok(read_half) => {
+            let mut session = Session::for_connection(
+                &shared.service,
+                SessionConfig {
+                    id,
+                    default_graph: None,
+                    default_timeout_ms: shared.config.default_timeout_ms,
+                },
+            )
+            .with_gate(&shared.admission);
+            // BufWriter turns a codec's prefix + payload + newline writes
+            // into one packet; `Session::emit` flushes per response.
+            session.run(BufReader::new(read_half), io::BufWriter::new(&stream))
+        }
+        Err(e) => Err(e),
+    };
+    shared.live.lock().unwrap().remove(&id);
+    shared
+        .service
+        .transport()
+        .active_sessions
+        .fetch_sub(1, Ordering::Relaxed);
+    let _ = stream.shutdown(Shutdown::Both);
+    if matches!(end, Ok(SessionEnd::Shutdown)) {
+        shared.begin_shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn gate(concurrency: usize, depth: usize) -> Admission {
+        Admission::new(concurrency, depth, Arc::new(TransportCounters::default()))
+    }
+
+    #[test]
+    fn admits_up_to_concurrency_then_queues_then_rejects() {
+        let adm = gate(2, 1);
+        let first = adm.admit(0, Priority::Normal, None).unwrap();
+        let _second = adm.admit(1, Priority::Normal, None).unwrap();
+        assert_eq!(adm.load(), (2, 0));
+        // Third must wait; occupy the single queue slot from a thread.
+        std::thread::scope(|s| {
+            let (enqueued_tx, enqueued_rx) = mpsc::channel();
+            let adm = &adm;
+            s.spawn(move || {
+                // Deadline long enough to outlive the test, short enough to
+                // unblock it if notification logic is broken.
+                let deadline = Instant::now() + std::time::Duration::from_secs(5);
+                enqueued_tx.send(()).unwrap();
+                let permit = adm.admit(2, Priority::Normal, Some(deadline));
+                assert!(permit.is_ok(), "queued request dispatches once a slot frees");
+            });
+            enqueued_rx.recv().unwrap();
+            // Busy-wait until the spawned request is actually queued.
+            while adm.load().1 != 1 {
+                std::thread::yield_now();
+            }
+            // Queue full: an arrival is rejected immediately.
+            let err = adm.admit(3, Priority::Normal, None).unwrap_err();
+            assert!(matches!(err, AdmitError::Overloaded(ref m) if m.contains("queue")));
+            drop(first); // frees a slot → the queued request dispatches
+        });
+        assert_eq!(adm.transport.rejected_overloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(adm.transport.admitted.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn queued_deadline_expires_without_dispatch() {
+        let adm = gate(1, 4);
+        let permit = adm.admit(0, Priority::Normal, None).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_millis(30);
+        let err = adm.admit(1, Priority::Normal, Some(deadline)).unwrap_err();
+        assert_eq!(err, AdmitError::DeadlineExpired);
+        assert_eq!(adm.load(), (1, 0), "expired waiter left the queue");
+        assert_eq!(adm.transport.admission_timeouts.load(Ordering::Relaxed), 1);
+        drop(permit);
+    }
+
+    #[test]
+    fn priority_outranks_fifo_and_fairness_outranks_chattiness() {
+        // Serve session 7 twice so its served count is high, then queue:
+        // low(7), high(7), normal(9) — dispatch order must be
+        // high(7) [priority wins], normal(9) [fairness: 9 served less],
+        // low(7).
+        let adm = gate(1, 8);
+        for _ in 0..2 {
+            drop(adm.admit(7, Priority::Normal, None).unwrap());
+        }
+        let blocker = adm.admit(0, Priority::Normal, None).unwrap();
+        let adm = &adm;
+        let (order_tx, order_rx) = mpsc::channel::<&'static str>();
+        std::thread::scope(|s| {
+            let spawn_waiter = |tag: &'static str, session: u64, priority: Priority| {
+                let tx = order_tx.clone();
+                s.spawn(move || {
+                    let permit = adm.admit(session, priority, None).unwrap();
+                    tx.send(tag).unwrap();
+                    // Hold briefly so dispatches serialize observably.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    drop(permit);
+                });
+            };
+            spawn_waiter("low7", 7, Priority::Low);
+            while adm.load().1 != 1 {
+                std::thread::yield_now();
+            }
+            spawn_waiter("high7", 7, Priority::High);
+            while adm.load().1 != 2 {
+                std::thread::yield_now();
+            }
+            spawn_waiter("normal9", 9, Priority::Normal);
+            while adm.load().1 != 3 {
+                std::thread::yield_now();
+            }
+            drop(blocker);
+            let first = order_rx.recv().unwrap();
+            let second = order_rx.recv().unwrap();
+            let third = order_rx.recv().unwrap();
+            assert_eq!(
+                (first, second, third),
+                ("high7", "normal9", "low7"),
+                "dispatch order: priority, then least-served session, then FIFO"
+            );
+        });
+    }
+}

@@ -101,6 +101,22 @@ pub struct ServiceStats {
     pub graphs: Vec<String>,
     /// Wall time summed over executed searches.
     pub total_search_time: Duration,
+    /// TCP connections accepted into a session.
+    pub connections_accepted: u64,
+    /// TCP connections turned away at the connection limit.
+    pub connections_rejected: u64,
+    /// Sessions currently open (a gauge, not a counter).
+    pub active_sessions: u64,
+    /// Requests the admission controller dispatched to the pool.
+    pub admitted: u64,
+    /// Requests rejected with a structured `overloaded` error (queue full).
+    pub rejected_overloaded: u64,
+    /// Requests whose deadline expired while waiting in the admission queue.
+    pub admission_timeouts: u64,
+    /// Request bytes read off sessions (payload + framing).
+    pub bytes_in: u64,
+    /// Response bytes written to sessions (payload + framing).
+    pub bytes_out: u64,
 }
 
 impl ServiceStats {
@@ -119,6 +135,9 @@ impl ServiceStats {
              \"resolve_errors\":{},\"search_errors\":{},\"mutations_staged\":{},\
              \"commits\":{},\"mutate_errors\":{},\"cache_invalidated\":{},\
              \"cache_retained\":{},\"workers\":{},\
+             \"connections_accepted\":{},\"connections_rejected\":{},\
+             \"active_sessions\":{},\"admitted\":{},\"rejected_overloaded\":{},\
+             \"admission_timeouts\":{},\"bytes_in\":{},\"bytes_out\":{},\
              \"graphs\":[{}],\"total_search_time_us\":{}}}",
             self.requests,
             self.searches_executed,
@@ -136,10 +155,43 @@ impl ServiceStats {
             self.cache_invalidated,
             self.cache_retained,
             self.workers,
+            self.connections_accepted,
+            self.connections_rejected,
+            self.active_sessions,
+            self.admitted,
+            self.rejected_overloaded,
+            self.admission_timeouts,
+            self.bytes_in,
+            self.bytes_out,
             graphs,
             self.total_search_time.as_micros(),
         )
     }
+}
+
+/// Transport-layer counters, shared by atomics: the TCP server, the
+/// admission controller, and every session increment them lock-free, and
+/// [`BccService::stats`] folds a snapshot into [`ServiceStats`]. A service
+/// with no server attached reports zeros.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    /// Connections accepted into a session.
+    pub connections_accepted: AtomicU64,
+    /// Connections turned away at the connection limit.
+    pub connections_rejected: AtomicU64,
+    /// Open sessions (gauge: incremented on session start, decremented on
+    /// teardown).
+    pub active_sessions: AtomicU64,
+    /// Requests dispatched through the admission gate.
+    pub admitted: AtomicU64,
+    /// Requests rejected with the structured `overloaded` error.
+    pub rejected_overloaded: AtomicU64,
+    /// Requests whose deadline expired in the admission queue.
+    pub admission_timeouts: AtomicU64,
+    /// Bytes read off sessions (payload + framing).
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sessions (payload + framing).
+    pub bytes_out: AtomicU64,
 }
 
 #[derive(Default)]
@@ -203,6 +255,7 @@ pub struct BccService {
     pool: WorkerPool,
     cache: SharedCache,
     counters: Arc<Mutex<Counters>>,
+    transport: Arc<TransportCounters>,
     seq: AtomicU64,
 }
 
@@ -218,6 +271,7 @@ impl BccService {
             pool,
             cache,
             counters: Arc::new(Mutex::new(Counters::default())),
+            transport: Arc::new(TransportCounters::default()),
             seq: AtomicU64::new(0),
         }
     }
@@ -246,10 +300,17 @@ impl BccService {
         self.pool.workers()
     }
 
+    /// The transport-layer counters (shared with the TCP server and its
+    /// sessions; all zeros when no server is attached).
+    pub fn transport(&self) -> &Arc<TransportCounters> {
+        &self.transport
+    }
+
     /// A consistent stats snapshot.
     pub fn stats(&self) -> ServiceStats {
         let counters = self.counters.lock().unwrap();
         let cache = self.cache.lock().unwrap();
+        let t = &self.transport;
         ServiceStats {
             requests: counters.requests,
             searches_executed: counters.searches_executed,
@@ -267,6 +328,14 @@ impl BccService {
             workers: self.pool.workers(),
             graphs: self.registry.names(),
             total_search_time: counters.total_search_time,
+            connections_accepted: t.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: t.connections_rejected.load(Ordering::Relaxed),
+            active_sessions: t.active_sessions.load(Ordering::Relaxed),
+            admitted: t.admitted.load(Ordering::Relaxed),
+            rejected_overloaded: t.rejected_overloaded.load(Ordering::Relaxed),
+            admission_timeouts: t.admission_timeouts.load(Ordering::Relaxed),
+            bytes_in: t.bytes_in.load(Ordering::Relaxed),
+            bytes_out: t.bytes_out.load(Ordering::Relaxed),
         }
     }
 
@@ -502,22 +571,37 @@ impl BccService {
         (invalidated, retained)
     }
 
-    /// Processes one protocol line into its outcome. Never panics.
+    /// The `graphs` command's JSON line.
+    pub fn graphs_json(&self) -> String {
+        let names = self
+            .registry
+            .names()
+            .iter()
+            .map(|g| json_string(g))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"ok\":true,\"graphs\":[{names}]}}")
+    }
+
+    /// Counts a parse failure and allocates the global sequence number its
+    /// error line carries on the sequential (`serve`) path. The session
+    /// layer calls this for TCP sessions too (the counter), substituting
+    /// its own per-session seq.
+    pub(crate) fn note_parse_error(&self) -> u64 {
+        self.counters.lock().unwrap().parse_errors += 1;
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Processes one protocol line into its outcome. Never panics. A
+    /// `shutdown` line behaves like `quit` here — this path serves exactly
+    /// one session, so "stop serving" and "end the session" coincide; only
+    /// the TCP server distinguishes them (see [`crate::session::Session`]).
     pub fn process_line(&self, line: &str) -> LineOutcome {
         match parse_line(line) {
             Ok(ParsedLine::Empty) => LineOutcome::Silent,
-            Ok(ParsedLine::Quit) => LineOutcome::Quit,
+            Ok(ParsedLine::Quit) | Ok(ParsedLine::Shutdown) => LineOutcome::Quit,
             Ok(ParsedLine::Stats) => LineOutcome::Output(self.stats().to_json()),
-            Ok(ParsedLine::Graphs) => {
-                let names = self
-                    .registry
-                    .names()
-                    .iter()
-                    .map(|g| json_string(g))
-                    .collect::<Vec<_>>()
-                    .join(",");
-                LineOutcome::Output(format!("{{\"ok\":true,\"graphs\":[{names}]}}"))
-            }
+            Ok(ParsedLine::Graphs) => LineOutcome::Output(self.graphs_json()),
             Ok(ParsedLine::Request(request)) => {
                 LineOutcome::Output(self.handle(request).to_json())
             }
@@ -525,8 +609,7 @@ impl BccService {
                 LineOutcome::Output(self.handle_mutate(request).to_json())
             }
             Err(err) => {
-                self.counters.lock().unwrap().parse_errors += 1;
-                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                let seq = self.note_parse_error();
                 LineOutcome::Output(QueryResponse::error(seq, "", Method::Lp, err).to_json())
             }
         }
@@ -534,22 +617,16 @@ impl BccService {
 
     /// Runs a whole session: one response line per request line, until EOF
     /// or `quit`. The `bcc serve` loop (also driven directly by tests).
+    /// Since the codec/session refactor this is a [`crate::session::Session`]
+    /// in [`crate::session::SeqPolicy::Service`] mode — same bytes as the
+    /// historical inline loop, plus first-byte codec negotiation (a binary
+    /// client can speak length-prefixed frames over stdin too).
     pub fn run_session<R: BufRead, W: Write>(
         &self,
         reader: R,
-        mut writer: W,
+        writer: W,
     ) -> std::io::Result<()> {
-        for line in reader.lines() {
-            match self.process_line(&line?) {
-                LineOutcome::Output(out) => {
-                    writeln!(writer, "{out}")?;
-                    writer.flush()?;
-                }
-                LineOutcome::Quit => break,
-                LineOutcome::Silent => {}
-            }
-        }
-        Ok(())
+        crate::session::Session::service_mode(self).run(reader, writer).map(|_| ())
     }
 
     /// Executes a batch of request lines concurrently: every line is
@@ -577,7 +654,7 @@ impl BccService {
         for line in lines {
             match parse_line(line.as_ref()) {
                 Ok(ParsedLine::Empty) => {}
-                Ok(ParsedLine::Quit) => break,
+                Ok(ParsedLine::Quit) | Ok(ParsedLine::Shutdown) => break,
                 Ok(ParsedLine::Stats) => slots.push(Slot::Stats),
                 Ok(ParsedLine::Graphs) => {
                     if let LineOutcome::Output(out) = self.process_line("graphs") {
@@ -1131,6 +1208,7 @@ mod tests {
             },
             method: Method::Lp,
             timeout_ms,
+            priority: crate::request::Priority::Normal,
         };
         let first = service.submit(pair("l0", "r0", None));
         let second = service.submit(pair("l1", "r1", Some(0)));

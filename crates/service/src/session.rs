@@ -1,0 +1,303 @@
+//! Per-connection sessions: one state machine between a byte stream and
+//! the [`BccService`].
+//!
+//! A [`Session`] owns everything connection-scoped: its id, the negotiated
+//! [`Codec`], per-session defaults (graph, deadline inheritance), and the
+//! response sequence numbering. It drives the same line protocol as
+//! `process_line` — the service stays transport-agnostic; only the session
+//! knows where the bytes come from.
+//!
+//! Two sequencing policies cover the two transports:
+//!
+//! * [`SeqPolicy::Service`] — the historical `bcc serve` semantics: global
+//!   service-wide sequence numbers, `shutdown` equals `quit` (there is
+//!   exactly one session). `BccService::run_session` is a session in this
+//!   mode, byte-identical to the pre-refactor loop.
+//! * [`SeqPolicy::PerSession`] — TCP semantics: `seq` is the session-local
+//!   output index, exactly the numbering [`BccService::run_batch`] emits,
+//!   so one client's responses over the wire are byte-identical to running
+//!   its lines as a batch. `quit` ends only this session; `shutdown` asks
+//!   the server to close every session.
+//!
+//! Teardown is graceful by construction: a session executes one request at
+//! a time and waits for its pool ticket inline, so by the time `run`
+//! returns — `quit`, EOF, protocol error, or the server shutting the
+//! socket down — it holds no in-flight tickets.
+
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use crate::codec::{codec_for, Codec, CodecError, CodecKind};
+use crate::request::{parse_line, Method, ParsedLine, QueryRequest, RequestError};
+use crate::response::QueryResponse;
+use crate::server::{Admission, AdmitError};
+use crate::service::{BccService, LineOutcome};
+
+/// How a session numbers its responses (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqPolicy {
+    /// Global service-wide numbering; `shutdown` ≡ `quit` (`bcc serve`).
+    Service,
+    /// Session-local output-index numbering (`run_batch` semantics); the
+    /// TCP transport.
+    PerSession,
+}
+
+/// Why a session ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The peer closed its side at a payload boundary.
+    Eof,
+    /// A `quit` line: close this session only.
+    Quit,
+    /// A `shutdown` line: the caller (the TCP server) should close every
+    /// session and stop accepting.
+    Shutdown,
+    /// The peer violated the framing protocol; a structured error was sent
+    /// and the connection must close.
+    Protocol,
+}
+
+/// Connection-scoped settings for a [`SeqPolicy::PerSession`] session.
+#[derive(Clone, Debug, Default)]
+pub struct SessionConfig {
+    /// Session id (connection counter; used for admission fairness).
+    pub id: u64,
+    /// Default graph for requests naming none (`None` ⇒ the service
+    /// default applies downstream).
+    pub default_graph: Option<String>,
+    /// Deadline inherited by requests carrying no `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+}
+
+/// One connection's state machine. Generic over the byte stream; the codec
+/// is negotiated from the stream's first byte in [`Session::run`].
+pub struct Session<'s> {
+    service: &'s BccService,
+    policy: SeqPolicy,
+    config: SessionConfig,
+    gate: Option<&'s Admission>,
+    /// Responses emitted so far — the next per-session seq.
+    emitted: u64,
+}
+
+/// What one payload produced.
+enum Step {
+    Output(String),
+    Silent,
+    End(SessionEnd),
+}
+
+impl<'s> Session<'s> {
+    /// The `bcc serve` session: global seq, no admission gate.
+    pub fn service_mode(service: &'s BccService) -> Self {
+        Session {
+            service,
+            policy: SeqPolicy::Service,
+            config: SessionConfig::default(),
+            gate: None,
+            emitted: 0,
+        }
+    }
+
+    /// A TCP connection's session.
+    pub fn for_connection(service: &'s BccService, config: SessionConfig) -> Self {
+        Session {
+            service,
+            policy: SeqPolicy::PerSession,
+            config,
+            gate: None,
+            emitted: 0,
+        }
+    }
+
+    /// Routes this session's query dispatches through an admission gate.
+    pub fn with_gate(mut self, gate: &'s Admission) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Runs the session to completion: negotiate the codec off the first
+    /// byte, then one response per request payload until the peer quits,
+    /// disconnects, or breaks the framing protocol. `Err` is an I/O
+    /// failure of the underlying stream (for TCP, a routine disconnect).
+    pub fn run<R: BufRead, W: Write>(
+        &mut self,
+        mut reader: R,
+        mut writer: W,
+    ) -> io::Result<SessionEnd> {
+        let first = loop {
+            match reader.fill_buf() {
+                Ok([]) => return Ok(SessionEnd::Eof),
+                Ok(buf) => break buf[0],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let codec = codec_for(CodecKind::negotiate(first));
+        let transport = self.service.transport();
+        loop {
+            match codec.read_request(&mut reader) {
+                Ok(None) => return Ok(SessionEnd::Eof),
+                Ok(Some((payload, wire_bytes))) => {
+                    transport.bytes_in.fetch_add(wire_bytes, Ordering::Relaxed);
+                    match self.step(&payload) {
+                        Step::Silent => {}
+                        Step::Output(line) => self.emit(&*codec, &mut writer, &line)?,
+                        Step::End(end) => return Ok(end),
+                    }
+                }
+                Err(CodecError::Protocol(message)) => {
+                    // Structured error out (best effort — the peer may
+                    // already be gone), then close: framing violations are
+                    // not recoverable mid-stream.
+                    let line =
+                        session_error_json(Some(self.emitted), "framing", &message);
+                    let _ = self.emit(&*codec, &mut writer, &line);
+                    return Ok(SessionEnd::Protocol);
+                }
+                Err(CodecError::Io(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Processes one request payload.
+    fn step(&mut self, payload: &str) -> Step {
+        if self.policy == SeqPolicy::Service {
+            // Delegate wholesale: `process_line` already implements the
+            // single-session semantics (global seq, shutdown ≡ quit) and
+            // keeps `bcc serve` byte-identical.
+            return match self.service.process_line(payload) {
+                LineOutcome::Output(line) => Step::Output(line),
+                LineOutcome::Quit => Step::End(SessionEnd::Quit),
+                LineOutcome::Silent => Step::Silent,
+            };
+        }
+        match parse_line(payload) {
+            Ok(ParsedLine::Empty) => Step::Silent,
+            Ok(ParsedLine::Quit) => Step::End(SessionEnd::Quit),
+            Ok(ParsedLine::Shutdown) => Step::End(SessionEnd::Shutdown),
+            Ok(ParsedLine::Stats) => Step::Output(self.service.stats().to_json()),
+            Ok(ParsedLine::Graphs) => Step::Output(self.service.graphs_json()),
+            Ok(ParsedLine::Mutate(mut request)) => {
+                if request.graph.is_none() {
+                    request.graph = self.config.default_graph.clone();
+                }
+                Step::Output(self.service.handle_mutate(request).to_json())
+            }
+            Ok(ParsedLine::Request(mut request)) => {
+                if request.graph.is_none() {
+                    request.graph = self.config.default_graph.clone();
+                }
+                if request.timeout_ms.is_none() {
+                    request.timeout_ms = self.config.default_timeout_ms;
+                }
+                Step::Output(self.dispatch_query(request))
+            }
+            Err(err) => {
+                // Count the failure on the service (its global seq is not
+                // used: this session numbers its own outputs).
+                let _ = self.service.note_parse_error();
+                Step::Output(
+                    QueryResponse::error(self.emitted, "", Method::Lp, err).to_json(),
+                )
+            }
+        }
+    }
+
+    /// Runs one query through the admission gate (when attached) and the
+    /// service, with this session's output index as its seq.
+    fn dispatch_query(&self, request: QueryRequest) -> String {
+        let seq = self.emitted;
+        let Some(gate) = self.gate else {
+            let mut response = self.service.handle(request);
+            response.seq = seq;
+            return response.to_json();
+        };
+        let deadline = request
+            .timeout_ms
+            .or(self.service.config().default_timeout_ms)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let method = request.method;
+        match gate.admit(self.config.id, request.priority, deadline) {
+            Ok(_permit) => {
+                // The permit spans the whole submit + wait: the session
+                // occupies one admission slot until its response is ready.
+                let mut response = self.service.handle(request);
+                response.seq = seq;
+                response.to_json()
+            }
+            Err(AdmitError::Overloaded(message)) => {
+                session_error_json(Some(seq), "overloaded", &message)
+            }
+            Err(AdmitError::DeadlineExpired) => QueryResponse::error(
+                seq,
+                "",
+                method,
+                RequestError {
+                    kind: crate::request::ErrorKind::Timeout,
+                    message: "deadline expired while waiting in the admission queue"
+                        .into(),
+                },
+            )
+            .to_json(),
+        }
+    }
+
+    /// Writes one response payload, counting bytes and the output index.
+    fn emit<W: Write>(
+        &mut self,
+        codec: &dyn Codec,
+        writer: &mut W,
+        line: &str,
+    ) -> io::Result<()> {
+        let wire_bytes = codec.write_response(writer, line)?;
+        writer.flush()?;
+        self.service
+            .transport()
+            .bytes_out
+            .fetch_add(wire_bytes, Ordering::Relaxed);
+        self.emitted += 1;
+        Ok(())
+    }
+}
+
+/// The session/transport-layer structured error line:
+/// `{"ok":false,"seq":N,"error":{"kind":K,"message":M}}`. Unlike request
+/// errors (whose flat `"error":"<kind>"` shape callers already parse),
+/// these originate *outside* request processing — admission overload,
+/// framing violations, connection-limit rejections — so the kind/message
+/// pair nests under `"error"`.
+pub fn session_error_json(seq: Option<u64>, kind: &str, message: &str) -> String {
+    let mut out = String::with_capacity(64 + message.len());
+    out.push_str("{\"ok\":false");
+    if let Some(seq) = seq {
+        out.push_str(",\"seq\":");
+        out.push_str(&seq.to_string());
+    }
+    out.push_str(",\"error\":{\"kind\":");
+    bcc_graph::json::push_json_string(&mut out, kind);
+    out.push_str(",\"message\":");
+    bcc_graph::json::push_json_string(&mut out, message);
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_error_shape() {
+        assert_eq!(
+            session_error_json(Some(3), "overloaded", "queue full"),
+            "{\"ok\":false,\"seq\":3,\"error\":{\"kind\":\"overloaded\",\
+             \"message\":\"queue full\"}}"
+        );
+        assert_eq!(
+            session_error_json(None, "framing", "x\"y"),
+            "{\"ok\":false,\"error\":{\"kind\":\"framing\",\"message\":\"x\\\"y\"}}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the wire codecs: round-trips are lossless, the
+//! 16 MiB frame cap is enforced exactly at the boundary, and truncated or
+//! garbage streams always surface as structured [`CodecError::Protocol`]
+//! errors — never panics, never silent data loss.
+
+use std::io::Write;
+
+use bcc_service::{BinaryCodec, Codec, CodecError, CodecKind, LineCodec, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+/// Reads every payload from `wire` until clean EOF or an error.
+fn drain(codec: &dyn Codec, mut wire: &[u8]) -> Result<Vec<String>, CodecError> {
+    let mut payloads = Vec::new();
+    while let Some((payload, _)) = codec.read_request(&mut wire)? {
+        payloads.push(payload);
+    }
+    Ok(payloads)
+}
+
+/// Byte soup → valid payload strings (lossy decode), exercising newlines,
+/// NULs, control bytes, and multi-byte UTF-8 replacement characters.
+fn payloads_from(raw: &[Vec<u16>]) -> Vec<String> {
+    raw.iter()
+        .map(|bytes| {
+            let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+            String::from_utf8_lossy(&bytes).into_owned()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Binary framing round-trips arbitrary payload strings (including
+    /// newlines and NULs — the framing is content-agnostic).
+    #[test]
+    fn binary_round_trips_any_payload(
+        raw in proptest::collection::vec(proptest::collection::vec(0u16..256, 0..80), 0..8)
+    ) {
+        let payloads = payloads_from(&raw);
+        let codec = BinaryCodec;
+        let mut wire = Vec::new();
+        for p in &payloads {
+            codec.write_response(&mut wire, p).unwrap();
+        }
+        let decoded = drain(&codec, &wire).expect("well-formed frames decode");
+        prop_assert_eq!(decoded, payloads);
+    }
+
+    /// Line framing round-trips newline-free payloads.
+    #[test]
+    fn lines_round_trip_newline_free_payloads(
+        raw in proptest::collection::vec(proptest::collection::vec(0u16..256, 0..80), 0..8)
+    ) {
+        let payloads: Vec<String> = payloads_from(&raw)
+            .into_iter()
+            .map(|p| p.replace(['\r', '\n'], " "))
+            .collect();
+        let codec = LineCodec;
+        let mut wire = Vec::new();
+        for p in &payloads {
+            codec.write_response(&mut wire, p).unwrap();
+        }
+        let decoded = drain(&codec, &wire).expect("lines decode");
+        prop_assert_eq!(decoded, payloads);
+    }
+
+    /// Truncating a valid binary stream at any point mid-frame yields a
+    /// protocol error (or a shorter clean prefix when the cut lands on a
+    /// frame boundary) — never a panic, never a garbled payload.
+    #[test]
+    fn binary_truncation_never_panics(
+        lens in proptest::collection::vec(0usize..40, 1..6),
+        cut_seed in 0usize..10_000,
+    ) {
+        let payloads: Vec<String> = lens.iter().map(|&n| "x".repeat(n)).collect();
+        let codec = BinaryCodec;
+        let mut wire = Vec::new();
+        let mut boundaries = vec![0usize];
+        for p in &payloads {
+            codec.write_response(&mut wire, p).unwrap();
+            boundaries.push(wire.len());
+        }
+        let cut = cut_seed % (wire.len() + 1);
+        match drain(&codec, &wire[..cut]) {
+            Ok(decoded) => {
+                // A clean decode is only possible on a frame boundary, and
+                // then it is exactly the prefix of payloads up to the cut.
+                let frames = boundaries
+                    .iter()
+                    .position(|&b| b == cut)
+                    .expect("clean EOF only at a frame boundary");
+                prop_assert_eq!(decoded, payloads[..frames].to_vec());
+            }
+            Err(CodecError::Protocol(message)) => {
+                prop_assert!(
+                    message.contains("length prefix") || message.contains("payload"),
+                    "unexpected protocol error: {}", message
+                );
+            }
+            Err(CodecError::Io(e)) => panic!("truncation must not surface as io: {e}"),
+        }
+    }
+
+    /// Arbitrary garbage decoded as binary frames either parses (when it
+    /// happens to form valid frames) or fails with a structured protocol
+    /// error — it never panics and never allocates past the cap.
+    #[test]
+    fn binary_garbage_never_panics(wire in proptest::collection::vec(0u16..256, 0..200)) {
+        let wire: Vec<u8> = wire.into_iter().map(|b| b as u8).collect();
+        let codec = BinaryCodec;
+        match drain(&codec, &wire) {
+            Ok(_) => {}
+            Err(CodecError::Protocol(_)) => {}
+            Err(CodecError::Io(e)) => panic!("garbage must not surface as io: {e}"),
+        }
+    }
+
+    /// Negotiation is total and consistent: every first byte selects
+    /// exactly one codec, and only `0x00`/`0x01` select binary.
+    #[test]
+    fn negotiation_is_total(first in 0u16..256) {
+        let first = first as u8;
+        let kind = CodecKind::negotiate(first);
+        prop_assert_eq!(kind == CodecKind::Binary, first <= 0x01);
+    }
+}
+
+/// The cap boundary, exactly: a 16 MiB payload round-trips, 16 MiB + 1 is
+/// rejected on both the write and the read side. Plain tests — the two
+/// interesting sizes are fixed, no point sampling around them.
+#[test]
+fn cap_boundary_exact() {
+    let codec = BinaryCodec;
+    let max_payload = "x".repeat(MAX_FRAME_LEN);
+
+    let mut wire = Vec::new();
+    codec.write_response(&mut wire, &max_payload).unwrap();
+    let mut stream: &[u8] = &wire;
+    let (decoded, read) = codec.read_request(&mut stream).unwrap().unwrap();
+    assert_eq!(decoded.len(), MAX_FRAME_LEN);
+    assert_eq!(read, 4 + MAX_FRAME_LEN as u64);
+
+    let over_payload = "x".repeat(MAX_FRAME_LEN + 1);
+    let err = codec.write_response(&mut Vec::new(), &over_payload).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // A hand-built over-cap frame is rejected from the prefix alone — the
+    // payload bytes are never read (or allocated).
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&((MAX_FRAME_LEN + 1) as u32).to_be_bytes());
+    wire.write_all(b"would-be payload").unwrap();
+    let mut stream: &[u8] = &wire;
+    assert!(matches!(
+        codec.read_request(&mut stream),
+        Err(CodecError::Protocol(m)) if m.contains("cap")
+    ));
+}
