@@ -11,21 +11,27 @@
 //! Phase 1 drives one client over the line codec; phase 2 drives
 //! `--clients` concurrent clients (alternating line/binary codecs), each
 //! with its own distinct query set (cold cache both times — fresh server
-//! per phase). The binary *verifies* the serving invariants and exits
-//! non-zero on failure so CI can gate on it:
+//! per phase); phase 3 replays phase 2's workload with the metrics tier
+//! disabled. Client-side latencies land in a `bcc-obs` log₂ histogram
+//! (p50/p99 are histogram quantiles, the same math the live `metrics` verb
+//! uses), and the JSON summary carries the server's per-phase breakdown
+//! read back from its metrics registry. The binary *verifies* the serving
+//! invariants and exits non-zero on failure so CI can gate on it:
 //!
 //! * every overload response is the structured `overloaded` error;
 //! * N-client throughput ≥ 1-client throughput (SKIPPED on single-core
-//!   machines, where concurrency cannot help).
+//!   machines, where concurrency cannot help);
+//! * metrics-on throughput within 5% of metrics-off (same SKIP rule).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use bcc_bench::Args;
 use bcc_datasets::{queries, QueryConstraints};
 use bcc_eval::Table;
+use bcc_obs::{Histogram, HistogramSnapshot, Phase};
 use bcc_service::{BccService, Priority, Server, ServerConfig, ServiceConfig};
 
 /// One benchmark client over either codec.
@@ -98,32 +104,36 @@ fn query_lines(net: &bcc_datasets::PlantedNetwork, count: usize, seed: u64) -> V
         .collect()
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return f64::NAN;
-    }
-    let idx = (p * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[idx]
+/// Histogram quantile in milliseconds (samples are recorded in µs).
+fn quantile_ms(snap: &HistogramSnapshot, p: f64) -> f64 {
+    snap.quantile(p) as f64 / 1e3
 }
 
-struct Phase {
+struct BenchPhase {
     label: &'static str,
     clients: usize,
     requests: usize,
     qps: f64,
-    p50_ms: f64,
-    p99_ms: f64,
+    /// Pooled client-side request latencies (µs).
+    latency: HistogramSnapshot,
+    /// Server-side per-engine-phase histograms, [`Phase::ALL`] order
+    /// (all empty when the phase ran with metrics off).
+    engine_phases: Vec<HistogramSnapshot>,
+    /// The server's Prometheus exposition after the run.
+    prom: String,
 }
 
 /// Runs one phase: a fresh server, `client_lines[i]` played by client `i`
-/// (even clients binary, odd clients lines), per-request latencies pooled.
+/// (even clients binary, odd clients lines), per-request latencies pooled
+/// into one log₂ histogram.
 fn run_phase(
     label: &'static str,
     graph: &bcc_graph::LabeledGraph,
     client_lines: &[Vec<String>],
-) -> Phase {
+    metrics: bool,
+) -> BenchPhase {
     let service = Arc::new(BccService::with_graph(
-        ServiceConfig { workers: 0, cache_capacity: 4096, ..Default::default() },
+        ServiceConfig { workers: 0, cache_capacity: 4096, metrics, ..Default::default() },
         graph.clone(),
     ));
     let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
@@ -137,44 +147,37 @@ fn run_phase(
         warm.round_trip(line);
     }
 
+    // One lock-free histogram shared by every client thread: the same
+    // recording path the server's own metrics registry uses.
+    let latency = Histogram::new();
     let started = Instant::now();
-    let latencies: Vec<Duration> = std::thread::scope(|s| {
-        let handles: Vec<_> = client_lines
-            .iter()
-            .enumerate()
-            .map(|(i, lines)| {
-                s.spawn(move || {
-                    let mut client = Client::connect(addr, i % 2 == 0);
-                    lines
-                        .iter()
-                        .map(|line| {
-                            let t = Instant::now();
-                            let response = client.round_trip(line);
-                            assert!(
-                                response.contains("\"ok\":"),
-                                "malformed response: {response}"
-                            );
-                            t.elapsed()
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    std::thread::scope(|s| {
+        for (i, lines) in client_lines.iter().enumerate() {
+            let latency = &latency;
+            s.spawn(move || {
+                let mut client = Client::connect(addr, i % 2 == 0);
+                for line in lines {
+                    let t = Instant::now();
+                    let response = client.round_trip(line);
+                    assert!(response.contains("\"ok\":"), "malformed response: {response}");
+                    latency.record_duration(t.elapsed());
+                }
+            });
+        }
     });
     let wall = started.elapsed().as_secs_f64();
     handle.shutdown();
     handle.join();
 
-    let mut ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
-    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    Phase {
+    let snap = latency.snapshot();
+    BenchPhase {
         label,
         clients: client_lines.len(),
-        requests: ms.len(),
-        qps: ms.len() as f64 / wall,
-        p50_ms: percentile(&ms, 0.50),
-        p99_ms: percentile(&ms, 0.99),
+        requests: snap.count as usize,
+        qps: snap.count as f64 / wall,
+        latency: snap,
+        engine_phases: Phase::ALL.iter().map(|&p| service.metrics().phase_snapshot(p)).collect(),
+        prom: service.metrics().prometheus(),
     }
 }
 
@@ -185,6 +188,8 @@ fn main() {
     let clients = args.get("clients", 8usize).max(2);
     let out = args.get("out", String::new());
     let out_path = (!out.is_empty()).then_some(out);
+    let prom = args.get("prom", String::new());
+    let prom_path = (!prom.is_empty()).then_some(prom);
 
     let spec = bcc_datasets::dblp(scale);
     let net = spec.build();
@@ -201,8 +206,11 @@ fn main() {
     let total: usize = all_lines.iter().map(Vec::len).sum();
     eprintln!("workload: {clients} clients, {total} distinct query lines total");
 
-    let single = run_phase("1 client", &net.graph, &all_lines[..1]);
-    let multi = run_phase("N clients", &net.graph, &all_lines);
+    let single = run_phase("1 client", &net.graph, &all_lines[..1], true);
+    // Same N-client workload twice: metrics tier off (the baseline), then
+    // on — the pair the ≤5% overhead gate compares.
+    let multi_off = run_phase("N clients, metrics off", &net.graph, &all_lines, false);
+    let multi = run_phase("N clients", &net.graph, &all_lines, true);
 
     // Overload phase: a depth-0 queue whose only slot is held externally —
     // every request must be rejected, structurally, immediately.
@@ -257,14 +265,14 @@ fn main() {
             "p99 ms".into(),
         ],
     );
-    for phase in [&single, &multi] {
+    for phase in [&single, &multi_off, &multi] {
         table.push_row(vec![
             phase.label.to_string(),
             phase.clients.to_string(),
             phase.requests.to_string(),
             format!("{:.0}", phase.qps),
-            format!("{:.2}", phase.p50_ms),
-            format!("{:.2}", phase.p99_ms),
+            format!("{:.2}", quantile_ms(&phase.latency, 0.50)),
+            format!("{:.2}", quantile_ms(&phase.latency, 0.99)),
         ]);
     }
     table.push_row(vec![
@@ -283,6 +291,10 @@ fn main() {
             "throughput gate SKIPPED: {cores} core(s) available — concurrent \
              clients cannot outrun one client without parallelism"
         );
+        println!(
+            "metrics-overhead gate SKIPPED: {cores} core(s) available — a \
+             contended single core turns scheduling noise into false signal"
+        );
     } else {
         assert!(
             multi.qps >= single.qps,
@@ -297,10 +309,72 @@ fn main() {
             single.qps,
             multi.qps / single.qps
         );
+        // Telemetry must be ~free: the gated tier is a branch plus a few
+        // relaxed fetch_adds per request, drowned by the search itself.
+        assert!(
+            multi.qps >= multi_off.qps * 0.95,
+            "INVARIANT VIOLATED: metrics-on throughput ({:.0} q/s) more than \
+             5% below metrics-off ({:.0} q/s)",
+            multi.qps,
+            multi_off.qps
+        );
+        println!(
+            "metrics overhead: on {:.0} q/s vs off {:.0} q/s ({:+.1}%)",
+            multi.qps,
+            multi_off.qps,
+            (multi.qps / multi_off.qps - 1.0) * 100.0
+        );
     }
 
     if let Some(path) = out_path {
-        std::fs::write(&path, table.to_json()).expect("write JSON summary");
+        std::fs::write(&path, summary_json(&table, &single, &multi_off, &multi))
+            .expect("write JSON summary");
         eprintln!("wrote JSON summary to {path}");
     }
+    if let Some(path) = prom_path {
+        std::fs::write(&path, &multi.prom).expect("write Prometheus exposition");
+        eprintln!("wrote Prometheus exposition to {path}");
+    }
+}
+
+/// The JSON summary: the rendered table plus, for each phase, the
+/// histogram-derived latency quantiles and (metrics-on phases) the
+/// server-side per-engine-phase breakdown.
+fn summary_json(
+    table: &Table,
+    single: &BenchPhase,
+    multi_off: &BenchPhase,
+    multi: &BenchPhase,
+) -> String {
+    let hist = |snap: &HistogramSnapshot| {
+        format!(
+            "{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+            snap.count,
+            snap.sum,
+            snap.quantile(0.50),
+            snap.quantile(0.90),
+            snap.quantile(0.99)
+        )
+    };
+    let phase_json = |bench: &BenchPhase| {
+        let breakdown = Phase::ALL
+            .iter()
+            .zip(&bench.engine_phases)
+            .map(|(p, snap)| format!("\"{}\":{}", p.name(), hist(snap)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"qps\":{:.1},\"latency\":{},\"engine_phases\":{{{}}}}}",
+            bench.qps,
+            hist(&bench.latency),
+            breakdown
+        )
+    };
+    format!(
+        "{{\"table\":{},\"phases\":{{\"single\":{},\"multi_metrics_off\":{},\"multi\":{}}}}}\n",
+        table.to_json(),
+        phase_json(single),
+        phase_json(multi_off),
+        phase_json(multi)
+    )
 }

@@ -1,12 +1,19 @@
 //! Table 4 (Exp-5) — Online-BCC vs LP-BCC phase breakdown on DBLP:
-//! query-distance calculation time, leader-pair update time, number of
-//! butterfly-counting invocations, and total time, with speedup factors.
+//! query-distance calculation time, core decomposition time, leader-pair
+//! update time, number of butterfly-counting invocations, and total time,
+//! with speedup factors.
+//!
+//! Phase rows come from the same [`bcc_obs::Phase`] taxonomy the service
+//! metrics registry uses: each method's aggregated `SearchStats` replays
+//! through [`QueryTrace`] via `record_phases`, so this table and the live
+//! `metrics` verb are reading one instrumentation, not two.
 //!
 //! `cargo run -p bcc-bench --release --bin table4_breakdown [--scale 1.0] [--queries 100] [--seed 7]`
 
 use bcc_bench::{evaluate_method, Args, Method, ParamOverride, PreparedNetwork, DEFAULT_SCALE};
 use bcc_datasets::QueryConstraints;
 use bcc_eval::Table;
+use bcc_obs::{Phase, QueryTrace};
 
 fn main() {
     let args = Args::parse();
@@ -38,6 +45,13 @@ fn main() {
         false,
     );
 
+    // Replay each method's aggregated stats into a phase trace — the same
+    // mapping the service's per-query recorder applies online.
+    let online_trace = QueryTrace::new();
+    online_stats.record_phases(&online_trace);
+    let lp_trace = QueryTrace::new();
+    lp_stats.record_phases(&lp_trace);
+
     let speedup = |a: f64, b: f64| {
         if b == 0.0 {
             "inf".to_string()
@@ -46,6 +60,7 @@ fn main() {
         }
     };
     let n = workload.len().max(1) as f64;
+    let per_query = |trace: &QueryTrace, phase: Phase| trace.get(phase).as_secs_f64() / n;
     let mut table = Table::new(
         format!(
             "Table 4: Online-BCC vs LP-BCC on DBLP (per-query means over {} queries)",
@@ -56,16 +71,27 @@ fn main() {
             .map(|s| s.to_string())
             .collect(),
     );
-    let online_qd = online_stats.time_query_distance.as_secs_f64() / n;
-    let lp_qd = lp_stats.time_query_distance.as_secs_f64() / n;
+    let online_qd = per_query(&online_trace, Phase::QueryDistance);
+    let lp_qd = per_query(&lp_trace, Phase::QueryDistance);
     table.push_row(vec![
         "Query distance calculation (s)".into(),
         format!("{online_qd:.5}"),
         format!("{lp_qd:.5}"),
         speedup(online_qd, lp_qd),
     ]);
-    let online_lu = online_stats.time_butterfly_counting.as_secs_f64() / n;
-    let lp_lu = (lp_stats.time_leader_update + lp_stats.time_butterfly_counting).as_secs_f64() / n;
+    let online_cd = per_query(&online_trace, Phase::CoreDecomp);
+    let lp_cd = per_query(&lp_trace, Phase::CoreDecomp);
+    table.push_row(vec![
+        "Core decomposition (s)".into(),
+        format!("{online_cd:.5}"),
+        format!("{lp_cd:.5}"),
+        speedup(online_cd, lp_cd),
+    ]);
+    // Online-BCC has no leader-pairing phase — its "update" is butterfly
+    // counting alone; LP-BCC pays pairing plus the countings it triggers.
+    let online_lu = per_query(&online_trace, Phase::ButterflyCounting);
+    let lp_lu = per_query(&lp_trace, Phase::LeaderPairing)
+        + per_query(&lp_trace, Phase::ButterflyCounting);
     table.push_row(vec![
         "Leader pair update (s)".into(),
         format!("{online_lu:.5}"),

@@ -48,9 +48,9 @@ const USAGE: &str = "usage:
   bcc stats    <graph-file>
   bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N]
   bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N]
-  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
-  bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N] [serve flags]
-  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N] [--metrics-addr ADDR] [serve flags]
+  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--no-metrics] [--slow-query-ms N]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
   bcc case     <flight|trade|fiction|academic> [--out FILE]
 
@@ -61,11 +61,18 @@ unasked). The produced index is bit-identical at any setting.
 
 serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
 `msearch q=<v>,<v>,...` / `add_edge u=<v> v=<v>` / `remove_edge u=<v> v=<v>` /
-`commit` / `stats` / `graphs` / `quit` lines from stdin and prints one JSON
-result line per request; batch runs a file of such lines concurrently and
-prints results in input order. add_edge/remove_edge stage live edge updates;
-commit applies them, patching the BCindex in place and invalidating only the
-affected cache entries.
+`commit` / `stats` / `graphs` / `metrics` / `quit` lines from stdin and
+prints one JSON result line per request; batch runs a file of such lines
+concurrently and prints results in input order. add_edge/remove_edge stage
+live edge updates; commit applies them, patching the BCindex in place and
+invalidating only the affected cache entries.
+
+Observability: per-verb latency histograms, per-phase query/commit timings,
+queue-wait distribution, and a slow-query log (one JSON line to stderr per
+query over --slow-query-ms, default 250). The `metrics` verb returns the
+whole registry as one JSON line; --metrics-addr additionally serves
+Prometheus text exposition over HTTP. --no-metrics disables the histogram
+tier (responses are byte-identical either way; telemetry is out-of-band).
 
 listen serves the same protocol over TCP to many concurrent clients, each on
 its own connection (newline-delimited JSON or length-prefixed binary frames,
@@ -101,6 +108,10 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
         .filter(|w| w[0] == name)
         .map(|w| w[1].as_str())
         .collect()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 /// The shared `--index-threads` knob (0 ⇒ one per available core): how
@@ -299,6 +310,11 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
         default_timeout_ms: None,
         default_graph: flag_value(args, "--name").unwrap_or(&stem).to_string(),
         index_threads: index_threads(args, 0)?,
+        metrics: !has_flag(args, "--no-metrics"),
+        slow_query_ms: flag_value(args, "--slow-query-ms")
+            .map(|t| t.parse().map_err(|_| "--slow-query-ms must be an integer"))
+            .transpose()?
+            .unwrap_or(250),
     };
     let service = BccService::with_graph(config, graph);
     // Banner on stderr: stdout carries only protocol responses.
@@ -343,13 +359,64 @@ fn listen(args: &[String]) -> Result<(), String> {
             Some(t.parse().map_err(|_| "--timeout-ms must be an integer")?);
     }
     let service = std::sync::Arc::new(start_service(args)?);
-    let handle = Server::bind(service, addr.as_str(), config).map_err(|e| e.to_string())?;
+    let handle = Server::bind(std::sync::Arc::clone(&service), addr.as_str(), config)
+        .map_err(|e| e.to_string())?;
     // Stderr like the serve banner — and the *bound* address, so `:0`
     // callers (tests, scripts) learn the kernel-chosen port.
     eprintln!("listening on {}", handle.addr());
+    if let Some(metrics_addr) = flag_value(args, "--metrics-addr") {
+        let bound = spawn_metrics_exporter(std::sync::Arc::clone(&service), metrics_addr)?;
+        eprintln!("metrics exposition on http://{bound}/metrics");
+    }
     handle.join();
     eprintln!("server shut down");
     Ok(())
+}
+
+/// Binds `addr` and serves the service's Prometheus text exposition to
+/// every connection as one HTTP/1.0 response. A trivial hand-rolled
+/// responder — no HTTP dependency: read (and discard) the request head,
+/// write status line + headers + body, close. Scrapes are rare and tiny,
+/// so one acceptor thread handles connections sequentially; a slow or
+/// silent client is cut off by a read timeout rather than wedging the
+/// exporter. Returns the bound address (`:0` picks a free port).
+fn spawn_metrics_exporter(
+    service: std::sync::Arc<BccService>,
+    addr: &str,
+) -> Result<std::net::SocketAddr, String> {
+    use std::io::{Read as _, Write as _};
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+            // Drain the request head (best effort: stop at the blank line,
+            // a timeout, or 8 KiB — whichever comes first).
+            let mut head = Vec::with_capacity(512);
+            let mut chunk = [0u8; 512];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        head.extend_from_slice(&chunk[..n]);
+                        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                            break;
+                        }
+                    }
+                }
+            }
+            let body = service.metrics().prometheus();
+            let response = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(response.as_bytes());
+        }
+    });
+    Ok(bound)
 }
 
 fn batch(args: &[String]) -> Result<(), String> {

@@ -186,6 +186,66 @@ fn listen_serves_concurrent_clients_and_shuts_down_over_the_wire() {
 }
 
 #[test]
+fn listen_metrics_addr_serves_prometheus_populated_by_real_queries() {
+    let dir = temp_dir("metrics");
+    let graph = graph_file(&dir);
+    let (mut child, addr, mut stderr_lines) =
+        spawn_listen(&graph, &["--metrics-addr", "127.0.0.1:0", "--slow-query-ms", "0"]);
+    // The exporter banner follows the listen banner on stderr.
+    let metrics_addr: SocketAddr = loop {
+        let line = stderr_lines
+            .next()
+            .expect("stderr open until the exporter banner")
+            .expect("read stderr");
+        if let Some(rest) = line.strip_prefix("metrics exposition on http://") {
+            break rest
+                .trim()
+                .trim_end_matches("/metrics")
+                .parse()
+                .expect("exporter address parses");
+        }
+    };
+
+    // Real traffic over the protocol socket, then its own snapshot verb.
+    let mut client = Client::connect(addr, false);
+    assert!(client.round_trip("search ql=l0 qr=r0").contains("\"ok\":true"));
+    assert!(client.round_trip("search ql=l1 qr=r1").contains("\"ok\":true"));
+    let snapshot = client.round_trip("metrics");
+    assert!(snapshot.starts_with("{\"ok\":true,\"metrics_enabled\":true"), "{snapshot}");
+    assert!(snapshot.contains("\"search\":{\"requests\":2,\"count\":2,"), "{snapshot}");
+
+    // Scrape the Prometheus endpoint like a collector would.
+    let mut scrape = TcpStream::connect(metrics_addr).expect("connect exporter");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: bcc\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    scrape.read_to_string(&mut response).expect("read scrape");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    assert!(response.contains("Content-Type: text/plain; version=0.0.4"), "{response}");
+    assert!(response.contains("bcc_requests_total{verb=\"search\"} 2"), "{response}");
+    assert!(response.contains("bcc_requests_total{verb=\"metrics\"} 1"), "{response}");
+    assert!(
+        response.contains("bcc_verb_latency_microseconds_count{verb=\"search\"} 2"),
+        "{response}"
+    );
+    // --slow-query-ms 0 flags every query with nonzero elapsed time.
+    assert!(!response.contains("bcc_slow_queries_total 0"), "{response}");
+
+    // A second scrape works: the exporter serves one response per
+    // connection, sequentially, and survives the first close.
+    let mut again = TcpStream::connect(metrics_addr).expect("reconnect exporter");
+    again.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape");
+    let mut response2 = String::new();
+    again.read_to_string(&mut response2).expect("read scrape");
+    assert!(response2.starts_with("HTTP/1.0 200 OK\r\n"), "{response2}");
+
+    client.send("shutdown");
+    assert!(child.wait().expect("exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn listen_framing_violation_gets_structured_error_then_close() {
     let dir = temp_dir("framing");
     let graph = graph_file(&dir);

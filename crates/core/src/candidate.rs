@@ -90,7 +90,9 @@ impl<'g> Candidate<'g> {
         for (label, &k) in labels.iter().zip(&params.ks) {
             thresholds.require(*label, k);
         }
-        bcc_cohesion::reduce_to_label_core(&mut view, &thresholds);
+        timed(&mut stats.time_core_decomp, || {
+            bcc_cohesion::reduce_to_label_core(&mut view, &thresholds)
+        });
         for &q in &query.queries {
             if !view.is_alive(q) {
                 return Err(SearchError::NoCandidate);

@@ -76,6 +76,10 @@ pub struct BatchPatchReport {
     pub coreness_moves: usize,
     /// How many per-change χ entry moves occurred (entries may recur).
     pub chi_moves: usize,
+    /// Wall time spent in Algorithm 4 δ cascades across the batch.
+    pub time_cascade: std::time::Duration,
+    /// Wall time spent in Algorithm 7 χ deltas across the batch.
+    pub time_chi_delta: std::time::Duration,
 }
 
 /// The closed neighborhood an edge flip can influence: the endpoints plus
@@ -205,8 +209,11 @@ pub fn patch_index_batch(
         if overlay.label(change.u) == overlay.label(change.v) {
             overlay.flip(change);
             let group = || groups[overlay.label(change.u).index()].as_slice();
+            let t = std::time::Instant::now();
             patch_coreness(index, &overlay, change, group, &mut step);
+            report.time_cascade += t.elapsed();
         } else if overlay.label_count() == 2 {
+            let t = std::time::Instant::now();
             match change.op {
                 EdgeOp::Insert => {
                     overlay.flip(change);
@@ -218,9 +225,12 @@ pub fn patch_index_batch(
                     overlay.flip(change);
                 }
             }
+            report.time_chi_delta += t.elapsed();
         } else {
             overlay.flip(change);
+            let t = std::time::Instant::now();
             patch_chi_multilabel(index, &overlay, &affected, &mut scratch, &mut step);
+            report.time_chi_delta += t.elapsed();
         }
         report.coreness_moves += step.coreness_changed.len();
         report.chi_moves += step.chi_changed.len();

@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use bcc_obs::{Phase, Recorder};
+
 /// Counters and timers collected during one (or many, summed) searches.
 #[derive(Clone, Debug, Default)]
 pub struct SearchStats {
@@ -27,6 +29,9 @@ pub struct SearchStats {
     pub iterations: u64,
     /// Wall time spent computing/updating query distances.
     pub time_query_distance: Duration,
+    /// Wall time spent in label-core decomposition / reduction to the
+    /// per-label cores (Algorithm 2 lines 1–3).
+    pub time_core_decomp: Duration,
     /// Wall time spent in full butterfly counting.
     pub time_butterfly_counting: Duration,
     /// Wall time spent updating leader butterfly degrees (Algorithm 7) and
@@ -46,9 +51,22 @@ impl SearchStats {
         self.vertices_deleted += other.vertices_deleted;
         self.iterations += other.iterations;
         self.time_query_distance += other.time_query_distance;
+        self.time_core_decomp += other.time_core_decomp;
         self.time_butterfly_counting += other.time_butterfly_counting;
         self.time_leader_update += other.time_leader_update;
         self.time_total += other.time_total;
+    }
+
+    /// Replays the collected phase timings into a [`Recorder`] — the bridge
+    /// between this crate's per-search accounting and the observability
+    /// layer (`bcc-obs` histograms, the service metrics registry, the
+    /// Table 4 figure binary). Recording through [`bcc_obs::NoopRecorder`]
+    /// compiles to nothing measurable.
+    pub fn record_phases(&self, recorder: &impl Recorder) {
+        recorder.record_phase(Phase::QueryDistance, self.time_query_distance);
+        recorder.record_phase(Phase::CoreDecomp, self.time_core_decomp);
+        recorder.record_phase(Phase::ButterflyCounting, self.time_butterfly_counting);
+        recorder.record_phase(Phase::LeaderPairing, self.time_leader_update);
     }
 }
 
@@ -82,6 +100,27 @@ mod tests {
         assert_eq!(a.butterfly_countings, 5);
         assert_eq!(a.iterations, 6);
         assert_eq!(a.time_total, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn record_phases_maps_fields_to_phases() {
+        let stats = SearchStats {
+            time_query_distance: Duration::from_micros(10),
+            time_core_decomp: Duration::from_micros(20),
+            time_butterfly_counting: Duration::from_micros(30),
+            time_leader_update: Duration::from_micros(40),
+            time_total: Duration::from_micros(999), // not a phase: derived
+            ..Default::default()
+        };
+        let trace = bcc_obs::QueryTrace::new();
+        stats.record_phases(&trace);
+        assert_eq!(trace.get(Phase::QueryDistance), Duration::from_micros(10));
+        assert_eq!(trace.get(Phase::CoreDecomp), Duration::from_micros(20));
+        assert_eq!(trace.get(Phase::ButterflyCounting), Duration::from_micros(30));
+        assert_eq!(trace.get(Phase::LeaderPairing), Duration::from_micros(40));
+        assert_eq!(trace.total(), Duration::from_micros(100));
+        // The no-op recorder accepts the same replay.
+        stats.record_phases(&bcc_obs::NoopRecorder);
     }
 
     #[test]

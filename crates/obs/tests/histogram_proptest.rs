@@ -1,0 +1,136 @@
+//! Property tests for the log₂ histogram: bucket boundaries, merge
+//! associativity/commutativity, quantile error bounded by the bucket
+//! width, and saturation at the extremes.
+
+use bcc_obs::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spread across the whole u64 range: a shift picks the magnitude,
+/// an offset picks the position within that power of two.
+fn wide_value() -> impl Strategy<Value = u64> {
+    (0u64..64, 0u64..u64::MAX).prop_flat_map(|(shift, raw)| {
+        let base = if shift == 0 { 0 } else { 1u64 << (shift - 1) };
+        let span = base.max(1);
+        Just(base.saturating_add(raw % span))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every value lands in the bucket whose range contains it, and the
+    /// bucket upper bound is the largest member of that bucket.
+    #[test]
+    fn bucket_contains_its_values(v in wide_value()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(i), "{v} above bound of bucket {i}");
+        if i > 0 && i < HISTOGRAM_BUCKETS - 1 {
+            // Lower edge of bucket i is 2^(i-1); v must not be below it.
+            prop_assert!(v >= 1u64 << (i - 1), "{v} below bucket {i}");
+        }
+        // Monotone: a strictly larger magnitude never maps to a lower bucket.
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+    }
+
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c) and
+    /// merge(a, b) == merge(b, a): histograms combine in any order.
+    #[test]
+    fn merge_associative_commutative(
+        xs in proptest::collection::vec(wide_value(), 0..24),
+        ys in proptest::collection::vec(wide_value(), 0..24),
+        zs in proptest::collection::vec(wide_value(), 0..24),
+    ) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merging is recording: the merged snapshot equals one histogram
+        // fed all three value sets — except for the sum when the exact
+        // total overflows u64 (live recording wraps its atomic, merging
+        // saturates; buckets and count agree regardless).
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(&ab_c.buckets, &direct.buckets);
+        prop_assert_eq!(ab_c.count, direct.count);
+        let exact_sum = all.iter().try_fold(0u64, |acc, &v| acc.checked_add(v));
+        if let Some(sum) = exact_sum {
+            prop_assert_eq!(ab_c.sum, sum);
+            prop_assert_eq!(direct.sum, sum);
+        } else {
+            prop_assert_eq!(ab_c.sum, u64::MAX);
+        }
+    }
+
+    /// The reported quantile is >= the true order statistic and within the
+    /// holding bucket's width of it (log₂ buckets ⇒ ≤ 2x relative error).
+    #[test]
+    fn quantile_error_bounded_by_bucket_width(
+        values in proptest::collection::vec(wide_value(), 1..64),
+        pq in 0u64..101,
+    ) {
+        let p = pq as f64 / 100.0;
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let reported = snap.quantile(p);
+        // Reported value is the upper bound of the exact value's bucket:
+        // never below the true order statistic, and within its bucket.
+        prop_assert!(reported >= exact, "reported {reported} < exact {exact}");
+        prop_assert_eq!(bucket_index(reported), bucket_index(exact));
+        let i = bucket_index(exact);
+        if i > 0 && i < HISTOGRAM_BUCKETS - 1 {
+            let width = 1u64 << (i - 1); // bucket i spans [2^(i-1), 2^i - 1]
+            prop_assert!(reported - exact < width);
+        }
+    }
+
+    /// Counts and sums survive recording in any order; saturation values
+    /// pile into the top bucket without wrapping.
+    #[test]
+    fn extremes_saturate(
+        values in proptest::collection::vec(wide_value(), 0..16),
+        giants in 0usize..4,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for _ in 0..giants {
+            h.record(u64::MAX);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, (values.len() + giants) as u64);
+        prop_assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1] as usize,
+            giants + values.iter().filter(|&&v| v >= (1u64 << 62)).count());
+        if giants > 0 {
+            prop_assert_eq!(s.quantile(1.0), u64::MAX);
+        }
+        let total: u64 = s.buckets.iter().sum();
+        prop_assert_eq!(total, s.count);
+    }
+}

@@ -55,6 +55,7 @@
 
 pub mod cache;
 pub mod codec;
+pub mod metrics;
 pub mod pool;
 pub mod registry;
 pub mod request;
@@ -65,6 +66,7 @@ pub mod session;
 
 pub use cache::{CacheCounters, LruCache};
 pub use codec::{codec_for, BinaryCodec, Codec, CodecError, CodecKind, LineCodec, MAX_FRAME_LEN};
+pub use metrics::{Metrics, Verb};
 pub use pool::{default_workers, Ticket, WaitError, WorkerPool};
 pub use registry::{BuiltIndex, CommitOutcome, GraphEntry, GraphRegistry};
 pub use request::{
@@ -103,5 +105,8 @@ mod send_sync_audit {
         assert_send_sync::<crate::QueryResponse>();
         assert_send_sync::<crate::TransportCounters>();
         assert_send_sync::<crate::Admission>();
+        assert_send_sync::<crate::Metrics>();
+        assert_send_sync::<bcc_obs::Histogram>();
+        assert_send_sync::<bcc_obs::QueryTrace>();
     }
 }

@@ -150,6 +150,15 @@ pub struct CommitOutcome {
     /// index was never built — no cascade information exists, so callers
     /// must treat every vertex of the graph as dirty.
     pub dirty: Option<FxHashSet<u32>>,
+    /// Wall time of the one CSR merge pass splicing the staged delta onto
+    /// the old snapshot (the `overlay_apply` commit stage).
+    pub time_overlay_apply: Duration,
+    /// Wall time of the Algorithm 4 coreness cascades across the batch.
+    /// Zero on the lazy path (no index to patch ⇒ no cascades ran).
+    pub time_cascade: Duration,
+    /// Wall time of the Algorithm 7 butterfly-degree (χ) delta updates
+    /// across the batch. Zero on the lazy path.
+    pub time_chi_delta: Duration,
 }
 
 impl CommitOutcome {
@@ -355,40 +364,55 @@ impl GraphRegistry {
         };
         let applied = staged.delta.len();
         let old_generation = entry.generation();
-        let (new_entry, dirty) = match entry.index_if_built() {
-            Some(built) => {
-                let started = Instant::now();
-                let mut index = built.index.clone();
-                // O(1) graph work per staged edge: the cascades read the
-                // overlay, never an intermediate snapshot. The only CSR
-                // materialization of the whole commit is the one merge pass
-                // below — no clone of the base graph either (the batch API
-                // borrows it).
-                let report =
-                    bcc_core::patch_index_batch(&mut index, entry.graph(), staged.delta.changes());
-                let graph = staged.delta.apply(entry.graph());
-                let built = BuiltIndex {
-                    index,
-                    // Cumulative offline investment: the original build plus
-                    // every patch since.
-                    build_time: built.build_time + started.elapsed(),
-                };
-                let entry =
-                    GraphEntry::with_built(name.to_owned(), graph, built, entry.index_threads);
-                (Arc::new(entry), Some(report.dirty))
-            }
-            None => {
-                // No index yet: splice the whole batch in one pass and stay
-                // lazy. No cascade ran, so no scoped dirty set exists.
-                let graph = staged.delta.apply(entry.graph());
-                let entry = GraphEntry::with_index_threads(
-                    name.to_owned(),
-                    graph,
-                    entry.index_threads,
-                );
-                (Arc::new(entry), None)
-            }
-        };
+        let (new_entry, dirty, time_overlay_apply, time_cascade, time_chi_delta) =
+            match entry.index_if_built() {
+                Some(built) => {
+                    let started = Instant::now();
+                    let mut index = built.index.clone();
+                    // O(1) graph work per staged edge: the cascades read the
+                    // overlay, never an intermediate snapshot. The only CSR
+                    // materialization of the whole commit is the one merge
+                    // pass below — no clone of the base graph either (the
+                    // batch API borrows it).
+                    let report = bcc_core::patch_index_batch(
+                        &mut index,
+                        entry.graph(),
+                        staged.delta.changes(),
+                    );
+                    let apply_started = Instant::now();
+                    let graph = staged.delta.apply(entry.graph());
+                    let time_overlay_apply = apply_started.elapsed();
+                    let built = BuiltIndex {
+                        index,
+                        // Cumulative offline investment: the original build
+                        // plus every patch since.
+                        build_time: built.build_time + started.elapsed(),
+                    };
+                    let entry =
+                        GraphEntry::with_built(name.to_owned(), graph, built, entry.index_threads);
+                    (
+                        Arc::new(entry),
+                        Some(report.dirty),
+                        time_overlay_apply,
+                        report.time_cascade,
+                        report.time_chi_delta,
+                    )
+                }
+                None => {
+                    // No index yet: splice the whole batch in one pass and
+                    // stay lazy. No cascade ran, so no scoped dirty set
+                    // exists and the cascade/χ stage times are zero.
+                    let apply_started = Instant::now();
+                    let graph = staged.delta.apply(entry.graph());
+                    let time_overlay_apply = apply_started.elapsed();
+                    let entry = GraphEntry::with_index_threads(
+                        name.to_owned(),
+                        graph,
+                        entry.index_threads,
+                    );
+                    (Arc::new(entry), None, time_overlay_apply, Duration::ZERO, Duration::ZERO)
+                }
+            };
         before_publish();
         let mut graphs = self.graphs.write().unwrap();
         match graphs.get(name) {
@@ -403,7 +427,15 @@ impl GraphRegistry {
             }
         }
         drop(graphs);
-        Ok(CommitOutcome { entry: new_entry, old_generation, applied, dirty })
+        Ok(CommitOutcome {
+            entry: new_entry,
+            old_generation,
+            applied,
+            dirty,
+            time_overlay_apply,
+            time_cascade,
+            time_chi_delta,
+        })
     }
 
     /// All registered names, sorted.

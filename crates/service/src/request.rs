@@ -212,6 +212,9 @@ pub enum ParsedLine {
     Stats,
     /// `graphs` — list registry keys.
     Graphs,
+    /// `metrics` — emit the full [`crate::metrics::Metrics`] snapshot as one
+    /// deterministic JSON line.
+    Metrics,
     /// `quit` — end the session. Over TCP this closes only the issuing
     /// connection; in `bcc serve` (one stdin session) it ends the process.
     Quit,
@@ -303,6 +306,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, RequestError> {
     match verb {
         "stats" => expect_bare(verb, &rest, ParsedLine::Stats),
         "graphs" => expect_bare(verb, &rest, ParsedLine::Graphs),
+        "metrics" => expect_bare(verb, &rest, ParsedLine::Metrics),
         "quit" | "exit" => expect_bare(verb, &rest, ParsedLine::Quit),
         "shutdown" => expect_bare(verb, &rest, ParsedLine::Shutdown),
         "search" => parse_search(&rest).map(ParsedLine::Request),
@@ -312,7 +316,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, RequestError> {
         "commit" => parse_commit(&rest).map(ParsedLine::Mutate),
         other => Err(RequestError::parse(format!(
             "unknown verb `{other}` (expected search|msearch|add_edge|remove_edge|commit|\
-             stats|graphs|quit|shutdown)"
+             stats|graphs|metrics|quit|shutdown)"
         ))),
     }
 }
@@ -633,6 +637,7 @@ mod tests {
     fn control_lines_and_comments() {
         assert_eq!(parse_line("stats").unwrap(), ParsedLine::Stats);
         assert_eq!(parse_line("graphs").unwrap(), ParsedLine::Graphs);
+        assert_eq!(parse_line("metrics").unwrap(), ParsedLine::Metrics);
         assert_eq!(parse_line("quit").unwrap(), ParsedLine::Quit);
         assert_eq!(parse_line("exit").unwrap(), ParsedLine::Quit);
         assert_eq!(parse_line("shutdown").unwrap(), ParsedLine::Shutdown);

@@ -24,6 +24,7 @@ use bcc_core::{
 use bcc_graph::{LabeledGraph, VertexId};
 
 use crate::cache::{CacheCounters, LruCache};
+use crate::metrics::{Metrics, Verb};
 use crate::pool::{Ticket, WaitError, WorkerPool};
 use crate::registry::{GraphEntry, GraphRegistry};
 use crate::request::{
@@ -51,6 +52,13 @@ pub struct ServiceConfig {
     /// of every `register` and first L2P query, and any thread count yields
     /// a bit-identical index).
     pub index_threads: usize,
+    /// Whether the gated metrics tier is live: latency/phase/queue-wait
+    /// histograms and the slow-query log. Per-verb request counters (and
+    /// responses!) are identical either way — telemetry is out-of-band.
+    pub metrics: bool,
+    /// Queries slower than this are counted and logged (one JSON line to
+    /// stderr) when metrics are enabled. 0 flags everything measurable.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +69,8 @@ impl Default for ServiceConfig {
             default_timeout_ms: None,
             default_graph: "default".into(),
             index_threads: 0,
+            metrics: true,
+            slow_query_ms: 250,
         }
     }
 }
@@ -117,6 +127,11 @@ pub struct ServiceStats {
     pub bytes_in: u64,
     /// Response bytes written to sessions (payload + framing).
     pub bytes_out: u64,
+    /// Queries over the slow-query threshold (0 with metrics disabled).
+    pub slow_queries: u64,
+    /// Requests counted per protocol verb, in [`Verb::ALL`] order. Always
+    /// live (counters are unconditional; only histograms are gated).
+    pub requests_by_verb: [u64; Verb::COUNT],
 }
 
 impl ServiceStats {
@@ -138,7 +153,8 @@ impl ServiceStats {
              \"connections_accepted\":{},\"connections_rejected\":{},\
              \"active_sessions\":{},\"admitted\":{},\"rejected_overloaded\":{},\
              \"admission_timeouts\":{},\"bytes_in\":{},\"bytes_out\":{},\
-             \"graphs\":[{}],\"total_search_time_us\":{}}}",
+             \"graphs\":[{}],\"total_search_time_us\":{},\
+             \"slow_queries\":{},\"requests_by_verb\":{{{}}}}}",
             self.requests,
             self.searches_executed,
             self.cache.hits,
@@ -165,6 +181,12 @@ impl ServiceStats {
             self.bytes_out,
             graphs,
             self.total_search_time.as_micros(),
+            self.slow_queries,
+            Verb::ALL
+                .iter()
+                .map(|v| format!("\"{}\":{}", v.name(), self.requests_by_verb[v.index()]))
+                .collect::<Vec<_>>()
+                .join(","),
         )
     }
 }
@@ -227,6 +249,8 @@ pub enum Pending {
         graph: String,
         /// Searcher.
         method: Method,
+        /// Protocol verb (search/msearch) for per-verb latency accounting.
+        verb: Verb,
         /// Absolute deadline, if any.
         deadline: Option<Instant>,
         /// The pool ticket.
@@ -256,6 +280,7 @@ pub struct BccService {
     cache: SharedCache,
     counters: Arc<Mutex<Counters>>,
     transport: Arc<TransportCounters>,
+    metrics: Arc<Metrics>,
     seq: AtomicU64,
 }
 
@@ -265,6 +290,7 @@ impl BccService {
         let pool = WorkerPool::new(config.workers);
         let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
         let registry = GraphRegistry::with_index_threads(config.index_threads);
+        let metrics = Arc::new(Metrics::new(config.metrics, config.slow_query_ms));
         BccService {
             config,
             registry,
@@ -272,6 +298,7 @@ impl BccService {
             cache,
             counters: Arc::new(Mutex::new(Counters::default())),
             transport: Arc::new(TransportCounters::default()),
+            metrics,
             seq: AtomicU64::new(0),
         }
     }
@@ -306,6 +333,12 @@ impl BccService {
         &self.transport
     }
 
+    /// The metrics registry (shared with sessions and workers; the CLI's
+    /// Prometheus responder reads it through this accessor too).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
     /// A consistent stats snapshot.
     pub fn stats(&self) -> ServiceStats {
         let counters = self.counters.lock().unwrap();
@@ -336,6 +369,8 @@ impl BccService {
             admission_timeouts: t.admission_timeouts.load(Ordering::Relaxed),
             bytes_in: t.bytes_in.load(Ordering::Relaxed),
             bytes_out: t.bytes_out.load(Ordering::Relaxed),
+            slow_queries: self.metrics.slow_queries(),
+            requests_by_verb: std::array::from_fn(|i| self.metrics.requests(Verb::ALL[i])),
         }
     }
 
@@ -344,6 +379,11 @@ impl BccService {
     pub fn submit(&self, request: QueryRequest) -> Pending {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.counters.lock().unwrap().requests += 1;
+        let verb = match request.kind {
+            QueryKind::Pair { .. } => Verb::Search,
+            QueryKind::Multi { .. } => Verb::Msearch,
+        };
+        self.metrics.count_request(verb);
         let started = Instant::now();
 
         let graph_name = request
@@ -352,6 +392,7 @@ impl BccService {
             .unwrap_or_else(|| self.config.default_graph.clone());
         let Some(entry) = self.registry.get(&graph_name) else {
             self.counters.lock().unwrap().resolve_errors += 1;
+            self.metrics.record_latency(verb, started.elapsed());
             return Pending::Ready(QueryResponse::error(
                 seq,
                 "",
@@ -364,6 +405,7 @@ impl BccService {
             Ok(normalized) => normalized,
             Err(err) => {
                 self.counters.lock().unwrap().resolve_errors += 1;
+                self.metrics.record_latency(verb, started.elapsed());
                 return Pending::Ready(QueryResponse::error(seq, &graph_name, request.method, err));
             }
         };
@@ -377,13 +419,15 @@ impl BccService {
         );
 
         if let Some(outcome) = self.cache.lock().unwrap().get(&key) {
+            let elapsed = started.elapsed();
+            self.metrics.record_latency(verb, elapsed);
             return Pending::Ready(QueryResponse {
                 seq,
                 graph: graph_name,
                 method: request.method,
                 outcome: outcome.clone(),
                 cached: true,
-                elapsed: started.elapsed(),
+                elapsed,
             });
         }
 
@@ -392,16 +436,20 @@ impl BccService {
             .or(self.config.default_timeout_ms)
             .map(|ms| started + Duration::from_millis(ms));
         let method = request.method;
-        let cache = Arc::clone(&self.cache);
-        let counters = Arc::clone(&self.counters);
+        let shared = ExecShared {
+            cache: Arc::clone(&self.cache),
+            counters: Arc::clone(&self.counters),
+            metrics: Arc::clone(&self.metrics),
+        };
         let job_key = key.clone();
         let ticket = self.pool.submit(move || {
-            execute(&entry, method, &normalized, job_key, deadline, &cache, &counters)
+            execute(&entry, method, &normalized, job_key, deadline, &shared)
         });
         Pending::InFlight {
             seq,
             graph: graph_name,
             method,
+            verb,
             deadline,
             ticket,
             started,
@@ -416,6 +464,7 @@ impl BccService {
                 seq,
                 graph,
                 method,
+                verb,
                 deadline,
                 ticket,
                 started,
@@ -437,13 +486,15 @@ impl BccService {
                 if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
                     self.counters.lock().unwrap().timeouts += 1;
                 }
+                let elapsed = started.elapsed();
+                self.metrics.record_latency(verb, elapsed);
                 QueryResponse {
                     seq,
                     graph,
                     method,
                     outcome,
                     cached: false,
-                    elapsed: started.elapsed(),
+                    elapsed,
                 }
             }
         }
@@ -458,6 +509,20 @@ impl BccService {
     /// Executes one mutation line synchronously: stage an edge change, or
     /// commit the staged batch and invalidate affected cache entries.
     pub fn handle_mutate(&self, request: MutateRequest) -> MutateResponse {
+        let verb = match request.op {
+            MutateOp::AddEdge { .. } => Verb::AddEdge,
+            MutateOp::RemoveEdge { .. } => Verb::RemoveEdge,
+            MutateOp::Commit => Verb::Commit,
+        };
+        self.metrics.count_request(verb);
+        let started = Instant::now();
+        let response = self.handle_mutate_inner(request);
+        self.metrics.record_latency(verb, started.elapsed());
+        response
+    }
+
+    /// [`Self::handle_mutate`] minus the per-verb accounting wrapper.
+    fn handle_mutate_inner(&self, request: MutateRequest) -> MutateResponse {
         let graph_name = request
             .graph
             .clone()
@@ -490,11 +555,21 @@ impl BccService {
             }
             MutateOp::Commit => match self.registry.commit(&graph_name) {
                 Ok(outcome) => {
+                    // Commit-stage phase telemetry: the registry timed the
+                    // overlay apply and the per-batch cascade/χ work; the
+                    // cache rescope is bracketed right here.
+                    use bcc_obs::{Phase, Recorder as _};
+                    let m = &*self.metrics;
+                    m.record_phase(Phase::OverlayApply, outcome.time_overlay_apply);
+                    m.record_phase(Phase::Cascade, outcome.time_cascade);
+                    m.record_phase(Phase::ChiDelta, outcome.time_chi_delta);
+                    let rescope_started = Instant::now();
                     let (invalidated, retained) = self.rescope_cache(
                         outcome.old_generation,
                         outcome.entry.generation(),
                         outcome.dirty.as_ref(),
                     );
+                    m.record_phase(Phase::CacheInvalidate, rescope_started.elapsed());
                     let mut counters = self.counters.lock().unwrap();
                     counters.commits += 1;
                     counters.cache_invalidated += invalidated as u64;
@@ -571,8 +646,23 @@ impl BccService {
         (invalidated, retained)
     }
 
+    /// The `stats` verb's JSON line (counts the verb; [`Self::stats`] is
+    /// the uncounted programmatic snapshot).
+    pub fn stats_json(&self) -> String {
+        self.metrics.count_request(Verb::Stats);
+        self.stats().to_json()
+    }
+
+    /// The `metrics` verb's JSON line: the full registry snapshot,
+    /// deterministic key order, integers only.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.count_request(Verb::Metrics);
+        self.metrics.snapshot_json()
+    }
+
     /// The `graphs` command's JSON line.
     pub fn graphs_json(&self) -> String {
+        self.metrics.count_request(Verb::Graphs);
         let names = self
             .registry
             .names()
@@ -600,8 +690,9 @@ impl BccService {
         match parse_line(line) {
             Ok(ParsedLine::Empty) => LineOutcome::Silent,
             Ok(ParsedLine::Quit) | Ok(ParsedLine::Shutdown) => LineOutcome::Quit,
-            Ok(ParsedLine::Stats) => LineOutcome::Output(self.stats().to_json()),
+            Ok(ParsedLine::Stats) => LineOutcome::Output(self.stats_json()),
             Ok(ParsedLine::Graphs) => LineOutcome::Output(self.graphs_json()),
+            Ok(ParsedLine::Metrics) => LineOutcome::Output(self.metrics_json()),
             Ok(ParsedLine::Request(request)) => {
                 LineOutcome::Output(self.handle(request).to_json())
             }
@@ -647,6 +738,7 @@ impl BccService {
         enum Slot {
             Line(String),
             Stats,
+            Metrics,
             Failed(RequestError),
             Waiting(Pending),
         }
@@ -656,6 +748,7 @@ impl BccService {
                 Ok(ParsedLine::Empty) => {}
                 Ok(ParsedLine::Quit) | Ok(ParsedLine::Shutdown) => break,
                 Ok(ParsedLine::Stats) => slots.push(Slot::Stats),
+                Ok(ParsedLine::Metrics) => slots.push(Slot::Metrics),
                 Ok(ParsedLine::Graphs) => {
                     if let LineOutcome::Output(out) = self.process_line("graphs") {
                         slots.push(Slot::Line(out));
@@ -682,7 +775,8 @@ impl BccService {
             .enumerate()
             .map(|(idx, slot)| match slot {
                 Slot::Line(out) => out,
-                Slot::Stats => self.stats().to_json(),
+                Slot::Stats => self.stats_json(),
+                Slot::Metrics => self.metrics_json(),
                 Slot::Failed(err) => {
                     QueryResponse::error(idx as u64, "", Method::Lp, err).to_json()
                 }
@@ -773,6 +867,14 @@ fn normalize(entry: &GraphEntry, request: &QueryRequest) -> Result<Normalized, R
     Ok(Normalized { multi, vertices, ks, b })
 }
 
+/// The shared service handles one worker job records through: the result
+/// cache, the lock-guarded counters, and the lock-free metrics registry.
+struct ExecShared {
+    cache: SharedCache,
+    counters: Arc<Mutex<Counters>>,
+    metrics: Arc<Metrics>,
+}
+
 /// Runs one search on a worker thread and populates the cache. Requests
 /// whose deadline already passed are dropped without executing (their
 /// waiter has moved on; starting the search would waste the pool).
@@ -782,8 +884,7 @@ fn execute(
     normalized: &Normalized,
     key: CacheKey,
     deadline: Option<Instant>,
-    cache: &SharedCache,
-    counters: &Arc<Mutex<Counters>>,
+    shared: &ExecShared,
 ) -> Result<QueryOutcome, RequestError> {
     if let Some(deadline) = deadline {
         if Instant::now() >= deadline {
@@ -816,6 +917,16 @@ fn execute(
         }
     };
     let elapsed = started.elapsed();
+    // Telemetry is out-of-band: phase replay and the slow-query log read
+    // the result's stats here, where they still exist — the response JSON
+    // built from the outcome below never carries them.
+    let verb = if normalized.multi { Verb::Msearch } else { Verb::Search };
+    if let Ok(r) = &result {
+        r.stats.record_phases(&*shared.metrics);
+        shared.metrics.note_query(verb, entry.name(), elapsed, Some(&r.stats));
+    } else {
+        shared.metrics.note_query(verb, entry.name(), elapsed, None);
+    }
     let outcome = result
         .map(|r| outcome_from_result(&r, &normalized.ks, normalized.b))
         .map_err(|e| RequestError {
@@ -823,7 +934,7 @@ fn execute(
             message: e.to_string(),
         });
     {
-        let mut counters = counters.lock().unwrap();
+        let mut counters = shared.counters.lock().unwrap();
         counters.searches_executed += 1;
         counters.total_search_time += elapsed;
         if outcome.is_err() {
@@ -832,7 +943,7 @@ fn execute(
     }
     // Search outcomes — including deterministic search errors — are
     // cacheable; timeouts and panics never reach this point.
-    cache.lock().unwrap().insert(key, outcome.clone());
+    shared.cache.lock().unwrap().insert(key, outcome.clone());
     outcome
 }
 

@@ -178,8 +178,9 @@ impl<'s> Session<'s> {
             Ok(ParsedLine::Empty) => Step::Silent,
             Ok(ParsedLine::Quit) => Step::End(SessionEnd::Quit),
             Ok(ParsedLine::Shutdown) => Step::End(SessionEnd::Shutdown),
-            Ok(ParsedLine::Stats) => Step::Output(self.service.stats().to_json()),
+            Ok(ParsedLine::Stats) => Step::Output(self.service.stats_json()),
             Ok(ParsedLine::Graphs) => Step::Output(self.service.graphs_json()),
+            Ok(ParsedLine::Metrics) => Step::Output(self.service.metrics_json()),
             Ok(ParsedLine::Mutate(mut request)) => {
                 if request.graph.is_none() {
                     request.graph = self.config.default_graph.clone();
@@ -220,7 +221,12 @@ impl<'s> Session<'s> {
             .or(self.service.config().default_timeout_ms)
             .map(|ms| Instant::now() + Duration::from_millis(ms));
         let method = request.method;
-        match gate.admit(self.config.id, request.priority, deadline) {
+        // Queue wait = time from asking the gate to holding a permit (or
+        // being turned away) — the admission component of tail latency.
+        let wait_started = Instant::now();
+        let admitted = gate.admit(self.config.id, request.priority, deadline);
+        self.service.metrics().record_queue_wait(wait_started.elapsed());
+        match admitted {
             Ok(_permit) => {
                 // The permit spans the whole submit + wait: the session
                 // occupies one admission slot until its response is ready.
