@@ -255,11 +255,59 @@ fn main() {
         );
     }
 
+    // Section 3: the δ label-core decomposition on its own. Since the
+    // two-phase build restructure, δ is phase 1 of `build_with_threads` —
+    // a level-synchronous parallel peel across all workers — rather than a
+    // sequential "task 0" straggling next to the χ chunks. These rows make
+    // the phase's wall time (and its thread scaling) visible so a
+    // regression back to a sequential critical path shows up in CI
+    // artifacts. Bit-identity vs the sequential peel is asserted per row.
+    let delta_rows: Vec<Vec<BuildRow>> = networks
+        .iter()
+        .map(|(name, graph)| {
+            let seed = bcc_cohesion::label_core_decomposition(&GraphView::new(graph));
+            thread_counts
+                .iter()
+                .map(|&threads| {
+                    let (delta_time, delta) = time_min(repeats, || {
+                        bcc_cohesion::label_core_decomposition_parallel(graph, threads)
+                    });
+                    assert_eq!(
+                        delta, seed,
+                        "INVARIANT VIOLATED: parallel δ diverged from the sequential \
+                         peel on {name} at {threads} threads"
+                    );
+                    BuildRow { network: name.clone(), threads, build_ms: ms(delta_time) }
+                })
+                .collect()
+        })
+        .collect();
+    let mut delta_table = Table::new(
+        format!(
+            "δ label-core decomposition (phase 1 of build_with_threads) on {cores} \
+             core(s) (min of {repeats} runs, bit-identical at every setting)"
+        ),
+        vec!["network".into(), "threads".into(), "delta ms".into(), "speedup vs 1t".into()],
+    );
+    for rows in &delta_rows {
+        let single = rows.iter().find(|r| r.threads == 1).expect("1-thread row").build_ms;
+        for row in rows {
+            delta_table.push_row(vec![
+                row.network.clone(),
+                row.threads.to_string(),
+                format!("{:.3}", row.build_ms),
+                format!("{:.2}x", single / row.build_ms),
+            ]);
+        }
+    }
+    println!("{}", delta_table.render());
+
     if let Some(path) = out_path {
         let json = format!(
-            "{{\"cores\":{cores},\"kernels\":{},\"builds\":{}}}",
+            "{{\"cores\":{cores},\"kernels\":{},\"builds\":{},\"delta\":{}}}",
             kernel_table.to_json(),
-            build_table.to_json()
+            build_table.to_json(),
+            delta_table.to_json()
         );
         std::fs::write(&path, json).expect("write JSON summary");
         eprintln!("wrote JSON summary to {path}");

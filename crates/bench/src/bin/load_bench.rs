@@ -21,7 +21,10 @@
 //! * every overload response is the structured `overloaded` error;
 //! * N-client throughput ≥ 1-client throughput (SKIPPED on single-core
 //!   machines, where concurrency cannot help);
-//! * metrics-on throughput within 5% of metrics-off (same SKIP rule).
+//! * metrics-on throughput within 5% of metrics-off (same SKIP rule);
+//! * the query-thread sweep — the same single-client workload forced to
+//!   method=online with `query_threads` 1 vs 0 (all cores) — must run
+//!   strictly faster parallel than sequential (same SKIP rule).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -131,9 +134,16 @@ fn run_phase(
     graph: &bcc_graph::LabeledGraph,
     client_lines: &[Vec<String>],
     metrics: bool,
+    query_threads: usize,
 ) -> BenchPhase {
     let service = Arc::new(BccService::with_graph(
-        ServiceConfig { workers: 0, cache_capacity: 4096, metrics, ..Default::default() },
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 4096,
+            metrics,
+            query_threads,
+            ..Default::default()
+        },
         graph.clone(),
     ));
     let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
@@ -206,11 +216,27 @@ fn main() {
     let total: usize = all_lines.iter().map(Vec::len).sum();
     eprintln!("workload: {clients} clients, {total} distinct query lines total");
 
-    let single = run_phase("1 client", &net.graph, &all_lines[..1], true);
+    let single = run_phase("1 client", &net.graph, &all_lines[..1], true, 1);
     // Same N-client workload twice: metrics tier off (the baseline), then
     // on — the pair the ≤5% overhead gate compares.
-    let multi_off = run_phase("N clients, metrics off", &net.graph, &all_lines, false);
-    let multi = run_phase("N clients", &net.graph, &all_lines, true);
+    let multi_off = run_phase("N clients, metrics off", &net.graph, &all_lines, false, 1);
+    let multi = run_phase("N clients", &net.graph, &all_lines, true, 1);
+
+    // Query-thread sweep: one client, the whole workload, with the stages
+    // *inside* each search sequential vs parallel (`--query-threads 0` ⇒
+    // all cores). Online-method queries carry the most intra-query work
+    // (full BFS + full recount per peel iteration), so the sweep forces
+    // every line to method=online — the fairest surface for the knob.
+    let sweep_lines: Vec<Vec<String>> = vec![all_lines
+        .iter()
+        .flatten()
+        .map(|l| {
+            let base = l.split(" method=").next().unwrap_or(l);
+            format!("{base} method=online")
+        })
+        .collect()];
+    let qt_seq = run_phase("1 client, query-threads 1", &net.graph, &sweep_lines, true, 1);
+    let qt_par = run_phase("1 client, query-threads 0", &net.graph, &sweep_lines, true, 0);
 
     // Overload phase: a depth-0 queue whose only slot is held externally —
     // every request must be rejected, structurally, immediately.
@@ -265,7 +291,7 @@ fn main() {
             "p99 ms".into(),
         ],
     );
-    for phase in [&single, &multi_off, &multi] {
+    for phase in [&single, &multi_off, &multi, &qt_seq, &qt_par] {
         table.push_row(vec![
             phase.label.to_string(),
             phase.clients.to_string(),
@@ -325,10 +351,33 @@ fn main() {
             (multi.qps / multi_off.qps - 1.0) * 100.0
         );
     }
+    if cores < 2 {
+        println!(
+            "query-thread gate SKIPPED: {cores} core(s) available — intra-query \
+             workers cannot beat the sequential path without parallelism"
+        );
+    } else {
+        assert!(
+            qt_par.qps > qt_seq.qps,
+            "INVARIANT VIOLATED: query-threads 0 throughput ({:.0} q/s) did not \
+             beat query-threads 1 ({:.0} q/s) on a {cores}-core machine",
+            qt_par.qps,
+            qt_seq.qps
+        );
+        println!(
+            "query threads: parallel {:.0} q/s vs sequential {:.0} q/s ({:.2}x)",
+            qt_par.qps,
+            qt_seq.qps,
+            qt_par.qps / qt_seq.qps
+        );
+    }
 
     if let Some(path) = out_path {
-        std::fs::write(&path, summary_json(&table, &single, &multi_off, &multi))
-            .expect("write JSON summary");
+        std::fs::write(
+            &path,
+            summary_json(&table, &single, &multi_off, &multi, &qt_seq, &qt_par, cores),
+        )
+        .expect("write JSON summary");
         eprintln!("wrote JSON summary to {path}");
     }
     if let Some(path) = prom_path {
@@ -345,6 +394,9 @@ fn summary_json(
     single: &BenchPhase,
     multi_off: &BenchPhase,
     multi: &BenchPhase,
+    qt_seq: &BenchPhase,
+    qt_par: &BenchPhase,
+    cores: usize,
 ) -> String {
     let hist = |snap: &HistogramSnapshot| {
         format!(
@@ -371,10 +423,15 @@ fn summary_json(
         )
     };
     format!(
-        "{{\"table\":{},\"phases\":{{\"single\":{},\"multi_metrics_off\":{},\"multi\":{}}}}}\n",
+        "{{\"table\":{},\"phases\":{{\"single\":{},\"multi_metrics_off\":{},\"multi\":{}}},\
+         \"query_thread_sweep\":{{\"cores\":{cores},\"sequential\":{},\"parallel\":{},\
+         \"speedup\":{:.3}}}}}\n",
         table.to_json(),
         phase_json(single),
         phase_json(multi_off),
-        phase_json(multi)
+        phase_json(multi),
+        phase_json(qt_seq),
+        phase_json(qt_par),
+        qt_par.qps / qt_seq.qps.max(1e-9),
     )
 }

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! bcc stats    <graph-file>
-//! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]
-//! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N] [--method online|lp|l2p]
-//! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+//! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--query-threads N]
+//! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N] [--method online|lp|l2p] [--query-threads N]
+//! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N]
 //! bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N]
-//! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N]
+//! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N]
 //! bcc generate <output-file> [--network baidu1|baidu2|amazon|dblp|youtube|livejournal|orkut] [--scale F]
 //! bcc case     <flight|trade|fiction|academic> [--out FILE]
 //! ```
@@ -46,11 +46,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   bcc stats    <graph-file>
-  bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N]
-  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N]
-  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N] [--query-threads N]
+  bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N] [--query-threads N]
+  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
   bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N] [--metrics-addr ADDR] [serve flags]
-  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
   bcc case     <flight|trade|fiction|academic> [--out FILE]
 
@@ -58,6 +58,12 @@ const USAGE: &str = "usage:
 core). Defaults: 0 for serve/batch (the build amortizes across a session),
 1 for one-shot search/msearch (a single query does not grab every core
 unasked). The produced index is bit-identical at any setting.
+
+--query-threads parallelizes the stages *inside* each search — BFS query
+distances, label-core reduction, butterfly recounts (0 = one thread per
+core, default 1). Results and responses are bit-identical at any setting;
+the serving commands already parallelize across queries, so raise this to
+cut single-query latency on big graphs.
 
 serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
 `msearch q=<v>,<v>,...` / `add_edge u=<v> v=<v>` / `remove_edge u=<v> v=<v>` /
@@ -127,6 +133,19 @@ fn index_threads(args: &[String], default: usize) -> Result<usize, String> {
         .map(|t| t.unwrap_or(default))
 }
 
+/// The shared `--query-threads` knob (0 ⇒ one per available core): how many
+/// workers each search's internal stages (BFS distances, label-core
+/// reduction, butterfly recounts) use. Results are bit-identical at any
+/// setting. Defaults to 1 everywhere: the serving commands already
+/// parallelize *across* queries, and a one-shot search should not grab
+/// every core unasked.
+fn query_threads(args: &[String]) -> Result<usize, String> {
+    flag_value(args, "--query-threads")
+        .map(|t| t.parse().map_err(|_| "--query-threads must be an integer".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or(1))
+}
+
 fn load(args: &[String]) -> Result<LabeledGraph, String> {
     let path = args.get(1).ok_or("missing graph file")?;
     bcc_graph::io::read_graph_file(path).map_err(|e| e.to_string())
@@ -188,16 +207,21 @@ fn search(args: &[String]) -> Result<(), String> {
     // The BCindex is consulted only by l2p: build it lazily in that arm so
     // online/lp pay nothing, and report its (offline, amortizable) build
     // time separately from the search itself.
+    let qt = query_threads(args)?;
     let search_started = Instant::now();
     let result = match method {
-        "online" => bcc_core::OnlineBcc::default().search(&graph, &query, &params),
-        "lp" => LpBcc::default().search(&graph, &query, &params),
+        "online" => bcc_core::OnlineBcc::default()
+            .with_query_threads(qt)
+            .search(&graph, &query, &params),
+        "lp" => LpBcc::default().with_query_threads(qt).search(&graph, &query, &params),
         "l2p" => {
             let index_started = Instant::now();
             let index = BccIndex::build_with_threads(&graph, index_threads(args, 1)?);
             println!("index build   : {:?}", index_started.elapsed());
             let search_started = Instant::now();
-            let result = bcc_core::L2pBcc::default().search(&graph, &index, &query, &params);
+            let result = bcc_core::L2pBcc::default()
+                .with_query_threads(qt)
+                .search(&graph, &index, &query, &params);
             println!("search time   : {:?}", search_started.elapsed());
             result
         }
@@ -264,7 +288,7 @@ fn msearch(args: &[String]) -> Result<(), String> {
         }
         _ => None,
     };
-    let searcher = MultiLabelBcc::with_strategy(strategy);
+    let searcher = MultiLabelBcc::with_strategy(strategy).with_query_threads(query_threads(args)?);
     let search_started = Instant::now();
     let result = searcher.search(&graph, index.as_ref(), &query, &params);
     println!("search time   : {:?}", search_started.elapsed());
@@ -315,6 +339,7 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
             .map(|t| t.parse().map_err(|_| "--slow-query-ms must be an integer"))
             .transpose()?
             .unwrap_or(250),
+        query_threads: query_threads(args)?,
     };
     let service = BccService::with_graph(config, graph);
     // Banner on stderr: stdout carries only protocol responses.

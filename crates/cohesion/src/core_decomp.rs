@@ -7,6 +7,8 @@
 //! constrains (conditions 2–3 of Definition 4) and the coreness component of
 //! the BCindex (Section 6.3). Both run in O(|V| + |E|).
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 use bcc_graph::{GraphRead, GraphView, VertexId};
 
 /// Which edges a decomposition counts.
@@ -124,6 +126,244 @@ fn peel(
         }
     }
     coreness
+}
+
+/// `0` means "use every available core" — the same convention as
+/// `BccIndex::build_with_threads` and `ServiceConfig::index_threads`.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Below this frontier size a level is expanded on the calling thread: the
+/// per-`thread::scope` spawn cost (~tens of µs) dwarfs the work, and small
+/// frontiers dominate the tail of every decomposition.
+const PARALLEL_FRONTIER_MIN: usize = 256;
+
+/// The level-synchronous parallel peeling engine — the bucket-based
+/// counterpart of [`peel`].
+///
+/// Batagelj–Zaversnik peels one vertex at a time in degree order; its output,
+/// the core number, is a property of the graph alone, independent of peeling
+/// order. This engine exploits that: for k = 0, 1, … it repeatedly removes
+/// *every* remaining vertex of degree ≤ k in rounds (assigning coreness k),
+/// decrementing neighbor degrees with a CAS loop that clamps at k — exactly
+/// the clamp `peel` applies via its `du > current_degree[v]` guard. Each
+/// round's frontier is expanded in parallel over contiguous chunks, one per
+/// worker, and the per-worker discovery buffers are concatenated in worker
+/// index order, so even the *internal* traversal order is a pure function of
+/// the input. The returned coreness vector is bit-identical to [`peel`]'s by
+/// the uniqueness of core numbers (pinned by tests and by the index
+/// differential suite).
+///
+/// Work is O(|V| + |E|) like the sequential peel: every edge is relaxed at
+/// most twice and every lazy re-bucket entry is paid for by a decrement.
+fn peel_parallel(
+    n: usize,
+    alive: &[VertexId],
+    degree: &[AtomicU32],
+    threads: usize,
+    neighbors: impl Fn(VertexId, &mut Vec<VertexId>) + Sync,
+) -> Vec<u32> {
+    let max_degree =
+        alive.iter().map(|&v| degree[v.index()].load(Ordering::Relaxed)).max().unwrap_or(0);
+
+    // Bucket vertices by starting degree. Buckets are *lazy*: a decrement to
+    // d > k re-files the vertex under bucket d without unfiling the stale
+    // entry; the pop filter below (`unprocessed && degree == k`) discards
+    // stale entries. Every unprocessed vertex holds an entry at its current
+    // degree, so no vertex is ever missed.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_degree as usize + 1];
+    for &v in alive {
+        buckets[degree[v.index()].load(Ordering::Relaxed) as usize].push(v);
+    }
+
+    let mut coreness = vec![0u32; n];
+    let mut processed = vec![false; n];
+    let mut remaining = alive.len();
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut scratch: Vec<VertexId> = Vec::new();
+
+    for k in 0..=max_degree {
+        if remaining == 0 {
+            break;
+        }
+        // Invariant at level start: every unprocessed vertex has degree ≥ k
+        // (anything that dropped to ≤ j was consumed at level j < k), so the
+        // filter `degree == k` selects exactly this level's seeds.
+        frontier.clear();
+        let mut seeds = std::mem::take(&mut buckets[k as usize]);
+        frontier.extend(
+            seeds
+                .drain(..)
+                .filter(|v| !processed[v.index()] && degree[v.index()].load(Ordering::Relaxed) == k),
+        );
+
+        while !frontier.is_empty() {
+            for &v in &frontier {
+                processed[v.index()] = true;
+                coreness[v.index()] = k;
+            }
+            remaining -= frontier.len();
+
+            // Expand the round: decrement unprocessed neighbors, clamping at
+            // k. The worker whose CAS moves a neighbor from k+1 to k owns its
+            // enqueue (exactly-once); drops that stay above k are re-filed.
+            let workers = if frontier.len() < PARALLEL_FRONTIER_MIN { 1 } else { threads };
+            let mut next: Vec<VertexId> = Vec::new();
+            let mut refile: Vec<(VertexId, u32)> = Vec::new();
+            if workers <= 1 {
+                expand_chunk(&frontier, degree, k, &neighbors, &mut scratch, &mut next, &mut refile);
+            } else {
+                let chunk = frontier.len().div_ceil(workers);
+                let neighbors = &neighbors;
+                let parts: Vec<PeelChunkOut> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = frontier
+                            .chunks(chunk)
+                            .map(|slice| {
+                                s.spawn(move || {
+                                    let mut local_scratch = Vec::new();
+                                    let mut local_next = Vec::new();
+                                    let mut local_refile = Vec::new();
+                                    expand_chunk(
+                                        slice,
+                                        degree,
+                                        k,
+                                        &neighbors,
+                                        &mut local_scratch,
+                                        &mut local_next,
+                                        &mut local_refile,
+                                    );
+                                    (local_next, local_refile)
+                                })
+                            })
+                            .collect();
+                        // Join in spawn (= chunk) order: the merged buffers
+                        // are deterministic for a given input and chunking.
+                        handles.into_iter().map(|h| h.join().expect("peel worker")).collect()
+                    });
+                for (local_next, local_refile) in parts {
+                    next.extend(local_next);
+                    refile.extend(local_refile);
+                }
+            }
+            for (v, d) in refile {
+                buckets[d as usize].push(v);
+            }
+            frontier = next;
+        }
+    }
+    coreness
+}
+
+/// One peel worker's output: its share of the next frontier (vertices
+/// dropped to exactly `k`) and the (vertex, new-degree) drops that stayed
+/// above `k`, to be re-filed into their buckets.
+type PeelChunkOut = (Vec<VertexId>, Vec<(VertexId, u32)>);
+
+/// One worker's share of a peeling round: relax every neighbor of every
+/// frontier vertex in `slice`. Neighbors already at ≤ k (processed earlier,
+/// processed this round, or sharing the frontier) are skipped by the clamp —
+/// no `processed` lookup is needed.
+fn expand_chunk(
+    slice: &[VertexId],
+    degree: &[AtomicU32],
+    k: u32,
+    neighbors: &(impl Fn(VertexId, &mut Vec<VertexId>) + Sync),
+    scratch: &mut Vec<VertexId>,
+    next: &mut Vec<VertexId>,
+    refile: &mut Vec<(VertexId, u32)>,
+) {
+    for &v in slice {
+        scratch.clear();
+        neighbors(v, scratch);
+        for &u in scratch.iter() {
+            let slot = &degree[u.index()];
+            let mut cur = slot.load(Ordering::Relaxed);
+            loop {
+                if cur <= k {
+                    break;
+                }
+                match slot.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        if cur == k + 1 {
+                            next.push(u);
+                        } else {
+                            refile.push((u, cur - 1));
+                        }
+                        break;
+                    }
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+}
+
+/// [`label_core_decomposition_direct`] with the bucketed parallel engine:
+/// same-label coreness straight off any [`GraphRead`] source, peeled
+/// level-synchronously across `threads` workers (`0` = all cores). The
+/// offline index build's δ task calls this — PR 5 left that task as the
+/// build's sequential critical path; here the decomposition itself scales.
+/// Output is bit-identical to the sequential path at any thread count.
+pub fn label_core_decomposition_parallel<G: GraphRead + Sync>(g: &G, threads: usize) -> Vec<u32> {
+    let threads = resolve_threads(threads);
+    if threads <= 1 {
+        return label_core_decomposition_direct(g);
+    }
+    let n = g.vertex_count();
+    let alive: Vec<VertexId> = g.vertices().collect();
+    let degree: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // Same-label degree needs a neighbor scan per vertex — the one O(|E|)
+    // setup pass — so fan it out over contiguous chunks of the alive list.
+    let chunk = alive.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for slice in alive.chunks(chunk) {
+            let degree = &degree;
+            s.spawn(move || {
+                for &v in slice {
+                    let d = g.same_label_neighbors_iter(v).count() as u32;
+                    degree[v.index()].store(d, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    peel_parallel(n, &alive, &degree, threads, |v, out| {
+        out.extend(g.same_label_neighbors_iter(v))
+    })
+}
+
+/// Same-label coreness of a (possibly partially deleted) [`GraphView`],
+/// peeled in parallel. This is the query-time entry point: `find_g0`'s
+/// label-core reduction filters the view by these core numbers instead of
+/// cascading removals one vertex at a time.
+pub fn label_core_decomposition_view_parallel<G: GraphRead + Sync>(
+    view: &GraphView<'_, G>,
+    threads: usize,
+) -> Vec<u32> {
+    let threads = resolve_threads(threads);
+    if threads <= 1 {
+        return label_core_decomposition(view);
+    }
+    let n = view.graph().vertex_count();
+    let alive: Vec<VertexId> = view.collect_vertices();
+    let degree: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    for &v in &alive {
+        // The view maintains intra-degree incrementally: O(1) per vertex.
+        degree[v.index()].store(view.intra_degree(v) as u32, Ordering::Relaxed);
+    }
+    peel_parallel(n, &alive, &degree, threads, |v, out| {
+        out.extend(view.same_label_neighbors(v))
+    })
 }
 
 /// Coreness of every alive vertex counting all live edges; dead vertices get
@@ -254,6 +494,86 @@ mod tests {
                 label_core_decomposition(&GraphView::new(&g)),
             );
         }
+    }
+
+    /// Deterministic pseudo-random labeled graph (xorshift64*), dense enough
+    /// to produce a spread of core numbers and several labels.
+    fn random_graph(n: usize, labels: usize, edge_prob_per_mille: u64, seed: u64) -> LabeledGraph {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new();
+        let names: Vec<String> = (0..labels).map(|i| format!("L{i}")).collect();
+        let vs: Vec<_> = (0..n).map(|i| b.add_vertex(&names[i % labels])).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() % 1000 < edge_prob_per_mille {
+                    b.add_edge(vs[i], vs[j]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_label_core_is_bit_identical_at_every_thread_count() {
+        for (n, labels, per_mille, seed) in
+            [(60, 2, 200, 0x1D3), (320, 3, 30, 0xBEEF), (700, 4, 15, 0xCAFE)]
+        {
+            let g = random_graph(n, labels, per_mille, seed);
+            let reference = label_core_decomposition_direct(&g);
+            for threads in [1usize, 2, 3, 7, 0] {
+                assert_eq!(
+                    label_core_decomposition_parallel(&g, threads),
+                    reference,
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_view_label_core_matches_sequential_after_deletions() {
+        let g = random_graph(300, 3, 40, 0x5EED);
+        let mut view = GraphView::new(&g);
+        // Knock out a deterministic scatter of vertices so the view path is
+        // exercised on a genuinely partial graph.
+        for i in (0..300u32).step_by(7) {
+            view.remove_vertex(bcc_graph::VertexId(i));
+        }
+        let reference = label_core_decomposition(&view);
+        for threads in [1usize, 2, 3, 7, 0] {
+            assert_eq!(
+                label_core_decomposition_view_parallel(&view, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_peel_handles_degenerate_shapes() {
+        // Empty graph, isolated vertices, and a single clique — the level
+        // engine's edges: zero alive, zero max-degree, one giant bucket.
+        let empty = GraphBuilder::new().build();
+        assert_eq!(label_core_decomposition_parallel(&empty, 4), Vec::<u32>::new());
+
+        let mut b = GraphBuilder::new();
+        for _ in 0..5 {
+            b.add_vertex("A");
+        }
+        let isolated = b.build();
+        assert_eq!(label_core_decomposition_parallel(&isolated, 4), vec![0; 5]);
+
+        let g = clique(9, "A");
+        assert_eq!(
+            label_core_decomposition_parallel(&g, 3),
+            label_core_decomposition_direct(&g)
+        );
     }
 
     #[test]

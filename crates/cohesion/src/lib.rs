@@ -38,10 +38,12 @@ pub mod support;
 pub mod truss;
 
 pub use core_decomp::{
-    core_decomposition, label_core_decomposition, label_core_decomposition_direct, max_coreness,
+    core_decomposition, label_core_decomposition, label_core_decomposition_direct,
+    label_core_decomposition_parallel, label_core_decomposition_view_parallel, max_coreness,
 };
 pub use core_maintain::{
     cascade_label_core, cascade_label_core_from_seeds, reduce_to_k_core, reduce_to_label_core,
+    reduce_to_label_core_parallel,
     LabelCoreThresholds,
 };
 pub use support::{triangle_supports, EdgeIndex};

@@ -51,12 +51,16 @@ impl BccIndex {
     }
 
     /// Builds the index with up to `threads` worker threads (0 ⇒ one per
-    /// available core). The build has two independent halves — the δ
-    /// peeling pass and the per-vertex χ wedge counts — so the parallel
-    /// path runs them as one task pool: a single atomic cursor hands out
-    /// the δ decomposition and fixed-size χ vertex chunks to
-    /// `std::thread::scope` workers, each with its own [`WedgeScratch`].
-    /// Per-vertex χ is an independent exact computation, so any thread
+    /// available core). The build has two halves — the δ peeling pass and
+    /// the per-vertex χ wedge counts — and the parallel path runs them as
+    /// two internally-parallel phases: first the bucketed level-synchronous
+    /// δ decomposition (`bcc_cohesion::label_core_decomposition_parallel`)
+    /// across all workers, then the χ chunks drained through an atomic
+    /// cursor by `std::thread::scope` workers, each with its own
+    /// [`WedgeScratch`]. (The earlier design ran δ as a single task in the
+    /// χ pool, which made it the build's sequential critical path at high
+    /// thread counts — the straggler PR 5 recorded.) δ is order-independent
+    /// and per-vertex χ is an independent exact computation, so any thread
     /// count produces a **bit-identical** index (pinned by the test suite
     /// and the `index_build` benchmark).
     ///
@@ -121,50 +125,45 @@ impl BccIndex {
     }
 }
 
-/// The parallel build body: δ and the χ chunks drain through one atomic
-/// cursor (task 0 = the δ decomposition, tasks 1.. = χ chunks of
-/// [`CHI_CHUNK`] vertices), claimed by `threads` scoped workers — the
-/// calling thread is one of them.
+/// The parallel build body: phase 1 peels δ with the bucketed
+/// level-synchronous engine across all `threads` workers; phase 2 drains χ
+/// chunks of [`CHI_CHUNK`] vertices through an atomic cursor claimed by
+/// scoped workers — the calling thread is one of them.
 fn build_halves_parallel(graph: &LabeledGraph, threads: usize) -> (Vec<u32>, Vec<u64>) {
+    // Phase 1 — δ across the whole pool. The PR 5 design handed δ to a
+    // single worker in the χ task pool, so at high thread counts the build
+    // took max(δ, χ/T) with δ fixed: the sequential critical path the
+    // `index_build` benchmark records. The bucketed decomposition peels
+    // level-synchronously, bit-identically to the sequential peel.
+    let label_coreness = bcc_cohesion::label_core_decomposition_parallel(graph, threads);
+
+    // Phase 2 — χ chunks. Each chunk slot is claimed by exactly one worker
+    // (the cursor never hands an index out twice), the Mutex<Option<..>>
+    // just makes that ownership transfer safe to express.
     let n = graph.vertex_count();
     let mut chi = vec![0u64; n];
-    // Each chunk slot is claimed by exactly one worker (the cursor never
-    // hands an index out twice), the Mutex<Option<..>> just makes that
-    // ownership transfer safe to express.
     let chunks: Vec<Mutex<Option<&mut [u64]>>> =
         chi.chunks_mut(CHI_CHUNK).map(|c| Mutex::new(Some(c))).collect();
-    let coreness_slot: Mutex<Option<Vec<u32>>> = Mutex::new(None);
     let cursor = AtomicUsize::new(0);
-    let tasks = chunks.len() + 1;
+    let tasks = chunks.len();
     // A worker beyond the task count would only pay its spawn + scratch
     // allocation to observe an exhausted cursor.
     let threads = threads.min(tasks);
     let worker = || {
         let mut scratch = WedgeScratch::new(n);
         loop {
-            let task = cursor.fetch_add(1, Ordering::Relaxed);
-            if task >= tasks {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= tasks {
                 break;
             }
-            if task == 0 {
-                // View-free δ: `label_core_decomposition_direct` peels the
-                // snapshot as-is, so the worker no longer pays the
-                // O(|V| + |E|) `GraphView::new` alive/degree setup that the
-                // χ half never needed (ROADMAP carried item).
-                *coreness_slot.lock().unwrap() =
-                    Some(bcc_cohesion::label_core_decomposition_direct(graph));
-            } else {
-                let idx = task - 1;
-                let slice =
-                    chunks[idx].lock().unwrap().take().expect("chunk claimed exactly once");
-                let start = idx * CHI_CHUNK;
-                for (off, out) in slice.iter_mut().enumerate() {
-                    *out = hetero_butterfly_degree_of_with(
-                        graph,
-                        VertexId((start + off) as u32),
-                        &mut scratch,
-                    );
-                }
+            let slice = chunks[idx].lock().unwrap().take().expect("chunk claimed exactly once");
+            let start = idx * CHI_CHUNK;
+            for (off, out) in slice.iter_mut().enumerate() {
+                *out = hetero_butterfly_degree_of_with(
+                    graph,
+                    VertexId((start + off) as u32),
+                    &mut scratch,
+                );
             }
         }
     };
@@ -175,10 +174,6 @@ fn build_halves_parallel(graph: &LabeledGraph, threads: usize) -> (Vec<u32>, Vec
         worker();
     });
     drop(chunks);
-    let label_coreness = coreness_slot
-        .into_inner()
-        .unwrap()
-        .expect("the δ task ran: task 0 is claimed before the cursor passes it");
     (label_coreness, chi)
 }
 

@@ -54,12 +54,42 @@ impl WedgeScratch {
         }
     }
 
+    /// Allocated capacities above `max(SHRINK_FLOOR, SHRINK_FACTOR ×
+    /// requested)` are released by [`WedgeScratch::reset_for`]. The floor
+    /// keeps small-graph churn free (a few KiB is noise); the factor gives
+    /// hysteresis so alternating between similar sizes never reallocates.
+    /// The policy exists for long-lived pool workers: their thread-local
+    /// scratch used to stay sized for the **largest graph ever touched**,
+    /// pinning O(max |V|) per worker across unrelated graphs forever.
+    const SHRINK_FLOOR: usize = 4096;
+    const SHRINK_FACTOR: usize = 4;
+
+    /// The largest allocation [`WedgeScratch::reset_for`] retains for a
+    /// request of `capacity` (the bound the shrink test pins).
+    pub fn retained_bound(capacity: usize) -> usize {
+        Self::SHRINK_FLOOR.max(capacity.saturating_mul(Self::SHRINK_FACTOR))
+    }
+
+    /// The currently allocated capacity (vertex ids the scratch can hold
+    /// without growing).
+    pub fn allocated(&self) -> usize {
+        self.stamp.len()
+    }
+
     /// Starts a fresh epoch (all counters logically zero, O(1)) and grows
-    /// the arrays to cover vertex ids `< capacity` if needed.
+    /// the arrays to cover vertex ids `< capacity` if needed. Oversized
+    /// arrays — beyond [`WedgeScratch::retained_bound`] — are shrunk back
+    /// to `capacity` and their memory returned to the allocator.
     pub fn reset_for(&mut self, capacity: usize) {
         if self.stamp.len() < capacity {
             self.stamp.resize(capacity, 0);
             self.count.resize(capacity, 0);
+        } else if self.stamp.len() > Self::retained_bound(capacity) {
+            // Fresh zeroed arrays, not truncate-in-place: `shrink_to_fit`
+            // on a truncated Vec may copy the retained prefix, and zeroed
+            // stamps can never equal a live epoch (epochs start at 1).
+            self.stamp = vec![0; capacity];
+            self.count = vec![0; capacity];
         }
         self.touched.clear();
         // On (astronomically unlikely) epoch wrap, physically clear the
@@ -179,6 +209,38 @@ mod tests {
         s.reset_for(8);
         assert_eq!(s.bump(VertexId(7)), 1);
         assert_eq!(s.count(VertexId(1)), 0);
+    }
+
+    /// The high-water fix: a worker that once touched a huge graph must not
+    /// keep that allocation across later small-graph work. The retained
+    /// bound is `max(4096, 4 × capacity)` — within it nothing reallocates
+    /// (hysteresis), beyond it the arrays drop to the requested size.
+    #[test]
+    fn reset_for_shrinks_past_the_retained_bound() {
+        let mut s = WedgeScratch::new(0);
+        s.reset_for(1 << 20); // a million-vertex graph passes through
+        s.bump(VertexId(999_999));
+        assert_eq!(s.allocated(), 1 << 20);
+
+        // Back to a small graph: the oversized arrays must go.
+        s.reset_for(100);
+        assert_eq!(s.allocated(), 100);
+        assert!(s.allocated() <= WedgeScratch::retained_bound(100));
+        assert!(!s.contains(VertexId(99)), "shrunk scratch starts an empty epoch");
+        assert_eq!(s.bump(VertexId(99)), 1, "and stays fully usable");
+
+        // Hysteresis: capacities within the bound never reallocate…
+        s.reset_for(4096);
+        assert_eq!(s.allocated(), 4096);
+        s.reset_for(1100);
+        assert_eq!(s.allocated(), 4096, "within 4×1100 ≥ 4096: retained");
+        // …and the floor keeps tiny graphs from churning at all.
+        s.reset_for(1);
+        assert_eq!(s.allocated(), 4096, "at the floor: retained");
+        s.reset_for(4097);
+        assert_eq!(s.allocated(), 4097);
+        s.reset_for(1);
+        assert_eq!(s.allocated(), 1, "just past the floor: shrunk to the request");
     }
 
     #[test]

@@ -259,12 +259,21 @@ pub enum Phase {
     ChiDelta,
     /// Commit: community-scoped result-cache invalidation / rekeying.
     CacheInvalidate,
+    /// Sub-phase of [`Phase::QueryDistance`] on the parallel online path:
+    /// frontier expansion (neighbor relaxation) of the level-synchronous
+    /// BFS. Zero / unrecorded on the sequential reference path.
+    QueryDistExpand,
+    /// Sub-phase of [`Phase::QueryDistance`] on the parallel online path:
+    /// merging per-worker discovery buffers into the next frontier.
+    QueryDistMerge,
 }
 
 impl Phase {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
-    /// All phases, in display order (query phases then commit stages).
+    /// All phases, in display order (query phases, commit stages, then the
+    /// parallel-path sub-phases — appended last so historical snapshot
+    /// consumers keep their positional prefix).
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::QueryDistance,
         Phase::CoreDecomp,
@@ -274,6 +283,8 @@ impl Phase {
         Phase::Cascade,
         Phase::ChiDelta,
         Phase::CacheInvalidate,
+        Phase::QueryDistExpand,
+        Phase::QueryDistMerge,
     ];
 
     #[inline]
@@ -292,6 +303,8 @@ impl Phase {
             Phase::Cascade => "cascade",
             Phase::ChiDelta => "chi_delta",
             Phase::CacheInvalidate => "cache_invalidate",
+            Phase::QueryDistExpand => "query_dist_expand",
+            Phase::QueryDistMerge => "query_dist_merge",
         }
     }
 }

@@ -1,0 +1,135 @@
+//! Tentpole differential for the parallel online search: the
+//! `query_threads` knob must be invisible on the wire. The same protocol
+//! workload — every search method, msearch, and live
+//! `add_edge`/`commit`/`remove_edge`/`commit` cycles interleaved between
+//! queries — is replayed through fresh services at query-threads 1, 2, 3,
+//! 7, and 0 (all cores), and every transcript must be byte-identical to
+//! the sequential reference. A second pass re-runs the comparison with the
+//! result cache enabled, pinning that cache hits (and their `cached:true`
+//! marker) land identically at every thread count.
+
+use bcc_datasets::{queries, PlantedNetwork, QueryConstraints};
+use bcc_graph::LabeledGraph;
+use bcc_service::{BccService, ServiceConfig};
+
+/// A planted DBLP small enough for debug-mode CI but big enough that the
+/// parallel frontier and peel paths actually engage (multi-hundred-vertex
+/// BFS levels and degree buckets).
+fn planted() -> PlantedNetwork {
+    bcc_datasets::dblp(0.12).build()
+}
+
+/// The protocol workload: searches across all three methods, an msearch,
+/// and two mutation/commit cycles with searches in between (the patched
+/// index and overlaid snapshot must also be thread-count-invariant).
+fn workload(net: &PlantedNetwork) -> Vec<String> {
+    let qs = queries::random_community_queries(
+        net,
+        6,
+        QueryConstraints { degree_rank: 0, inter_distance: None },
+        0xD1FF,
+    );
+    assert!(qs.len() >= 3, "planted network must yield at least 3 queries");
+    let mut lines = Vec::new();
+    for (i, q) in qs.iter().enumerate() {
+        let method = ["online", "lp", "l2p"][i % 3];
+        lines.push(format!(
+            "search ql={} qr={} method={method}",
+            q.vertices[0].0, q.vertices[1].0
+        ));
+    }
+    lines.push(format!(
+        "msearch q={},{} k=2 b=1",
+        qs[0].vertices[0].0, qs[0].vertices[1].0
+    ));
+    // Live-mutation cycle 1: a fresh cross edge, committed, then queried.
+    let (u, v) = (qs[1].vertices[0].0, qs[2].vertices[1].0);
+    lines.push(format!("add_edge u={u} v={v}"));
+    lines.push("commit".into());
+    lines.push(format!(
+        "search ql={} qr={} method=online",
+        qs[1].vertices[0].0, qs[1].vertices[1].0
+    ));
+    // Cycle 2: take the edge back out and query again.
+    lines.push(format!("remove_edge u={u} v={v}"));
+    lines.push("commit".into());
+    lines.push(format!(
+        "search ql={} qr={} method=lp",
+        qs[2].vertices[0].0, qs[2].vertices[1].0
+    ));
+    lines
+}
+
+/// Plays `lines` through one session of a fresh service configured with
+/// `query_threads` and returns the response lines plus the post-session
+/// stats snapshot (cache hits are invisible on the wire by design, so the
+/// cache test reads them programmatically).
+fn transcript(
+    graph: &LabeledGraph,
+    lines: &[String],
+    query_threads: usize,
+    cache_capacity: usize,
+) -> (Vec<String>, bcc_service::ServiceStats) {
+    let svc = BccService::with_graph(
+        ServiceConfig {
+            workers: 2,
+            cache_capacity,
+            query_threads,
+            ..ServiceConfig::default()
+        },
+        graph.clone(),
+    );
+    let input = format!("{}\n", lines.join("\n"));
+    let mut out = Vec::new();
+    svc.run_session(std::io::Cursor::new(input.into_bytes()), &mut out)
+        .expect("session runs to EOF");
+    let responses = String::from_utf8(out)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    (responses, svc.stats())
+}
+
+#[test]
+fn transcripts_byte_identical_at_every_thread_count() {
+    let net = planted();
+    let lines = workload(&net);
+    let (reference, _) = transcript(&net.graph, &lines, 1, 0);
+    assert_eq!(reference.len(), lines.len(), "one response per request");
+    // The workload must actually exercise the engine: most lines succeed
+    // (a failing search is still a valid differential surface, but a
+    // workload of pure errors would prove nothing about the peel).
+    let ok = reference.iter().filter(|r| r.contains("\"ok\":true")).count();
+    assert!(ok * 2 >= lines.len(), "too few ok responses: {reference:#?}");
+    for threads in [2usize, 3, 7, 0] {
+        let (run, _) = transcript(&net.graph, &lines, threads, 0);
+        assert_eq!(run, reference, "query_threads={threads} changed response bytes");
+    }
+}
+
+#[test]
+fn transcripts_byte_identical_with_cache_and_repeats() {
+    let net = planted();
+    // Each line twice in a row: the second occurrence must hit the result
+    // cache (deterministically, in a sequential session) and serve the
+    // byte-identical response at every thread count. The `cached` flag
+    // never appears on the wire by design, so hits are asserted through
+    // the stats snapshot. Commits invalidate between repeats exactly the
+    // same way at every setting.
+    let lines: Vec<String> =
+        workload(&net).into_iter().flat_map(|l| [l.clone(), l]).collect();
+    let (reference, ref_stats) = transcript(&net.graph, &lines, 1, 4096);
+    assert!(
+        ref_stats.cache.hits > 0,
+        "repeats must produce cache hits: {reference:#?}"
+    );
+    for threads in [2usize, 3, 7, 0] {
+        let (run, stats) = transcript(&net.graph, &lines, threads, 4096);
+        assert_eq!(run, reference, "query_threads={threads} changed cached response bytes");
+        assert_eq!(
+            stats.cache.hits, ref_stats.cache.hits,
+            "query_threads={threads} changed the cache hit pattern"
+        );
+    }
+}
