@@ -4,7 +4,7 @@
 //! bcc stats    <graph-file>
 //! bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--query-threads N]
 //! bcc msearch  <graph-file> --q <name|id> --q <name|id> --q ... [--k N] [--b N] [--method online|lp|l2p] [--query-threads N]
-//! bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N]
+//! bcc serve    <graph-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N]
 //! bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N]
 //! bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N]
 //! bcc generate <output-file> [--network baidu1|baidu2|amazon|dblp|youtube|livejournal|orkut] [--scale F]
@@ -48,9 +48,9 @@ const USAGE: &str = "usage:
   bcc stats    <graph-file>
   bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N] [--query-threads N]
   bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N] [--query-threads N]
-  bcc serve    <graph-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc serve    <graph-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
   bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N] [--metrics-addr ADDR] [serve flags]
-  bcc batch    <graph-file> <queries-file> [--workers N] [--cache N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc batch    <graph-file> <queries-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
   bcc case     <flight|trade|fiction|academic> [--out FILE]
 
@@ -61,16 +61,27 @@ unasked). The produced index is bit-identical at any setting.
 
 --query-threads parallelizes the stages *inside* each search — BFS query
 distances, label-core reduction, butterfly recounts (0 = one thread per
-core, default 1). Results and responses are bit-identical at any setting;
-the serving commands already parallelize across queries, so raise this to
-cut single-query latency on big graphs.
+core, explicit 1 = the sequential reference). Results and responses are
+bit-identical at any setting. One-shot search/msearch default to 1; the
+serving commands default to AUTO (sequential on small graphs, one thread
+per core on large ones).
+
+--shards splits the serving commands into N independent worker pools
+(default 1). A routing table pins each graph to a shard by name; `shard
+assign <graph> <id>` overrides the default hash placement and `shard list`
+shows the topology. An `msearch` of more than two vertices scatters its
+label-pair sub-queries across the owning shards and gathers them into one
+response — responses stay byte-identical at any shard count. --cache-weight-cap
+bounds the result cache by total community members instead of entry count
+(0 = entry-count only).
 
 serve reads `search ql=<v> qr=<v> [k1=N] [k2=N] [b=N] [method=...]` /
 `msearch q=<v>,<v>,...` / `add_edge u=<v> v=<v>` / `remove_edge u=<v> v=<v>` /
-`commit` / `stats` / `graphs` / `metrics` / `quit` lines from stdin and
-prints one JSON result line per request; batch runs a file of such lines
-concurrently and prints results in input order. add_edge/remove_edge stage
-live edge updates; commit applies them, patching the BCindex in place and
+`commit` / `stats` / `graphs` / `metrics` / `shard list` /
+`shard assign <graph> <id>` / `quit` lines from stdin and prints one JSON
+result line per request; batch runs a file of such lines concurrently and
+prints results in input order. add_edge/remove_edge stage live edge
+updates; commit applies them, patching the BCindex in place and
 invalidating only the affected cache entries.
 
 Observability: per-verb latency histograms, per-phase query/commit timings,
@@ -323,6 +334,10 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
         .unwrap_or("default")
         .to_string();
     let config = ServiceConfig {
+        shards: flag_value(args, "--shards")
+            .map(|s| s.parse().map_err(|_| "--shards must be an integer"))
+            .transpose()?
+            .unwrap_or(1),
         workers: flag_value(args, "--workers")
             .map(|w| w.parse().map_err(|_| "--workers must be an integer"))
             .transpose()?
@@ -331,6 +346,10 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
             .map(|c| c.parse().map_err(|_| "--cache must be an integer"))
             .transpose()?
             .unwrap_or(4096),
+        cache_weight_cap: flag_value(args, "--cache-weight-cap")
+            .map(|c| c.parse().map_err(|_| "--cache-weight-cap must be an integer"))
+            .transpose()?
+            .unwrap_or(0),
         default_timeout_ms: None,
         default_graph: flag_value(args, "--name").unwrap_or(&stem).to_string(),
         index_threads: index_threads(args, 0)?,
@@ -339,7 +358,13 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
             .map(|t| t.parse().map_err(|_| "--slow-query-ms must be an integer"))
             .transpose()?
             .unwrap_or(250),
-        query_threads: query_threads(args)?,
+        // Under the service the knob is adaptive by default (sequential on
+        // small graphs, all cores on big ones); `--query-threads 1` stays
+        // the explicit sequential reference.
+        query_threads: flag_value(args, "--query-threads")
+            .map(|t| t.parse().map_err(|_| "--query-threads must be an integer"))
+            .transpose()?
+            .unwrap_or(bcc_service::QUERY_THREADS_AUTO),
     };
     let service = BccService::with_graph(config, graph);
     // Banner on stderr: stdout carries only protocol responses.
@@ -348,12 +373,13 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
         .get(&service.config().default_graph)
         .expect("default graph was just registered");
     eprintln!(
-        "serving `{}` ({} vertices, {} edges, {} labels) with {} workers, cache {}",
+        "serving `{}` ({} vertices, {} edges, {} labels) with {} shards × {} workers, cache {}",
         entry.name(),
         entry.graph().vertex_count(),
         entry.graph().edge_count(),
         entry.graph().label_count(),
-        service.workers(),
+        service.shard_map().shard_count(),
+        service.shard_map().shard(0).pool().workers(),
         service.config().cache_capacity,
     );
     Ok(service)
@@ -432,7 +458,7 @@ fn spawn_metrics_exporter(
                     }
                 }
             }
-            let body = service.metrics().prometheus();
+            let body = service.prometheus();
             let response = format!(
                 "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
                  Content-Length: {}\r\nConnection: close\r\n\r\n{body}",

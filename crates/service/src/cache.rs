@@ -18,6 +18,9 @@ struct Node<K, V> {
     /// `None` only while the slot sits on the free list (the value of a
     /// removed entry is moved out to the caller).
     value: Option<V>,
+    /// The entry's weight (community member count for result entries);
+    /// only consulted when a weight cap is configured.
+    weight: usize,
     prev: usize,
     next: usize,
 }
@@ -35,11 +38,16 @@ pub struct CacheCounters {
     pub insertions: u64,
 }
 
-/// A fixed-capacity least-recently-used map.
+/// A fixed-capacity least-recently-used map with optional size-aware
+/// eviction.
 ///
 /// `get` refreshes recency; `insert` evicts the least recently used entry
 /// once `capacity` is exceeded. A capacity of 0 disables caching (every
-/// lookup is a miss, every insert a no-op).
+/// lookup is a miss, every insert a no-op). When a non-zero *weight cap*
+/// is configured (see [`LruCache::with_weight_cap`]), insertion
+/// additionally evicts LRU entries until the total weight fits the cap —
+/// communities vary ~100x in member count, and without a weight budget a
+/// handful of giant communities can pin the whole cache.
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
     nodes: Vec<Node<K, V>>,
@@ -47,12 +55,24 @@ pub struct LruCache<K, V> {
     head: usize,
     tail: usize,
     capacity: usize,
+    /// 0 = weight-based eviction disabled (count-capacity only).
+    weight_cap: usize,
+    /// Sum of live entry weights (only maintained for observability and
+    /// the cap check; exact whether or not a cap is set).
+    total_weight: usize,
     counters: CacheCounters,
 }
 
 impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
+        Self::with_weight_cap(capacity, 0)
+    }
+
+    /// Creates a cache holding at most `capacity` entries whose summed
+    /// entry weight may not exceed `weight_cap` (0 = no weight budget,
+    /// preserving plain count-based LRU behavior).
+    pub fn with_weight_cap(capacity: usize, weight_cap: usize) -> Self {
         LruCache {
             map: HashMap::with_capacity(capacity.min(1024)),
             nodes: Vec::with_capacity(capacity.min(1024)),
@@ -60,6 +80,8 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            weight_cap,
+            total_weight: 0,
             counters: CacheCounters::default(),
         }
     }
@@ -77,6 +99,16 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured weight budget (0 = disabled).
+    pub fn weight_cap(&self) -> usize {
+        self.weight_cap
+    }
+
+    /// Sum of live entry weights.
+    pub fn total_weight(&self) -> usize {
+        self.total_weight
     }
 
     /// Counter snapshot.
@@ -105,41 +137,81 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.map.get(key).and_then(|&idx| self.nodes[idx].value.as_ref())
     }
 
-    /// Inserts (or overwrites) `key`, evicting the LRU entry on overflow.
+    /// Inserts (or overwrites) `key` at weight 1, evicting the LRU entry
+    /// on overflow.
     pub fn insert(&mut self, key: K, value: V) {
+        self.insert_weighted(key, value, 1);
+    }
+
+    /// Inserts (or overwrites) `key` with an explicit `weight`, evicting
+    /// the LRU entry on count overflow and then — when a weight cap is
+    /// configured — evicting LRU entries until the summed weight fits the
+    /// cap. The newest entry is never evicted by its own weight: an
+    /// oversized community still caches (and serves repeats) until the
+    /// next insertion displaces it.
+    pub fn insert_weighted(&mut self, key: K, value: V, weight: usize) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
+            self.total_weight = self.total_weight - self.nodes[idx].weight + weight;
             self.nodes[idx].value = Some(value);
+            self.nodes[idx].weight = weight;
             self.detach(idx);
             self.push_front(idx);
             self.counters.insertions += 1;
+            self.enforce_weight_cap();
             return;
         }
         if self.map.len() == self.capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.detach(lru);
-            self.map.remove(&self.nodes[lru].key);
-            self.nodes[lru].value = None;
-            self.free.push(lru);
-            self.counters.evictions += 1;
+            self.evict_lru();
         }
         let idx = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot] =
-                    Node { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+                    Node { key: key.clone(), value: Some(value), weight, prev: NIL, next: NIL };
                 slot
             }
             None => {
-                self.nodes.push(Node { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    value: Some(value),
+                    weight,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.total_weight += weight;
         self.counters.insertions += 1;
+        self.enforce_weight_cap();
+    }
+
+    /// Drops the least recently used entry (capacity or weight pressure).
+    fn evict_lru(&mut self) {
+        let lru = self.tail;
+        debug_assert_ne!(lru, NIL);
+        self.detach(lru);
+        self.map.remove(&self.nodes[lru].key);
+        self.nodes[lru].value = None;
+        self.total_weight -= self.nodes[lru].weight;
+        self.nodes[lru].weight = 0;
+        self.free.push(lru);
+        self.counters.evictions += 1;
+    }
+
+    /// Evicts LRU entries while the weight budget is exceeded, always
+    /// keeping at least the most recent entry alive.
+    fn enforce_weight_cap(&mut self) {
+        if self.weight_cap == 0 {
+            return;
+        }
+        while self.total_weight > self.weight_cap && self.map.len() > 1 {
+            self.evict_lru();
+        }
     }
 
     /// Removes `key`, returning its value. Does not touch hit/miss/eviction
@@ -149,6 +221,8 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         let idx = self.map.remove(key)?;
         self.detach(idx);
         self.free.push(idx);
+        self.total_weight -= self.nodes[idx].weight;
+        self.nodes[idx].weight = 0;
         self.nodes[idx].value.take()
     }
 
@@ -173,6 +247,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.total_weight = 0;
     }
 
     /// Unlinks `idx` from the recency list.
@@ -296,6 +371,65 @@ mod tests {
         assert!(cache.get(&1).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.counters().insertions, 0);
+    }
+
+    #[test]
+    fn weight_cap_evicts_lru_until_budget_fits() {
+        let mut cache: LruCache<u32, u32> = LruCache::with_weight_cap(8, 10);
+        cache.insert_weighted(1, 1, 4);
+        cache.insert_weighted(2, 2, 4);
+        assert_eq!(cache.total_weight(), 8);
+        // 4 + 4 + 5 = 13 > 10: the LRU entry (1) goes, not the newcomer.
+        cache.insert_weighted(3, 3, 5);
+        assert!(cache.peek(&1).is_none());
+        assert_eq!(cache.peek(&2), Some(&2));
+        assert_eq!(cache.peek(&3), Some(&3));
+        assert_eq!(cache.total_weight(), 9);
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_survives_until_displaced() {
+        let mut cache: LruCache<u32, u32> = LruCache::with_weight_cap(8, 10);
+        // A single entry above the cap still caches (len stays ≥ 1)...
+        cache.insert_weighted(1, 1, 100);
+        assert_eq!(cache.peek(&1), Some(&1));
+        assert_eq!(cache.total_weight(), 100);
+        // ...but the next insertion evicts it to restore the budget.
+        cache.insert_weighted(2, 2, 3);
+        assert!(cache.peek(&1).is_none());
+        assert_eq!(cache.peek(&2), Some(&2));
+        assert_eq!(cache.total_weight(), 3);
+    }
+
+    #[test]
+    fn overwrite_adjusts_total_weight() {
+        let mut cache: LruCache<u32, u32> = LruCache::with_weight_cap(8, 10);
+        cache.insert_weighted(1, 1, 6);
+        cache.insert_weighted(2, 2, 3);
+        cache.insert_weighted(1, 11, 2); // overwrite: 6 → 2
+        assert_eq!(cache.total_weight(), 5);
+        assert_eq!(cache.peek(&1), Some(&11));
+        cache.remove(&2);
+        assert_eq!(cache.total_weight(), 2);
+        cache.clear();
+        assert_eq!(cache.total_weight(), 0);
+    }
+
+    #[test]
+    fn zero_weight_cap_preserves_count_lru_behavior() {
+        // Same scenario as lru_order_is_exact but via insert_weighted with
+        // wild weights: cap 0 must ignore them entirely.
+        let mut cache: LruCache<u32, u32> = LruCache::new(3);
+        cache.insert_weighted(0, 0, 1_000);
+        cache.insert_weighted(1, 1, 1);
+        cache.insert_weighted(2, 2, 500);
+        cache.get(&0);
+        cache.insert_weighted(3, 3, 9_999); // evicts 1 (count pressure only)
+        assert!(cache.peek(&1).is_none());
+        assert!(cache.peek(&0).is_some());
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.counters().evictions, 1);
     }
 
     #[test]

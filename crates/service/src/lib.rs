@@ -56,10 +56,12 @@
 pub mod cache;
 pub mod codec;
 pub mod metrics;
+pub mod placement;
 pub mod pool;
 pub mod registry;
 pub mod request;
 pub mod response;
+pub mod scatter;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -67,16 +69,20 @@ pub mod session;
 pub use cache::{CacheCounters, LruCache};
 pub use codec::{codec_for, BinaryCodec, Codec, CodecError, CodecKind, LineCodec, MAX_FRAME_LEN};
 pub use metrics::{Metrics, Verb};
+pub use placement::{Shard, ShardCounters, ShardMap, ShardSnapshot};
 pub use pool::{default_workers, Ticket, WaitError, WorkerPool};
 pub use registry::{BuiltIndex, CommitOutcome, GraphEntry, GraphRegistry};
 pub use request::{
     parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, Priority,
-    QueryKind, QueryRequest, RequestError,
+    QueryKind, QueryRequest, RequestError, ShardCmd,
 };
-pub use response::{CommitSummary, MutateOutcome, MutateResponse, QueryOutcome, QueryResponse};
+pub use response::{
+    CommitSummary, MutateOutcome, MutateResponse, PairOutcome, QueryOutcome, QueryResponse,
+};
 pub use server::{Admission, AdmissionPermit, AdmitError, Server, ServerConfig, ServerHandle};
 pub use service::{
     BccService, LineOutcome, Pending, ServiceConfig, ServiceStats, TransportCounters,
+    QUERY_THREADS_AUTO,
 };
 pub use session::{session_error_json, SeqPolicy, Session, SessionConfig, SessionEnd};
 
@@ -101,6 +107,7 @@ mod send_sync_audit {
         assert_send_sync::<crate::GraphEntry>();
         assert_send_sync::<crate::GraphRegistry>();
         assert_send_sync::<crate::WorkerPool>();
+        assert_send_sync::<crate::ShardMap>();
         assert_send_sync::<crate::BccService>();
         assert_send_sync::<crate::QueryResponse>();
         assert_send_sync::<crate::TransportCounters>();

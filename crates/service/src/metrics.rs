@@ -43,11 +43,14 @@ pub enum Verb {
     Graphs,
     /// `metrics` — this registry's own snapshot.
     Metrics,
+    /// `shard` — placement inspection/assignment (`shard list`/`shard
+    /// assign`). Appended last so historical key-order prefixes survive.
+    Shard,
 }
 
 impl Verb {
     /// Number of verbs.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every verb, in display order (stable: JSON + Prometheus rely on it).
     pub const ALL: [Verb; Verb::COUNT] = [
@@ -59,6 +62,7 @@ impl Verb {
         Verb::Stats,
         Verb::Graphs,
         Verb::Metrics,
+        Verb::Shard,
     ];
 
     #[inline]
@@ -77,6 +81,7 @@ impl Verb {
             Verb::Stats => "stats",
             Verb::Graphs => "graphs",
             Verb::Metrics => "metrics",
+            Verb::Shard => "shard",
         }
     }
 }

@@ -1,0 +1,314 @@
+//! Placement: the shard routing table and per-shard worker pools.
+//!
+//! The paper's offline/online split (one BCindex per graph snapshot,
+//! independent per-query work) makes serving embarrassingly partitionable:
+//! a graph's queries only ever touch that graph's snapshot, so different
+//! graphs — or label-pair sub-queries of one huge graph — can live on
+//! different worker pools with no cross-pool synchronization. A
+//! [`ShardMap`] owns `N` [`Shard`]s (each a [`WorkerPool`] plus load
+//! counters) and routes by **graph name**: an explicit assignment set via
+//! the `shard assign` protocol verb wins, otherwise an FNV-1a hash of the
+//! name picks the default shard.
+//!
+//! Routing by name (not by snapshot pointer) is what makes the table
+//! generation-safe: a commit republishes the graph under the same name, so
+//! in-flight routing decisions and post-commit requests land on the same
+//! shard, and the registry refreshes the generation pin recorded on any
+//! explicit assignment (see [`ShardMap::note_registration`]) so `shard
+//! list` always reflects the live snapshot. Cache keys carry the entry
+//! generation captured at submit time, so a mid-request commit can never
+//! mix results across generations regardless of placement.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::pool::WorkerPool;
+
+/// Monotonic per-shard load counters (relaxed atomics; exact totals, no
+/// ordering guarantees between counters).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Jobs routed to this shard's pool (home queries, scatter sub-queries
+    /// and assembly jobs; cache hits never reach a shard).
+    pub routed: AtomicU64,
+    /// Requests admitted through this shard's admission gate (TCP serving
+    /// only; zero under `serve`/`batch`).
+    pub admitted: AtomicU64,
+    /// Requests rejected by this shard's admission gate.
+    pub rejected: AtomicU64,
+}
+
+/// One shard: a worker pool plus its load counters.
+pub struct Shard {
+    id: usize,
+    pool: WorkerPool,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    /// This shard's id (index into the [`ShardMap`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard-owned worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The shard's load counters.
+    pub fn counters(&self) -> &ShardCounters {
+        &self.counters
+    }
+}
+
+/// An explicit graph → shard pin plus the generation it was last
+/// refreshed at (observability only; routing is by name).
+#[derive(Clone, Copy, Debug)]
+struct Assignment {
+    shard: usize,
+    generation: u64,
+}
+
+/// A point-in-time view of one shard's load, rendered into `stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard id.
+    pub id: usize,
+    /// Worker threads owned by the shard.
+    pub workers: usize,
+    /// Jobs accepted but not yet running (instantaneous queue depth).
+    pub queued: usize,
+    /// Jobs executed so far.
+    pub executed: u64,
+    /// Jobs routed to this shard (see [`ShardCounters::routed`]).
+    pub routed: u64,
+    /// Admission-gate admits for this shard.
+    pub admitted: u64,
+    /// Admission-gate rejections for this shard.
+    pub rejected: u64,
+}
+
+/// The routing table: `N` shards plus explicit graph assignments.
+pub struct ShardMap {
+    shards: Vec<Arc<Shard>>,
+    assignments: RwLock<HashMap<String, Assignment>>,
+}
+
+impl ShardMap {
+    /// Creates `shards` shards (0 or 1 ⇒ a single shard, the classic
+    /// one-pool topology), each owning a pool of `workers_per_shard`
+    /// threads (0 ⇒ one per core).
+    pub fn new(shards: usize, workers_per_shard: usize) -> Self {
+        let count = shards.max(1);
+        let shards = (0..count)
+            .map(|id| {
+                Arc::new(Shard {
+                    id,
+                    pool: WorkerPool::new(workers_per_shard),
+                    counters: ShardCounters::default(),
+                })
+            })
+            .collect();
+        ShardMap { shards, assignments: RwLock::new(HashMap::new()) }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shards, id order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The shard with id `id`. Panics if out of range.
+    pub fn shard(&self, id: usize) -> &Arc<Shard> {
+        &self.shards[id]
+    }
+
+    /// Total worker threads across all shards.
+    pub fn total_workers(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.workers()).sum()
+    }
+
+    /// The hash-default shard id for `name` (ignores explicit
+    /// assignments).
+    pub fn default_shard(&self, name: &str) -> usize {
+        (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard id `name` routes to: explicit assignment, else hash
+    /// default.
+    pub fn route_id(&self, name: &str) -> usize {
+        if let Some(a) = self.assignments.read().unwrap().get(name) {
+            return a.shard;
+        }
+        self.default_shard(name)
+    }
+
+    /// The shard `name` routes to.
+    pub fn route(&self, name: &str) -> &Arc<Shard> {
+        &self.shards[self.route_id(name)]
+    }
+
+    /// The shard a label-pair sub-query of `name` routes to: the pair key
+    /// is folded into the hash so a multi-label msearch spreads its
+    /// C(m,2) sub-queries across shards deterministically.
+    pub fn route_pair(&self, name: &str, a: u32, b: u32) -> &Arc<Shard> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut bytes = Vec::with_capacity(name.len() + 9);
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&lo.to_le_bytes());
+        bytes.extend_from_slice(&hi.to_le_bytes());
+        let id = (fnv1a(&bytes) % self.shards.len() as u64) as usize;
+        &self.shards[id]
+    }
+
+    /// Pins `name` to `shard` (the `shard assign` verb). Errors when the
+    /// shard id is out of range.
+    pub fn assign(&self, name: &str, shard: usize, generation: u64) -> Result<(), String> {
+        if shard >= self.shards.len() {
+            return Err(format!(
+                "shard id {shard} out of range (0..{})",
+                self.shards.len()
+            ));
+        }
+        self.assignments
+            .write()
+            .unwrap()
+            .insert(name.to_owned(), Assignment { shard, generation });
+        Ok(())
+    }
+
+    /// Refreshes the generation pin on an explicit assignment when the
+    /// registry publishes a new snapshot under `name` (insert or commit).
+    /// The shard choice sticks — only the recorded generation moves — so
+    /// a re-registration never lands on a stale shard *or* silently
+    /// abandons an operator's placement decision.
+    pub fn note_registration(&self, name: &str, generation: u64) {
+        if let Some(a) = self.assignments.write().unwrap().get_mut(name) {
+            a.generation = generation;
+        }
+    }
+
+    /// Explicit assignments as `(graph, shard, generation)`, sorted by
+    /// graph name.
+    pub fn assignments(&self) -> Vec<(String, usize, u64)> {
+        let mut out: Vec<_> = self
+            .assignments
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, a)| (name.clone(), a.shard, a.generation))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Point-in-time load snapshot of every shard, id order.
+    pub fn snapshot(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                id: s.id,
+                workers: s.pool.workers(),
+                queued: s.pool.queued(),
+                executed: s.pool.executed(),
+                routed: s.counters.routed.load(Ordering::Relaxed),
+                admitted: s.counters.admitted.load(Ordering::Relaxed),
+                rejected: s.counters.rejected.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across runs (routing
+/// must be deterministic so differential suites can replay it).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let map = ShardMap::new(0, 1);
+        assert_eq!(map.shard_count(), 1);
+        assert_eq!(map.route_id("anything"), 0);
+        assert_eq!(map.total_workers(), 1);
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_range() {
+        let map = ShardMap::new(4, 1);
+        for name in ["default", "dblp", "baidu", "g1", "g2", ""] {
+            let id = map.route_id(name);
+            assert!(id < 4);
+            assert_eq!(id, map.route_id(name), "routing must be stable");
+            assert_eq!(id, map.default_shard(name));
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_overrides_hash_default() {
+        let map = ShardMap::new(4, 1);
+        let default = map.default_shard("g");
+        let pinned = (default + 1) % 4;
+        map.assign("g", pinned, 7).unwrap();
+        assert_eq!(map.route_id("g"), pinned);
+        assert_eq!(map.assignments(), vec![("g".to_owned(), pinned, 7)]);
+        // Re-registration refreshes the generation but keeps the pin.
+        map.note_registration("g", 9);
+        assert_eq!(map.route_id("g"), pinned);
+        assert_eq!(map.assignments(), vec![("g".to_owned(), pinned, 9)]);
+        // Unassigned names are untouched by note_registration.
+        map.note_registration("other", 3);
+        assert_eq!(map.assignments().len(), 1);
+    }
+
+    #[test]
+    fn assign_rejects_out_of_range_shard() {
+        let map = ShardMap::new(2, 1);
+        let err = map.assign("g", 2, 1).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(map.assignments().is_empty());
+    }
+
+    #[test]
+    fn pair_routing_spreads_and_is_symmetric() {
+        let map = ShardMap::new(4, 1);
+        for (a, b) in [(1u32, 9u32), (3, 17), (0, 2), (5, 5)] {
+            let fwd = map.route_pair("g", a, b).id();
+            let rev = map.route_pair("g", b, a).id();
+            assert_eq!(fwd, rev, "pair routing must be order-independent");
+            assert!(fwd < 4);
+        }
+        // Different graphs route the same pair independently.
+        let _ = map.route_pair("h", 1, 9).id();
+    }
+
+    #[test]
+    fn snapshot_reports_per_shard_counters() {
+        let map = ShardMap::new(2, 1);
+        map.shard(1).counters().routed.fetch_add(3, Ordering::Relaxed);
+        let ticket = map.shard(0).pool().submit(|| 41 + 1);
+        assert_eq!(ticket.wait(), Some(42));
+        let snap = map.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].id, 0);
+        assert_eq!(snap[0].executed, 1);
+        assert_eq!(snap[1].routed, 3);
+        assert_eq!(snap[1].workers, 1);
+    }
+}

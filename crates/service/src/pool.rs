@@ -62,6 +62,12 @@ impl WorkerPool {
         self.shared.executed.load(Ordering::Relaxed)
     }
 
+    /// Jobs accepted but not yet picked up by a worker (instantaneous
+    /// queue depth — the per-shard load signal surfaced in `stats`).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
     /// Enqueues a fire-and-forget job.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         let mut queue = self.shared.queue.lock().unwrap();

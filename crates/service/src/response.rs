@@ -27,6 +27,50 @@ pub struct QueryOutcome {
     pub ks: Vec<u32>,
     /// Effective butterfly threshold.
     pub b: u64,
+    /// Per-label-pair sub-query results for scattered msearch (m > 2).
+    /// Empty for pair searches and 2-vertex msearch; empty = omitted from
+    /// the serialized line, so historical response bytes are unchanged.
+    pub pairs: Vec<PairOutcome>,
+}
+
+/// One label-pair sub-query's result inside a scattered msearch response:
+/// the partial-failure surface. A failed pair appears as a structured
+/// error *inside* the `ok:true` response — cross-shard msearch never turns
+/// one slow or unsatisfiable pair into a whole-request failure as long as
+/// the assembly succeeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairOutcome {
+    /// Left query vertex id (normalized order; `ql < qr`).
+    pub ql: u32,
+    /// Right query vertex id.
+    pub qr: u32,
+    /// The pair community's members on success (not serialized — kept for
+    /// commit-time cache invalidation scoping), or the structured error.
+    pub result: Result<Vec<u32>, RequestError>,
+}
+
+impl PairOutcome {
+    /// The deterministic `{"ql":..,"qr":..,...}` object form.
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(48);
+        out.push_str("{\"ql\":");
+        out.push_str(&self.ql.to_string());
+        out.push_str(",\"qr\":");
+        out.push_str(&self.qr.to_string());
+        match &self.result {
+            Ok(members) => {
+                out.push_str(",\"ok\":true,\"size\":");
+                out.push_str(&members.len().to_string());
+            }
+            Err(err) => {
+                out.push_str(",\"ok\":false");
+                push_str_field(&mut out, "error", err.kind.as_str());
+                push_str_field(&mut out, "message", &err.message);
+            }
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// The service's answer to one request line.
@@ -81,6 +125,18 @@ impl QueryResponse {
                 push_field(&mut out, "b", &outcome.b.to_string());
                 push_field(&mut out, "leaders", &u32_array(&outcome.leaders));
                 push_field(&mut out, "community", &u32_array(&outcome.community));
+                if !outcome.pairs.is_empty() {
+                    let mut pairs = String::with_capacity(outcome.pairs.len() * 32 + 2);
+                    pairs.push('[');
+                    for (i, p) in outcome.pairs.iter().enumerate() {
+                        if i > 0 {
+                            pairs.push(',');
+                        }
+                        pairs.push_str(&p.to_json());
+                    }
+                    pairs.push(']');
+                    push_field(&mut out, "pairs", &pairs);
+                }
                 out.push('}');
             }
             Err(err) => {
@@ -225,6 +281,7 @@ pub fn outcome_from_result(result: &bcc_core::BccResult, ks: &[u32], b: u64) -> 
         leaders,
         ks: ks.to_vec(),
         b,
+        pairs: Vec::new(),
     }
 }
 
@@ -245,6 +302,7 @@ mod tests {
                 leaders: vec![0, 4],
                 ks: vec![3, 2],
                 b: 1,
+                pairs: Vec::new(),
             }),
             cached: true,
             elapsed: Duration::from_millis(7),
@@ -258,6 +316,44 @@ mod tests {
         // Determinism: cached/elapsed never leak into the serialized line.
         assert!(!response.to_json().contains("cached"));
         assert!(!response.to_json().contains("elapsed"));
+    }
+
+    #[test]
+    fn pairs_section_serializes_after_community() {
+        let response = QueryResponse {
+            seq: 0,
+            graph: "g".into(),
+            method: Method::Lp,
+            outcome: Ok(QueryOutcome {
+                community: vec![0, 1, 4],
+                query_distance: 2,
+                iterations: 5,
+                leaders: vec![0, 4],
+                ks: vec![3, 2],
+                b: 1,
+                pairs: vec![
+                    PairOutcome { ql: 0, qr: 4, result: Ok(vec![0, 1, 4]) },
+                    PairOutcome {
+                        ql: 0,
+                        qr: 9,
+                        result: Err(RequestError {
+                            kind: crate::request::ErrorKind::Search,
+                            message: "no butterflies".into(),
+                        }),
+                    },
+                ],
+            }),
+            cached: false,
+            elapsed: Duration::ZERO,
+        };
+        let json = response.to_json();
+        assert!(json.ends_with(
+            "\"community\":[0,1,4],\"pairs\":[{\"ql\":0,\"qr\":4,\"ok\":true,\"size\":3},\
+             {\"ql\":0,\"qr\":9,\"ok\":false,\"error\":\"search\",\
+             \"message\":\"no butterflies\"}]}"
+        ), "{json}");
+        // The pair members themselves never serialize (invalidation-only).
+        assert_eq!(json.matches("[0,1,4]").count(), 1);
     }
 
     #[test]

@@ -25,24 +25,48 @@ use bcc_graph::{LabeledGraph, VertexId};
 
 use crate::cache::{CacheCounters, LruCache};
 use crate::metrics::{Metrics, Verb};
-use crate::pool::{Ticket, WaitError, WorkerPool};
+use crate::placement::{ShardMap, ShardSnapshot};
+use crate::pool::{Ticket, WaitError};
 use crate::registry::{GraphEntry, GraphRegistry};
 use crate::request::{
     parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, QueryKind,
-    QueryRequest, RequestError,
+    QueryRequest, RequestError, ShardCmd,
 };
 use crate::response::{
-    json_string, outcome_from_result, CommitSummary, MutateOutcome, MutateResponse, QueryOutcome,
-    QueryResponse,
+    json_string, outcome_from_result, CommitSummary, MutateOutcome, MutateResponse, PairOutcome,
+    QueryOutcome, QueryResponse,
 };
+use crate::scatter::{self, PairJob, PairSource, ScatterWait};
+
+/// `query_threads` sentinel: resolve the per-query thread count
+/// adaptively, per query — sequential on graphs below
+/// [`ADAPTIVE_PARALLEL_MIN_VERTICES`] (where stage-parallel overhead
+/// dominates), one thread per core at or above it.
+pub const QUERY_THREADS_AUTO: usize = usize::MAX;
+
+/// The adaptive cutover: graphs with at least this many vertices get
+/// parallel per-query stages under [`QUERY_THREADS_AUTO`]. Chosen from the
+/// PR-8 measurements — below a few tens of thousands of vertices the
+/// frontier/peel chunks are too small to amortize thread handoff.
+const ADAPTIVE_PARALLEL_MIN_VERTICES: usize = 1 << 15;
 
 /// Tunables for a [`BccService`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Worker threads (0 ⇒ one per available core).
+    /// Worker pools (shards). Each registered graph routes to one shard —
+    /// explicit `shard assign` or hash of its name — and a multi-label
+    /// `msearch` scatters label-pair sub-queries across shards. 0 or 1 ⇒
+    /// the classic single-pool topology.
+    pub shards: usize,
+    /// Worker threads **per shard** (0 ⇒ one per available core).
     pub workers: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Result-cache weight budget: the summed member count of cached
+    /// communities may not exceed this (LRU entries are evicted until it
+    /// fits; the newest entry always survives). 0 = no weight budget
+    /// (count-capacity only), the historical behavior.
+    pub cache_weight_cap: usize,
     /// Deadline applied to requests that carry no `timeout_ms`.
     pub default_timeout_ms: Option<u64>,
     /// Registry key used when a request names no graph.
@@ -60,24 +84,28 @@ pub struct ServiceConfig {
     /// stderr) when metrics are enabled. 0 flags everything measurable.
     pub slow_query_ms: u64,
     /// Worker threads *inside* each search's stages (BFS distances,
-    /// label-core reduction, butterfly recounts): `1` (the default) keeps
-    /// queries sequential — the pool already parallelizes *across* queries
-    /// — while `> 1` (or `0`, all cores) cuts single-query latency on big
-    /// graphs. Responses are byte-identical at every setting.
+    /// label-core reduction, butterfly recounts): `1` keeps queries
+    /// sequential — the pool already parallelizes *across* queries —
+    /// while `> 1` (or `0`, all cores) cuts single-query latency on big
+    /// graphs. The default, [`QUERY_THREADS_AUTO`], picks per query:
+    /// sequential below the adaptive vertex threshold, all cores at or
+    /// above it. Responses are byte-identical at every setting.
     pub query_threads: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
+            shards: 1,
             workers: 0,
             cache_capacity: 4096,
+            cache_weight_cap: 0,
             default_timeout_ms: None,
             default_graph: "default".into(),
             index_threads: 0,
             metrics: true,
             slow_query_ms: 250,
-            query_threads: 1,
+            query_threads: QUERY_THREADS_AUTO,
         }
     }
 }
@@ -139,6 +167,31 @@ pub struct ServiceStats {
     /// Requests counted per protocol verb, in [`Verb::ALL`] order. Always
     /// live (counters are unconditional; only histograms are gated).
     pub requests_by_verb: [u64; Verb::COUNT],
+    /// Per-shard load snapshots, id order (one entry in the single-pool
+    /// topology).
+    pub shards: Vec<ShardSnapshot>,
+    /// Service lifetime at snapshot time (the per-shard q/s denominator).
+    pub uptime: Duration,
+}
+
+/// Renders per-shard snapshots as the `"shards"` JSON object body (shared
+/// by `stats` and the `metrics` splice): throughput is integer q/s over
+/// the service lifetime, everything else is a live counter or gauge.
+fn shards_json(shards: &[ShardSnapshot], uptime: Duration) -> String {
+    let uptime_us = uptime.as_micros() as u64;
+    shards
+        .iter()
+        .map(|s| {
+            let qps =
+                s.executed.saturating_mul(1_000_000).checked_div(uptime_us).unwrap_or(0);
+            format!(
+                "\"{}\":{{\"workers\":{},\"queued\":{},\"routed\":{},\"executed\":{},\
+                 \"admitted\":{},\"rejected\":{},\"qps\":{}}}",
+                s.id, s.workers, s.queued, s.routed, s.executed, s.admitted, s.rejected, qps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 impl ServiceStats {
@@ -161,7 +214,7 @@ impl ServiceStats {
              \"active_sessions\":{},\"admitted\":{},\"rejected_overloaded\":{},\
              \"admission_timeouts\":{},\"bytes_in\":{},\"bytes_out\":{},\
              \"graphs\":[{}],\"total_search_time_us\":{},\
-             \"slow_queries\":{},\"requests_by_verb\":{{{}}}}}",
+             \"slow_queries\":{},\"requests_by_verb\":{{{}}},\"shards\":{{{}}}}}",
             self.requests,
             self.searches_executed,
             self.cache.hits,
@@ -194,6 +247,7 @@ impl ServiceStats {
                 .map(|v| format!("\"{}\":{}", v.name(), self.requests_by_verb[v.index()]))
                 .collect::<Vec<_>>()
                 .join(","),
+            shards_json(&self.shards, self.uptime),
         )
     }
 }
@@ -265,6 +319,10 @@ pub enum Pending {
         /// Submission instant (for the response's `elapsed`).
         started: Instant,
     },
+    /// A multi-label msearch (m > 2) scattered across shards: one assembly
+    /// job plus C(m,2) label-pair sub-queries, gathered in plan order by
+    /// [`BccService::wait`].
+    Scatter(Box<ScatterWait>),
 }
 
 /// What one protocol line produced.
@@ -278,35 +336,42 @@ pub enum LineOutcome {
     Silent,
 }
 
-/// The long-lived query engine: graph registry + worker pool + result
-/// cache + the line protocol.
+/// The long-lived query engine: graph registry + sharded worker pools +
+/// result cache + the line protocol.
 pub struct BccService {
     config: ServiceConfig,
     registry: GraphRegistry,
-    pool: WorkerPool,
+    shards: Arc<ShardMap>,
     cache: SharedCache,
     counters: Arc<Mutex<Counters>>,
     transport: Arc<TransportCounters>,
     metrics: Arc<Metrics>,
     seq: AtomicU64,
+    started: Instant,
 }
 
 impl BccService {
-    /// Starts the service (spawns the worker pool) with an empty registry.
+    /// Starts the service (spawns the per-shard worker pools) with an
+    /// empty registry.
     pub fn new(config: ServiceConfig) -> Self {
-        let pool = WorkerPool::new(config.workers);
-        let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let shards = Arc::new(ShardMap::new(config.shards, config.workers));
+        let cache = Arc::new(Mutex::new(LruCache::with_weight_cap(
+            config.cache_capacity,
+            config.cache_weight_cap,
+        )));
         let registry = GraphRegistry::with_index_threads(config.index_threads);
+        registry.set_placement(Arc::clone(&shards));
         let metrics = Arc::new(Metrics::new(config.metrics, config.slow_query_ms));
         BccService {
             config,
             registry,
-            pool,
+            shards,
             cache,
             counters: Arc::new(Mutex::new(Counters::default())),
             transport: Arc::new(TransportCounters::default()),
             metrics,
             seq: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -329,9 +394,22 @@ impl BccService {
         &self.config
     }
 
-    /// Worker-thread count.
+    /// Worker-thread count, summed across shards.
     pub fn workers(&self) -> usize {
-        self.pool.workers()
+        self.shards.total_workers()
+    }
+
+    /// The shard routing table (shared with the registry and the TCP
+    /// server's per-shard admission gates).
+    pub fn shard_map(&self) -> &Arc<ShardMap> {
+        &self.shards
+    }
+
+    /// The shard id `graph` — or the default graph, when a request names
+    /// none — routes to. The session layer picks its admission gate here.
+    pub fn shard_for(&self, graph: Option<&str>) -> usize {
+        self.shards
+            .route_id(graph.unwrap_or(&self.config.default_graph))
     }
 
     /// The transport-layer counters (shared with the TCP server and its
@@ -365,7 +443,7 @@ impl BccService {
             mutate_errors: counters.mutate_errors,
             cache_invalidated: counters.cache_invalidated,
             cache_retained: counters.cache_retained,
-            workers: self.pool.workers(),
+            workers: self.shards.total_workers(),
             graphs: self.registry.names(),
             total_search_time: counters.total_search_time,
             connections_accepted: t.connections_accepted.load(Ordering::Relaxed),
@@ -378,6 +456,8 @@ impl BccService {
             bytes_out: t.bytes_out.load(Ordering::Relaxed),
             slow_queries: self.metrics.slow_queries(),
             requests_by_verb: std::array::from_fn(|i| self.metrics.requests(Verb::ALL[i])),
+            shards: self.shards.snapshot(),
+            uptime: self.started.elapsed(),
         }
     }
 
@@ -443,15 +523,22 @@ impl BccService {
             .or(self.config.default_timeout_ms)
             .map(|ms| started + Duration::from_millis(ms));
         let method = request.method;
-        let shared = ExecShared {
-            cache: Arc::clone(&self.cache),
-            counters: Arc::clone(&self.counters),
-            metrics: Arc::clone(&self.metrics),
-            query_threads: self.config.query_threads,
-        };
+
+        // A multi-label msearch over more than two vertices scatters: the
+        // pair sub-queries fan across shards while the assembly runs on the
+        // graph's home shard. Pair searches and 2-vertex msearch (which the
+        // engine reduces to the pair case) stay single-job.
+        if normalized.multi && normalized.vertices.len() > 2 {
+            return self
+                .submit_scatter(seq, graph_name, entry, method, normalized, key, deadline, started);
+        }
+
+        let shared = self.exec_shared();
         let job_key = key.clone();
-        let ticket = self.pool.submit(move || {
-            execute(&entry, method, &normalized, job_key, deadline, &shared)
+        let shard = self.shards.route(&graph_name);
+        shard.counters().routed.fetch_add(1, Ordering::Relaxed);
+        let ticket = shard.pool().submit(move || {
+            execute(&entry, method, &normalized, job_key, deadline, true, &shared)
         });
         Pending::InFlight {
             seq,
@@ -462,6 +549,85 @@ impl BccService {
             ticket,
             started,
         }
+    }
+
+    /// The shared handles a worker job records through.
+    fn exec_shared(&self) -> ExecShared {
+        ExecShared {
+            cache: Arc::clone(&self.cache),
+            counters: Arc::clone(&self.counters),
+            metrics: Arc::clone(&self.metrics),
+            query_threads: self.config.query_threads,
+        }
+    }
+
+    /// Scatters one m > 2 msearch: probes each label pair's cache slot in
+    /// plan order on this thread (deterministic hit/miss accounting), fans
+    /// misses out to their owning shards, and submits the monolithic
+    /// assembly run to the graph's home shard. No sub-job inserts into the
+    /// cache — [`Self::gather`] replays all inserts in plan order.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_scatter(
+        &self,
+        seq: u64,
+        graph_name: String,
+        entry: Arc<GraphEntry>,
+        method: Method,
+        normalized: Normalized,
+        key: CacheKey,
+        deadline: Option<Instant>,
+        started: Instant,
+    ) -> Pending {
+        let plan = scatter::pair_plan(&normalized.vertices, &normalized.ks);
+        let mut pairs = Vec::with_capacity(plan.len());
+        for ((vi, ki), (vj, kj)) in plan {
+            let pair_key = CacheKey::normalized(
+                entry.generation(),
+                method,
+                true,
+                &[vi, vj],
+                &[ki, kj],
+                normalized.b,
+            );
+            let cached = self.cache.lock().unwrap().get(&pair_key).cloned();
+            let source = match cached {
+                Some(outcome) => PairSource::Cached(outcome),
+                None => {
+                    let sub = Normalized {
+                        multi: true,
+                        vertices: vec![vi, vj],
+                        ks: vec![ki, kj],
+                        b: normalized.b,
+                    };
+                    let entry = Arc::clone(&entry);
+                    let shared = self.exec_shared();
+                    let job_key = pair_key.clone();
+                    let shard = self.shards.route_pair(&graph_name, vi.0, vj.0);
+                    shard.counters().routed.fetch_add(1, Ordering::Relaxed);
+                    PairSource::Miss(shard.pool().submit(move || {
+                        execute(&entry, method, &sub, job_key, deadline, false, &shared)
+                    }))
+                }
+            };
+            pairs.push(PairJob { ql: vi.0, qr: vj.0, key: pair_key, source });
+        }
+        let shared = self.exec_shared();
+        let job_key = key.clone();
+        let shard = self.shards.route(&graph_name);
+        shard.counters().routed.fetch_add(1, Ordering::Relaxed);
+        let assembly = shard.pool().submit(move || {
+            execute(&entry, method, &normalized, job_key, deadline, false, &shared)
+        });
+        Pending::Scatter(Box::new(ScatterWait {
+            seq,
+            graph: graph_name,
+            method,
+            deadline,
+            started,
+            key,
+            assembly,
+            pairs,
+        }))
     }
 
     /// Blocks until `pending` resolves (or its deadline passes).
@@ -505,7 +671,78 @@ impl BccService {
                     elapsed,
                 }
             }
+            Pending::Scatter(wait) => self.gather(*wait),
         }
+    }
+
+    /// Gathers a scattered msearch: the assembly result first (it is the
+    /// response body), then every pair in plan order, all under the
+    /// parent's inherited deadline. A failed pair becomes a structured
+    /// entry in the response's `pairs` section — partial failure never
+    /// fails the request as long as the assembly succeeded. Cache inserts
+    /// replay here, in plan order, so cache state is identical at any
+    /// shard count.
+    fn gather(&self, wait: ScatterWait) -> QueryResponse {
+        let ScatterWait { seq, graph, method, deadline, started, key, assembly, pairs } = wait;
+        let collect = |ticket: Ticket<Result<QueryOutcome, RequestError>>| match ticket
+            .wait_until(deadline)
+        {
+            Ok(outcome) => outcome,
+            Err(WaitError::DeadlineExpired) => Err(RequestError {
+                kind: ErrorKind::Timeout,
+                message: "deadline expired before the search completed".into(),
+            }),
+            Err(WaitError::Lost) => Err(RequestError {
+                kind: ErrorKind::Internal,
+                message: "the worker executing this request terminated".into(),
+            }),
+        };
+        let assembly_outcome = collect(assembly);
+        let mut pair_outcomes = Vec::with_capacity(pairs.len());
+        let mut inserts = Vec::new();
+        for job in pairs {
+            let outcome = match job.source {
+                PairSource::Cached(outcome) => outcome,
+                PairSource::Miss(ticket) => {
+                    let outcome = collect(ticket);
+                    if scatter::cacheable(&outcome) {
+                        inserts.push((job.key, outcome.clone()));
+                    }
+                    outcome
+                }
+            };
+            pair_outcomes.push(PairOutcome {
+                ql: job.ql,
+                qr: job.qr,
+                result: outcome.map(|o| o.community),
+            });
+        }
+        // A transient pair failure (timeout, lost worker) must not be baked
+        // into the full-query cache entry — a retry would keep serving it.
+        let transient_pair = pair_outcomes.iter().any(|p| {
+            matches!(&p.result, Err(e) if e.kind == ErrorKind::Timeout || e.kind == ErrorKind::Internal)
+        });
+        let outcome = assembly_outcome.map(|mut o| {
+            o.pairs = pair_outcomes;
+            o
+        });
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (pair_key, value) in inserts {
+                let weight = scatter::outcome_weight(&value);
+                cache.insert_weighted(pair_key, value, weight);
+            }
+            if scatter::cacheable(&outcome) && !transient_pair {
+                let weight = scatter::outcome_weight(&outcome);
+                cache.insert_weighted(key, outcome.clone(), weight);
+            }
+        }
+        if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
+            self.counters.lock().unwrap().timeouts += 1;
+        }
+        let elapsed = started.elapsed();
+        self.metrics.record_latency(Verb::Msearch, elapsed);
+        QueryResponse { seq, graph, method, outcome, cached: false, elapsed }
     }
 
     /// Submit + wait in one call (the sequential path).
@@ -636,6 +873,16 @@ impl BccService {
                         || match cache.peek(&key) {
                             Some(Ok(outcome)) => {
                                 outcome.community.iter().any(|v| dirty.contains(v))
+                                    // Pair annotations scope too: a dirty
+                                    // pair community — or a failed pair,
+                                    // whose feasibility can shift
+                                    // non-locally — taints the entry.
+                                    || outcome.pairs.iter().any(|p| match &p.result {
+                                        Ok(members) => {
+                                            members.iter().any(|v| dirty.contains(v))
+                                        }
+                                        Err(_) => true,
+                                    })
                             }
                             Some(Err(_)) | None => true,
                         }
@@ -647,7 +894,8 @@ impl BccService {
             } else {
                 let mut rekeyed = key;
                 rekeyed.generation = new_generation;
-                cache.insert(rekeyed, value);
+                let weight = scatter::outcome_weight(&value);
+                cache.insert_weighted(rekeyed, value, weight);
                 retained += 1;
             }
         }
@@ -661,11 +909,98 @@ impl BccService {
         self.stats().to_json()
     }
 
-    /// The `metrics` verb's JSON line: the full registry snapshot,
-    /// deterministic key order, integers only.
+    /// The `metrics` verb's JSON line: the full registry snapshot with the
+    /// per-shard load section spliced in — deterministic key order,
+    /// integers only.
     pub fn metrics_json(&self) -> String {
         self.metrics.count_request(Verb::Metrics);
-        self.metrics.snapshot_json()
+        let mut out = self.metrics.snapshot_json();
+        debug_assert!(out.ends_with('}'));
+        out.pop();
+        out.push_str(",\"shards\":{");
+        out.push_str(&shards_json(&self.shards.snapshot(), self.started.elapsed()));
+        out.push_str("}}");
+        out
+    }
+
+    /// Prometheus exposition text: the metrics registry's families plus
+    /// the per-shard load gauges/counters.
+    pub fn prometheus(&self) -> String {
+        type ShardStat = fn(&ShardSnapshot) -> u64;
+        let mut out = self.metrics.prometheus();
+        let families: [(&str, &str, ShardStat); 5] = [
+            ("bcc_shard_routed_total", "counter", |s| s.routed),
+            ("bcc_shard_executed_total", "counter", |s| s.executed),
+            ("bcc_shard_queue_depth", "gauge", |s| s.queued as u64),
+            ("bcc_shard_admitted_total", "counter", |s| s.admitted),
+            ("bcc_shard_rejected_total", "counter", |s| s.rejected),
+        ];
+        let snapshot = self.shards.snapshot();
+        for (name, kind, value) in families {
+            out.push_str(&format!("# HELP {name} Per-shard load.\n# TYPE {name} {kind}\n"));
+            for s in &snapshot {
+                out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.id, value(s)));
+            }
+        }
+        out
+    }
+
+    /// The `shard` verb's JSON line: `shard list` renders the topology and
+    /// every registered graph's route; `shard assign <graph> <id>` pins a
+    /// graph to a shard (pinned to the live generation for observability).
+    pub fn shard_json(&self, cmd: ShardCmd) -> String {
+        self.metrics.count_request(Verb::Shard);
+        match cmd {
+            ShardCmd::List => {
+                let workers = self
+                    .shards
+                    .shards()
+                    .iter()
+                    .map(|s| s.pool().workers().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let assigned: Vec<String> =
+                    self.shards.assignments().into_iter().map(|(name, _, _)| name).collect();
+                let routes = self
+                    .registry
+                    .names()
+                    .iter()
+                    .map(|name| {
+                        format!(
+                            "{{\"graph\":{},\"shard\":{},\"assigned\":{}}}",
+                            json_string(name),
+                            self.shards.route_id(name),
+                            assigned.iter().any(|a| a == name),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"ok\":true,\"shards\":{},\"workers\":[{}],\"routes\":[{}]}}",
+                    self.shards.shard_count(),
+                    workers,
+                    routes
+                )
+            }
+            ShardCmd::Assign { graph, shard } => {
+                let Some(entry) = self.registry.get(&graph) else {
+                    return format!(
+                        "{{\"ok\":false,\"error\":\"resolve\",\"message\":{}}}",
+                        json_string(&format!("no graph registered as `{graph}`"))
+                    );
+                };
+                match self.shards.assign(&graph, shard, entry.generation()) {
+                    Ok(()) => format!(
+                        "{{\"ok\":true,\"graph\":{},\"shard\":{shard}}}",
+                        json_string(&graph)
+                    ),
+                    Err(message) => format!(
+                        "{{\"ok\":false,\"error\":\"resolve\",\"message\":{}}}",
+                        json_string(&message)
+                    ),
+                }
+            }
+        }
     }
 
     /// The `graphs` command's JSON line.
@@ -701,6 +1036,7 @@ impl BccService {
             Ok(ParsedLine::Stats) => LineOutcome::Output(self.stats_json()),
             Ok(ParsedLine::Graphs) => LineOutcome::Output(self.graphs_json()),
             Ok(ParsedLine::Metrics) => LineOutcome::Output(self.metrics_json()),
+            Ok(ParsedLine::Shard(cmd)) => LineOutcome::Output(self.shard_json(cmd)),
             Ok(ParsedLine::Request(request)) => {
                 LineOutcome::Output(self.handle(request).to_json())
             }
@@ -761,6 +1097,11 @@ impl BccService {
                     if let LineOutcome::Output(out) = self.process_line("graphs") {
                         slots.push(Slot::Line(out));
                     }
+                }
+                // Shard commands execute at submit time, like mutations:
+                // `shard assign` must re-route the lines that follow it.
+                Ok(ParsedLine::Shard(cmd)) => {
+                    slots.push(Slot::Line(self.shard_json(cmd)));
                 }
                 Ok(ParsedLine::Request(request)) => {
                     slots.push(Slot::Waiting(self.submit(request)));
@@ -877,6 +1218,7 @@ fn normalize(entry: &GraphEntry, request: &QueryRequest) -> Result<Normalized, R
 
 /// The shared service handles one worker job records through: the result
 /// cache, the lock-guarded counters, and the lock-free metrics registry.
+#[derive(Clone)]
 struct ExecShared {
     cache: SharedCache,
     counters: Arc<Mutex<Counters>>,
@@ -884,15 +1226,35 @@ struct ExecShared {
     query_threads: usize,
 }
 
-/// Runs one search on a worker thread and populates the cache. Requests
-/// whose deadline already passed are dropped without executing (their
-/// waiter has moved on; starting the search would waste the pool).
+/// Resolves the [`QUERY_THREADS_AUTO`] sentinel per query: sequential on
+/// graphs too small to amortize stage-parallel thread handoff, one thread
+/// per core at or above the cutover. Explicit settings pass through —
+/// `query_threads: 1` remains the exact reference configuration. Every
+/// setting produces byte-identical responses; only wall time moves.
+fn effective_query_threads(configured: usize, graph: &LabeledGraph) -> usize {
+    if configured != QUERY_THREADS_AUTO {
+        return configured;
+    }
+    if graph.vertex_count() >= ADAPTIVE_PARALLEL_MIN_VERTICES {
+        0
+    } else {
+        1
+    }
+}
+
+/// Runs one search on a worker thread and (when `cache_insert` is set)
+/// populates the cache. Requests whose deadline already passed are dropped
+/// without executing (their waiter has moved on; starting the search would
+/// waste the pool). Scatter sub-jobs pass `cache_insert: false` — their
+/// inserts replay on the gather side, in plan order, so cache state stays
+/// deterministic across shard counts.
 fn execute(
     entry: &GraphEntry,
     method: Method,
     normalized: &Normalized,
     key: CacheKey,
     deadline: Option<Instant>,
+    cache_insert: bool,
     shared: &ExecShared,
 ) -> Result<QueryOutcome, RequestError> {
     if let Some(deadline) = deadline {
@@ -905,11 +1267,12 @@ fn execute(
     }
     let started = Instant::now();
     let graph = entry.graph();
+    let query_threads = effective_query_threads(shared.query_threads, graph);
     let result = if normalized.multi {
         let query = MbccQuery::new(normalized.vertices.clone());
         let params = MbccParams::new(normalized.ks.clone(), normalized.b);
         let searcher = MultiLabelBcc::with_strategy(method.multi_strategy())
-            .with_query_threads(shared.query_threads);
+            .with_query_threads(query_threads);
         let index = match method {
             Method::L2p => Some(&entry.index().index),
             _ => None,
@@ -920,13 +1283,13 @@ fn execute(
         let params = BccParams::new(normalized.ks[0], normalized.ks[1], normalized.b);
         match method {
             Method::Online => OnlineBcc::default()
-                .with_query_threads(shared.query_threads)
+                .with_query_threads(query_threads)
                 .search(graph, &query, &params),
             Method::Lp => LpBcc::default()
-                .with_query_threads(shared.query_threads)
+                .with_query_threads(query_threads)
                 .search(graph, &query, &params),
             Method::L2p => L2pBcc::default()
-                .with_query_threads(shared.query_threads)
+                .with_query_threads(query_threads)
                 .search(graph, &entry.index().index, &query, &params),
         }
     };
@@ -957,7 +1320,10 @@ fn execute(
     }
     // Search outcomes — including deterministic search errors — are
     // cacheable; timeouts and panics never reach this point.
-    shared.cache.lock().unwrap().insert(key, outcome.clone());
+    if cache_insert {
+        let weight = scatter::outcome_weight(&outcome);
+        shared.cache.lock().unwrap().insert_weighted(key, outcome.clone(), weight);
+    }
     outcome
 }
 

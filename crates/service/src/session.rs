@@ -77,7 +77,10 @@ pub struct Session<'s> {
     service: &'s BccService,
     policy: SeqPolicy,
     config: SessionConfig,
-    gate: Option<&'s Admission>,
+    /// One admission gate per shard (index = shard id); a query's gate is
+    /// picked by routing its graph through the service's [`ShardMap`], so
+    /// load on one shard never blocks admission to another.
+    gates: Option<&'s [Admission]>,
     /// Responses emitted so far — the next per-session seq.
     emitted: u64,
 }
@@ -96,7 +99,7 @@ impl<'s> Session<'s> {
             service,
             policy: SeqPolicy::Service,
             config: SessionConfig::default(),
-            gate: None,
+            gates: None,
             emitted: 0,
         }
     }
@@ -107,14 +110,16 @@ impl<'s> Session<'s> {
             service,
             policy: SeqPolicy::PerSession,
             config,
-            gate: None,
+            gates: None,
             emitted: 0,
         }
     }
 
-    /// Routes this session's query dispatches through an admission gate.
-    pub fn with_gate(mut self, gate: &'s Admission) -> Self {
-        self.gate = Some(gate);
+    /// Routes this session's query dispatches through per-shard admission
+    /// gates (`gates[i]` guards shard `i`; must be non-empty).
+    pub fn with_gates(mut self, gates: &'s [Admission]) -> Self {
+        debug_assert!(!gates.is_empty());
+        self.gates = Some(gates);
         self
     }
 
@@ -181,6 +186,7 @@ impl<'s> Session<'s> {
             Ok(ParsedLine::Stats) => Step::Output(self.service.stats_json()),
             Ok(ParsedLine::Graphs) => Step::Output(self.service.graphs_json()),
             Ok(ParsedLine::Metrics) => Step::Output(self.service.metrics_json()),
+            Ok(ParsedLine::Shard(cmd)) => Step::Output(self.service.shard_json(cmd)),
             Ok(ParsedLine::Mutate(mut request)) => {
                 if request.graph.is_none() {
                     request.graph = self.config.default_graph.clone();
@@ -207,15 +213,19 @@ impl<'s> Session<'s> {
         }
     }
 
-    /// Runs one query through the admission gate (when attached) and the
-    /// service, with this session's output index as its seq.
+    /// Runs one query through its shard's admission gate (when gates are
+    /// attached) and the service, with this session's output index as its
+    /// seq. The gate is the one guarding the shard the request's graph
+    /// routes to — admission pressure is per-shard, like the pools.
     fn dispatch_query(&self, request: QueryRequest) -> String {
         let seq = self.emitted;
-        let Some(gate) = self.gate else {
+        let Some(gates) = self.gates else {
             let mut response = self.service.handle(request);
             response.seq = seq;
             return response.to_json();
         };
+        let shard = self.service.shard_for(request.graph.as_deref());
+        let gate = &gates[shard.min(gates.len() - 1)];
         let deadline = request
             .timeout_ms
             .or(self.service.config().default_timeout_ms)

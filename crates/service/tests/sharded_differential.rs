@@ -1,0 +1,173 @@
+//! Sharded serving is a placement detail, not a semantics change: the same
+//! protocol session must produce byte-identical responses at any shard
+//! count, with identical cache accounting — including m > 2 msearch lines
+//! (the scatter-gather path), mutate/commit cycles (generation re-pins),
+//! and mid-session `shard assign` reassignment. Only the `shard` verb and
+//! `stats`/`metrics` surfaces (which report the topology itself) may
+//! differ, so they are exercised but excluded from the byte comparison.
+
+use bcc_graph::{GraphBuilder, LabeledGraph};
+use bcc_service::{BccService, CacheCounters, LineOutcome, ServiceConfig};
+
+/// Three label groups A (0..4), B (4..8), C (8..12): each a 4-clique, A–B
+/// and B–C butterfly-bridged, no A–C edges. The m=3 mBCC over {0, 4, 8}
+/// is feasible (connectivity flows through B) even though the (A, C) label
+/// pair has no butterfly at all — so its scatter always carries one
+/// structured per-pair failure inside an `"ok":true` response.
+fn three_group_graph() -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let a: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+    let bb: Vec<_> = (0..4).map(|_| b.add_vertex("B")).collect();
+    let c: Vec<_> = (0..4).map(|_| b.add_vertex("C")).collect();
+    for grp in [&a, &bb, &c] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(grp[i], grp[j]);
+            }
+        }
+    }
+    for &x in &a[..2] {
+        for &y in &bb[..2] {
+            b.add_edge(x, y);
+        }
+    }
+    for &x in &bb[..2] {
+        for &y in &c[..2] {
+            b.add_edge(x, y);
+        }
+    }
+    b.build()
+}
+
+fn expect_output(service: &BccService, line: &str) -> String {
+    match service.process_line(line) {
+        LineOutcome::Output(out) => out,
+        other => panic!("`{line}` produced {other:?} instead of output"),
+    }
+}
+
+/// The session script. `compare = false` lines are executed (their side
+/// effects — routing changes, topology output — are part of the scenario)
+/// but excluded from the byte comparison because they legitimately mention
+/// the shard count.
+fn workload(shards: usize) -> Vec<(String, bool)> {
+    let q = |s: &str| (s.to_string(), true);
+    vec![
+        q("search ql=0 qr=4 method=lp"),
+        q("search ql=0 qr=4 method=online"),
+        q("search ql=4 qr=8 method=l2p"),
+        // m=2 msearch stays a single job — and warms the (0, 4) pair slot
+        // the m=3 scatter below probes (identical CacheKey by design).
+        q("msearch q=0,4 k=3 b=1"),
+        // m=3: scatters pairs (0,4) [cache hit], (0,8) [structured error:
+        // no A–C butterfly], (4,8) plus the monolithic assembly.
+        q("msearch q=0,4,8 k=3 b=1"),
+        // Byte-for-byte repeat: a full-key cache hit, no re-scatter.
+        q("msearch q=0,4,8 k=3 b=1"),
+        q("msearch q=0,4,8 k=3 b=1 method=online"),
+        // Mutate + commit: a new generation re-pins the routing table and
+        // invalidates by dirty set; the scatter must rebuild cleanly.
+        q("add_edge u=2 v=10"),
+        q("commit"),
+        q("msearch q=0,4,8 k=3 b=1"),
+        q("search ql=0 qr=8"),
+        q("remove_edge u=2 v=10"),
+        q("commit"),
+        q("msearch q=0,4,8 k=3 b=1"),
+        // Mid-session reassignment: pin the graph to the last shard, then
+        // keep querying. Routing moves; responses must not.
+        (format!("shard assign default {}", shards - 1), false),
+        ("shard list".to_string(), false),
+        ("stats".to_string(), false),
+        q("msearch q=0,4,8 k=3 b=1"),
+        q("search ql=0 qr=4 method=lp"),
+        q("msearch q=4,8,0 k=3 b=1"),
+    ]
+}
+
+/// Runs the whole script on a fresh service, returning the comparable
+/// response lines and the final cache counters.
+fn run(shards: usize, cache_capacity: usize, cache_weight_cap: usize) -> (Vec<String>, CacheCounters) {
+    let service = BccService::with_graph(
+        ServiceConfig {
+            shards,
+            workers: 2,
+            cache_capacity,
+            cache_weight_cap,
+            ..ServiceConfig::default()
+        },
+        three_group_graph(),
+    );
+    let mut outputs = Vec::new();
+    for (line, compare) in workload(shards) {
+        let out = expect_output(&service, &line);
+        if compare {
+            outputs.push((line, out));
+        }
+    }
+    let cache = service.stats().cache;
+    (outputs.into_iter().map(|(_, o)| o).collect(), cache)
+}
+
+#[test]
+fn responses_byte_identical_across_shard_counts() {
+    // (cache capacity, weight cap): the default cache, no cache at all,
+    // and a tiny member-weight cap that forces size-aware eviction — the
+    // determinism must survive every eviction regime.
+    for (capacity, weight_cap) in [(4096usize, 0usize), (0, 0), (4096, 20)] {
+        let (reference, ref_cache) = run(1, capacity, weight_cap);
+        for shards in [2usize, 4] {
+            let (outputs, cache) = run(shards, capacity, weight_cap);
+            assert_eq!(outputs.len(), reference.len());
+            for (i, (got, want)) in outputs.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got, want,
+                    "response {i} diverged at shards={shards} \
+                     (cache {capacity}, weight cap {weight_cap})"
+                );
+            }
+            // Identical hit/miss/insert/evict accounting: the scatter
+            // probes and insert replay run in plan order on the session
+            // thread, so shard count cannot move a single counter.
+            assert_eq!(
+                cache, ref_cache,
+                "cache counters diverged at shards={shards} \
+                 (cache {capacity}, weight cap {weight_cap})"
+            );
+        }
+        if capacity > 0 {
+            assert!(ref_cache.hits > 0, "the script must exercise cache hits");
+        }
+    }
+}
+
+#[test]
+fn scatter_surfaces_partial_failure_per_pair() {
+    let service = BccService::with_graph(
+        ServiceConfig { shards: 2, workers: 2, ..ServiceConfig::default() },
+        three_group_graph(),
+    );
+    // Warm the (0, 4) pair slot through a direct m=2 msearch, then scatter.
+    let _ = expect_output(&service, "msearch q=0,4 k=3 b=1");
+    let out = expect_output(&service, "msearch q=0,4,8 k=3 b=1");
+    assert!(out.contains("\"ok\":true"), "{out}");
+    assert!(out.contains("\"size\":12"), "all three 4-cliques: {out}");
+    assert!(out.contains("\"pairs\":["), "{out}");
+    assert!(out.contains("\"ql\":0,\"qr\":4,\"ok\":true"), "{out}");
+    assert!(
+        out.contains("\"ql\":0,\"qr\":8,\"ok\":false,\"error\":\"search\""),
+        "the A–C pair has no butterfly — its slot must carry the structured \
+         error while the overall response stays ok: {out}"
+    );
+    assert!(out.contains("\"ql\":4,\"qr\":8,\"ok\":true"), "{out}");
+
+    // The warmed pair was served from cache; the other two pair slots and
+    // the full key missed; the repeat is a pure full-key hit.
+    let before = service.stats().cache;
+    let repeat = expect_output(&service, "msearch q=0,4,8 k=3 b=1");
+    let after = service.stats().cache;
+    assert_eq!(after.hits, before.hits + 1, "repeat must hit the full key");
+    assert_eq!(after.misses, before.misses, "repeat must not re-scatter");
+    // Symmetric vertex order normalizes to the same key — still one hit.
+    assert_eq!(repeat, expect_output(&service, "msearch q=8,4,0 k=3 b=1").replace("\"seq\":3", "\"seq\":2"));
+}
