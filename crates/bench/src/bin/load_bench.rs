@@ -28,7 +28,13 @@
 //!   strictly faster parallel than sequential (same SKIP rule);
 //! * the shard sweep — an msearch-heavy workload replayed at each
 //!   `--shards` count — must not run slower on its best multi-shard
-//!   configuration than on the single pool (same SKIP rule).
+//!   configuration than on the single pool (same SKIP rule);
+//! * the chaos phase — a canned fault plan panics the first four pool
+//!   executions — must surface each injected panic as a structured
+//!   internal error and then serve the whole workload on a full-width
+//!   pool;
+//! * an armed-but-never-firing fault plan must stay within 2% of the
+//!   fault-free baseline throughput (same SKIP rule).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -140,6 +146,7 @@ fn run_phase(
     metrics: bool,
     query_threads: usize,
     shards: usize,
+    faults: &[String],
 ) -> BenchPhase {
     let service = Arc::new(BccService::with_graph(
         ServiceConfig {
@@ -148,6 +155,7 @@ fn run_phase(
             cache_capacity: 4096,
             metrics,
             query_threads,
+            faults: faults.to_vec(),
             ..Default::default()
         },
         graph.clone(),
@@ -222,11 +230,17 @@ fn main() {
     let total: usize = all_lines.iter().map(Vec::len).sum();
     eprintln!("workload: {clients} clients, {total} distinct query lines total");
 
-    let single = run_phase("1 client", &net.graph, &all_lines[..1], true, 1, 1);
+    let single = run_phase("1 client", &net.graph, &all_lines[..1], true, 1, 1, &[]);
     // Same N-client workload twice: metrics tier off (the baseline), then
     // on — the pair the ≤5% overhead gate compares.
-    let multi_off = run_phase("N clients, metrics off", &net.graph, &all_lines, false, 1, 1);
-    let multi = run_phase("N clients", &net.graph, &all_lines, true, 1, 1);
+    let multi_off = run_phase("N clients, metrics off", &net.graph, &all_lines, false, 1, 1, &[]);
+    let multi = run_phase("N clients", &net.graph, &all_lines, true, 1, 1, &[]);
+    // The same workload with a fault plan armed but never firing (the
+    // selected match is astronomically far away): the injection hooks on
+    // the hot path must cost nothing measurable — the ≤2% gate below.
+    let armed_plan = vec!["worker_execute:panic:1000000000".to_string()];
+    let multi_armed =
+        run_phase("N clients, faults armed", &net.graph, &all_lines, true, 1, 1, &armed_plan);
 
     // Query-thread sweep: one client, the whole workload, with the stages
     // *inside* each search sequential vs parallel (`--query-threads 0` ⇒
@@ -241,8 +255,8 @@ fn main() {
             format!("{base} method=online")
         })
         .collect()];
-    let qt_seq = run_phase("1 client, query-threads 1", &net.graph, &sweep_lines, true, 1, 1);
-    let qt_par = run_phase("1 client, query-threads 0", &net.graph, &sweep_lines, true, 0, 1);
+    let qt_seq = run_phase("1 client, query-threads 1", &net.graph, &sweep_lines, true, 1, 1, &[]);
+    let qt_par = run_phase("1 client, query-threads 0", &net.graph, &sweep_lines, true, 0, 1, &[]);
 
     // Shard sweep: the same N clients, but an msearch-heavy workload whose
     // m=3 queries scatter their label-pair sub-queries across shards via
@@ -276,7 +290,7 @@ fn main() {
     let shard_runs: Vec<(usize, BenchPhase)> = shard_counts
         .iter()
         .map(|&n| {
-            (n, run_phase(&format!("N clients, shards={n}"), &net.graph, &shard_lines, true, 1, n))
+            (n, run_phase(&format!("N clients, shards={n}"), &net.graph, &shard_lines, true, 1, n, &[]))
         })
         .collect();
 
@@ -322,6 +336,65 @@ fn main() {
         reject_elapsed.as_secs_f64() * 1e3
     );
 
+    // Chaos phase: a canned fault plan panics the first four pool
+    // executions. Each faulted request must surface as the structured
+    // internal error naming the panic — never a hang, never a torn
+    // connection — and afterwards the exhausted plan must leave a pool at
+    // full width serving the whole workload cleanly.
+    let chaos_faults = 4usize;
+    let service = Arc::new(BccService::with_graph(
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 0,
+            faults: vec![format!("worker_execute:panic:1:{chaos_faults}")],
+            ..Default::default()
+        },
+        net.graph.clone(),
+    ));
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind chaos server");
+    let mut client = Client::connect(handle.addr(), false);
+    let chaos_started = Instant::now();
+    for line in all_lines[0].iter().take(chaos_faults) {
+        let response = client.round_trip(line);
+        assert!(
+            response.contains("\"error\":\"internal\"") && response.contains("panicked"),
+            "INVARIANT VIOLATED: an injected worker panic must surface as the \
+             structured internal error, got: {response}"
+        );
+    }
+    for line in &all_lines[0] {
+        let response = client.round_trip(line);
+        // Infeasible planted queries legitimately fail with a `search`
+        // error; what recovery forbids is any residue of the panics.
+        assert!(
+            !response.contains("\"error\":\"internal\""),
+            "INVARIANT VIOLATED: after the fault plan is spent no request may \
+             see an internal error, got: {response}"
+        );
+    }
+    let chaos_elapsed = chaos_started.elapsed();
+    let chaos_requests = chaos_faults + all_lines[0].len();
+    drop(client);
+    let chaos_stats = service.stats();
+    handle.shutdown();
+    handle.join();
+    assert_eq!(
+        chaos_stats.worker_panics, chaos_faults as u64,
+        "INVARIANT VIOLATED: every injected panic is counted contained"
+    );
+    assert!(
+        chaos_stats.shards.iter().all(|s| s.workers == 2),
+        "INVARIANT VIOLATED: pool capacity decayed after contained panics: {:?}",
+        chaos_stats.shards.iter().map(|s| s.workers).collect::<Vec<_>>()
+    );
+    println!(
+        "chaos: {chaos_faults} injected worker panics contained, {} requests \
+         recovered on a full-width pool, {:.1} ms total",
+        all_lines[0].len(),
+        chaos_elapsed.as_secs_f64() * 1e3
+    );
+
     let mut table = Table::new(
         format!("TCP load bench on {} x{scale} ({total} distinct queries)", spec.name),
         vec![
@@ -334,7 +407,7 @@ fn main() {
         ],
     );
     let sweep_phases: Vec<&BenchPhase> = shard_runs.iter().map(|(_, p)| p).collect();
-    for phase in [&single, &multi_off, &multi, &qt_seq, &qt_par]
+    for phase in [&single, &multi_off, &multi, &multi_armed, &qt_seq, &qt_par]
         .into_iter()
         .chain(sweep_phases.iter().copied())
     {
@@ -352,6 +425,14 @@ fn main() {
         "1".into(),
         overload_requests.to_string(),
         format!("{:.0}", overload_requests as f64 / reject_elapsed.as_secs_f64()),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        "chaos".into(),
+        "1".into(),
+        chaos_requests.to_string(),
+        format!("{:.0}", chaos_requests as f64 / chaos_elapsed.as_secs_f64()),
         "-".into(),
         "-".into(),
     ]);
@@ -395,6 +476,29 @@ fn main() {
             multi.qps,
             multi_off.qps,
             (multi.qps / multi_off.qps - 1.0) * 100.0
+        );
+    }
+    if cores < 2 {
+        println!(
+            "fault-injection gate SKIPPED: {cores} core(s) available — a \
+             contended single core turns scheduling noise into false signal"
+        );
+    } else {
+        // An armed-but-never-firing plan is one relaxed load plus one
+        // branch per checked site; the gate keeps it under 2% of the
+        // fault-free baseline.
+        assert!(
+            multi_armed.qps >= multi.qps * 0.98,
+            "INVARIANT VIOLATED: armed fault plan throughput ({:.0} q/s) more \
+             than 2% below the fault-free baseline ({:.0} q/s)",
+            multi_armed.qps,
+            multi.qps
+        );
+        println!(
+            "fault-injection overhead: armed {:.0} q/s vs disabled {:.0} q/s ({:+.1}%)",
+            multi_armed.qps,
+            multi.qps,
+            (multi_armed.qps / multi.qps - 1.0) * 100.0
         );
     }
     if cores < 2 {
@@ -449,7 +553,7 @@ fn main() {
     if let Some(path) = out_path {
         std::fs::write(
             &path,
-            summary_json(&table, &single, &multi_off, &multi, &qt_seq, &qt_par, &shard_runs, cores),
+            summary_json(&table, &single, &multi_off, &multi, &multi_armed, &qt_seq, &qt_par, &shard_runs, cores),
         )
         .expect("write JSON summary");
         eprintln!("wrote JSON summary to {path}");
@@ -469,6 +573,7 @@ fn summary_json(
     single: &BenchPhase,
     multi_off: &BenchPhase,
     multi: &BenchPhase,
+    multi_armed: &BenchPhase,
     qt_seq: &BenchPhase,
     qt_par: &BenchPhase,
     shard_runs: &[(usize, BenchPhase)],
@@ -511,7 +616,8 @@ fn summary_json(
         .map(|(_, p)| p.qps)
         .fold(0.0f64, f64::max);
     format!(
-        "{{\"table\":{},\"phases\":{{\"single\":{},\"multi_metrics_off\":{},\"multi\":{}}},\
+        "{{\"table\":{},\"phases\":{{\"single\":{},\"multi_metrics_off\":{},\"multi\":{},\
+         \"multi_faults_armed\":{}}},\
          \"query_thread_sweep\":{{\"cores\":{cores},\"sequential\":{},\"parallel\":{},\
          \"speedup\":{:.3}}},\"shard_sweep\":{{\"cores\":{cores},\"runs\":[{}],\
          \"speedup\":{:.3}}}}}\n",
@@ -519,6 +625,7 @@ fn summary_json(
         phase_json(single),
         phase_json(multi_off),
         phase_json(multi),
+        phase_json(multi_armed),
         phase_json(qt_seq),
         phase_json(qt_par),
         qt_par.qps / qt_seq.qps.max(1e-9),

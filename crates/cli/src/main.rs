@@ -48,9 +48,9 @@ const USAGE: &str = "usage:
   bcc stats    <graph-file>
   bcc search   <graph-file> --ql <name|id> --qr <name|id> [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p] [--index-threads N] [--query-threads N]
   bcc msearch  <graph-file> --q <name|id> --q <name|id> [--q ...] [--k N] [--b N] [--method online|lp|l2p] [--index-threads N] [--query-threads N]
-  bcc serve    <graph-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc serve    <graph-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N] [--fault SPEC]... [--breaker-threshold N] [--breaker-cooldown-ms N]
   bcc listen   <graph-file> <addr> [--max-conns N] [--queue-depth N] [--timeout-ms N] [--metrics-addr ADDR] [serve flags]
-  bcc batch    <graph-file> <queries-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N]
+  bcc batch    <graph-file> <queries-file> [--shards N] [--workers N] [--cache N] [--cache-weight-cap N] [--name NAME] [--index-threads N] [--query-threads N] [--no-metrics] [--slow-query-ms N] [--fault SPEC]... [--breaker-threshold N] [--breaker-cooldown-ms N]
   bcc generate <output-file> [--network dblp] [--scale 1.0]
   bcc case     <flight|trade|fiction|academic> [--out FILE]
 
@@ -97,7 +97,21 @@ negotiated per connection from its first byte). --max-conns caps concurrent
 connections; --queue-depth bounds the admission queue — requests beyond it
 are rejected with a structured `overloaded` error. A `quit` line closes the
 issuing connection; `shutdown` stops the whole server. The bound address is
-printed to stderr.";
+printed to stderr.
+
+Fault tolerance (serve/batch/listen): --fault <site>:<action>[:<from>[:<count>]]
+(repeatable) arms deterministic fault injection — action is panic, error, or
+delay<N>ms; site is a query/commit phase (query_distance, core_decomp,
+butterfly_counting, leader_pairing, overlay_apply, cascade, chi_delta,
+cache_invalidate, query_dist_expand, query_dist_merge) or a transport site
+(codec_decode, admission, worker_execute, scatter_pair). The Nth..N+count-1th
+matches at the site fire; everything else is untouched. Worker panics are
+contained (a structured `internal` error; the worker is respawned so pool
+capacity never decays). --breaker-threshold (default 5, 0 disables) opens a
+per-shard circuit breaker after that many consecutive failures — an open
+shard's scatter sub-queries are rerouted to the home shard, with half-open
+probes after --breaker-cooldown-ms (default 250). Breaker state appears in
+`shard list` and `stats`.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -323,6 +337,19 @@ fn msearch(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Collect repeated `--fault <site>:<action>[:<from>[:<count>]]` specs and
+/// pre-validate them: `BccService::new` panics on a malformed plan (it has no
+/// error channel), so parse the whole set here and surface a clean CLI error
+/// instead.
+fn fault_specs(args: &[String]) -> Result<Vec<String>, String> {
+    let specs: Vec<String> = flag_values(args, "--fault")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    bcc_service::FaultPlan::parse(&specs).map_err(|e| format!("invalid --fault spec: {e}"))?;
+    Ok(specs)
+}
+
 /// Shared setup for `serve`/`batch`: load the graph file and start a
 /// service with it registered under `--name` (default: the file stem).
 fn start_service(args: &[String]) -> Result<BccService, String> {
@@ -365,6 +392,15 @@ fn start_service(args: &[String]) -> Result<BccService, String> {
             .map(|t| t.parse().map_err(|_| "--query-threads must be an integer"))
             .transpose()?
             .unwrap_or(bcc_service::QUERY_THREADS_AUTO),
+        faults: fault_specs(args)?,
+        breaker_threshold: flag_value(args, "--breaker-threshold")
+            .map(|t| t.parse().map_err(|_| "--breaker-threshold must be an integer"))
+            .transpose()?
+            .unwrap_or(5),
+        breaker_cooldown_ms: flag_value(args, "--breaker-cooldown-ms")
+            .map(|t| t.parse().map_err(|_| "--breaker-cooldown-ms must be an integer"))
+            .transpose()?
+            .unwrap_or(250),
     };
     let service = BccService::with_graph(config, graph);
     // Banner on stderr: stdout carries only protocol responses.

@@ -268,3 +268,61 @@ fn listen_framing_violation_gets_structured_error_then_close() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn listen_survives_clients_dying_mid_frame_without_leaking_sessions() {
+    let dir = temp_dir("midframe");
+    let graph = graph_file(&dir);
+    let (mut child, addr, _stderr_lines) = spawn_listen(&graph, &[]);
+
+    // Clients that die at the nastiest points of the wire protocol: the
+    // session threads must see each one as end-of-stream (or a framing
+    // violation), release the connection slot, and exit — never block on
+    // a frame that will never complete.
+    for _round in 0..2 {
+        // Binary codec negotiated, then death inside the length prefix.
+        let half_prefix = TcpStream::connect(addr).expect("connect");
+        (&half_prefix).write_all(&[0x01, 0x00]).unwrap();
+        drop(half_prefix);
+
+        // A full prefix declaring 64 payload bytes, but only 10 arrive.
+        let half_payload = TcpStream::connect(addr).expect("connect");
+        (&half_payload)
+            .write_all(&[0x01, 0x00, 0x00, 0x40, b'x', b'x', b'x', b'x', b'x'])
+            .unwrap();
+        drop(half_payload);
+
+        // Text codec, death before the newline ends the first line.
+        let half_line = TcpStream::connect(addr).expect("connect");
+        (&half_line).write_all(b"search ql=l0").unwrap();
+        drop(half_line);
+
+        // Connect and vanish before sending a single byte.
+        drop(TcpStream::connect(addr).expect("connect"));
+    }
+
+    // The server keeps serving a well-behaved client...
+    let mut ok = Client::connect(addr, false);
+    assert!(ok.round_trip("search ql=l0 qr=r0").contains("\"ok\":true"));
+
+    // ...and every dead session drains: the gauge must fall back to 1
+    // (this client alone). Poll briefly — the disconnects are racing us.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = ok.round_trip("stats");
+        if stats.contains("\"active_sessions\":1,") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead sessions never drained: {stats}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Shutdown joins every session thread before the process exits — a
+    // leaked thread stuck in a dead client's read would hang this wait.
+    ok.send("shutdown");
+    assert!(child.wait().expect("exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

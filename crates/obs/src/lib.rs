@@ -307,6 +307,13 @@ impl Phase {
             Phase::QueryDistMerge => "query_dist_merge",
         }
     }
+
+    /// The inverse of [`Phase::name`] — resolves the snake_case names used
+    /// in JSON snapshots, Prometheus labels, and fault-injection site specs
+    /// back to the phase. `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
 }
 
 /// The hook instrumented code records phase spans through. Takes `&self`
@@ -535,5 +542,14 @@ mod tests {
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
+    }
+
+    #[test]
+    fn phase_from_name_round_trips() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+        }
+        assert_eq!(Phase::from_name("no_such_phase"), None);
+        assert_eq!(Phase::from_name(""), None);
     }
 }

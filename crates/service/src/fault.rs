@@ -1,0 +1,549 @@
+//! Deterministic fault injection + the containment primitives built on it.
+//!
+//! A [`FaultPlan`] arms named *sites* across the serving stack — the
+//! `bcc-obs` [`Phase`] taxonomy (query phases, commit stages) plus four
+//! transport sites (codec decode, admission, worker execute, scatter pair
+//! dispatch) — with actions selected deterministically by **match count**:
+//! every time execution passes an armed site the site's counter advances,
+//! and a rule `worker_execute:panic:2:3` fires on matches 2, 3 and 4 (1-
+//! based, in arrival order at that site). No randomness, no clocks: the
+//! same request sequence perturbs the same requests on every run, which is
+//! what lets the chaos differential suite compare a faulted service
+//! byte-for-byte against a fault-free twin.
+//!
+//! The plan is wired through [`crate::ServiceConfig::faults`] as plain
+//! strings (`<site>:<action>[:<from>[:<count>]]`), so the CLI (`--fault`),
+//! tests, and the load bench all share one grammar. An **empty plan is a
+//! single predictable branch** at every site — the disabled configuration
+//! measures within noise of a build with no fault layer at all (gated in
+//! `load_bench`).
+//!
+//! The same module hosts the containment-side primitives the plan exists
+//! to exercise: [`Breaker`], the per-shard circuit breaker that trips
+//! after consecutive sub-query failures and reroutes an open shard's work
+//! to the home shard until a half-open probe heals it, and
+//! [`lock_unpoisoned`], the crate-wide mutex discipline — a panicking
+//! lock holder must never wedge the service, so every shared-state lock
+//! recovers the guard from a poisoned mutex instead of unwrapping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use bcc_obs::Phase;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Poisoning exists to flag possibly-inconsistent state, but every mutex in
+/// this crate guards state that stays consistent under unwind (counters,
+/// maps, queues mutated in single steps) — and the containment layer turns
+/// worker panics into structured errors rather than process death, so a
+/// poisoned lock must degrade to a plain lock, not wedge every later
+/// request into a panic cascade.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a caught panic payload as a message: the `&str`/`String` panic
+/// message when there is one (the overwhelmingly common case), a fixed
+/// fallback otherwise.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker job panicked".to_string()
+    }
+}
+
+/// A named injection point. The query/commit sites reuse the `bcc-obs`
+/// [`Phase`] taxonomy (one site per phase, matched where the service
+/// brackets that phase); the transport sites cover the paths a request
+/// crosses before and around execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// An engine or commit phase (checked where the service enters it).
+    Phase(Phase),
+    /// A session decoded one request payload (before dispatch).
+    CodecDecode,
+    /// A query is about to ask its shard's admission gate for a permit.
+    Admission,
+    /// A worker picked the job up and is about to run the search.
+    WorkerExecute,
+    /// A scatter pair sub-query is executing on its owning shard.
+    ScatterPair,
+}
+
+impl FaultSite {
+    /// Distinct sites: the phase taxonomy plus the four transport sites.
+    pub const COUNT: usize = Phase::COUNT + 4;
+
+    /// Dense index (phases first, in [`Phase::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::Phase(p) => p.index(),
+            FaultSite::CodecDecode => Phase::COUNT,
+            FaultSite::Admission => Phase::COUNT + 1,
+            FaultSite::WorkerExecute => Phase::COUNT + 2,
+            FaultSite::ScatterPair => Phase::COUNT + 3,
+        }
+    }
+
+    /// Stable snake_case name (the spec grammar's `<site>` token).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Phase(p) => p.name(),
+            FaultSite::CodecDecode => "codec_decode",
+            FaultSite::Admission => "admission",
+            FaultSite::WorkerExecute => "worker_execute",
+            FaultSite::ScatterPair => "scatter_pair",
+        }
+    }
+
+    /// Parses a `<site>` token: a transport site name or any phase name.
+    pub fn from_name(name: &str) -> Option<FaultSite> {
+        match name {
+            "codec_decode" => Some(FaultSite::CodecDecode),
+            "admission" => Some(FaultSite::Admission),
+            "worker_execute" => Some(FaultSite::WorkerExecute),
+            "scatter_pair" => Some(FaultSite::ScatterPair),
+            other => Phase::from_name(other).map(FaultSite::Phase),
+        }
+    }
+
+    /// Every site, index order (tests iterate this to arm all of them).
+    pub fn all() -> impl Iterator<Item = FaultSite> {
+        Phase::ALL.iter().copied().map(FaultSite::Phase).chain([
+            FaultSite::CodecDecode,
+            FaultSite::Admission,
+            FaultSite::WorkerExecute,
+            FaultSite::ScatterPair,
+        ])
+    }
+}
+
+/// What an armed site does when a rule fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// `panic!` at the site — exercises the containment layer.
+    Panic,
+    /// Sleep this many milliseconds — perturbs timing, not results.
+    Delay(u64),
+    /// Make the site return a structured `internal` error.
+    Error,
+}
+
+/// One deterministic rule: fire `action` at `site` for `count` consecutive
+/// matches starting at the 1-based match number `from` (`count == 0` ⇒
+/// every match from `from` on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    pub site: FaultSite,
+    pub action: FaultAction,
+    pub from: u64,
+    pub count: u64,
+}
+
+impl FaultRule {
+    fn fires_at(&self, matched: u64) -> bool {
+        matched >= self.from && (self.count == 0 || matched < self.from + self.count)
+    }
+}
+
+/// A compiled set of [`FaultRule`]s plus per-site match counters.
+///
+/// `check(site)` is the single hook instrumented code calls; with no rules
+/// it is one branch on an immutable bool. Counters only advance for sites
+/// that at least one rule arms, so an armed-but-never-firing plan (used by
+/// the zero-cost gate) still takes the cheap path at every other site.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    /// Which sites have at least one rule (dense, by site index).
+    armed: [bool; FaultSite::COUNT],
+    /// Matches observed per armed site (the rule selector).
+    matches: [AtomicU64; FaultSite::COUNT],
+    /// Total faults injected (all sites, all actions).
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Compiles `specs` (`<site>:<action>[:<from>[:<count>]]`, e.g.
+    /// `worker_execute:panic:2:3` or `core_decomp:delay5ms`). `from`
+    /// defaults to 1 (the first match), `count` to 0 (every match onward).
+    pub fn parse<S: AsRef<str>>(specs: &[S]) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for spec in specs {
+            let spec = spec.as_ref();
+            let mut parts = spec.split(':');
+            let site_token = parts.next().unwrap_or("");
+            let site = FaultSite::from_name(site_token).ok_or_else(|| {
+                format!("fault spec `{spec}`: unknown site `{site_token}`")
+            })?;
+            let action_token = parts
+                .next()
+                .ok_or_else(|| format!("fault spec `{spec}`: missing action"))?;
+            let action = parse_action(action_token)
+                .ok_or_else(|| format!("fault spec `{spec}`: unknown action `{action_token}`"))?;
+            let from = match parts.next() {
+                None => 1,
+                Some(t) => t
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("fault spec `{spec}`: `from` must be a positive integer"))?,
+            };
+            let count = match parts.next() {
+                None => 0,
+                Some(t) => t
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault spec `{spec}`: `count` must be an integer"))?,
+            };
+            if parts.next().is_some() {
+                return Err(format!("fault spec `{spec}`: too many `:` fields"));
+            }
+            plan.armed[site.index()] = true;
+            plan.rules.push(FaultRule { site, action, from, count });
+        }
+        Ok(plan)
+    }
+
+    /// No rules at all — every `check` is a single branch.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total faults injected so far (panics, delays, and error returns).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The match-count hook: advances `site`'s counter and returns the
+    /// action the first matching rule selects, if any. Deterministic for a
+    /// deterministic arrival order at the site.
+    pub fn check(&self, site: FaultSite) -> Option<FaultAction> {
+        if self.rules.is_empty() || !self.armed[site.index()] {
+            return None;
+        }
+        let matched = self.matches[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let action = self
+            .rules
+            .iter()
+            .find(|r| r.site == site && r.fires_at(matched))
+            .map(|r| r.action)?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(action)
+    }
+
+    /// Checks `site` and *acts*: panics or sleeps in place; returns `true`
+    /// when the caller must produce a structured `internal` error instead.
+    /// The common call shape at sites whose failure mode is an error
+    /// return — panic and delay need no caller cooperation.
+    pub fn perturb(&self, site: FaultSite) -> bool {
+        match self.check(site) {
+            None => false,
+            Some(FaultAction::Panic) => {
+                panic!("injected fault: panic at {}", site.name())
+            }
+            Some(FaultAction::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                false
+            }
+            Some(FaultAction::Error) => true,
+        }
+    }
+}
+
+fn parse_action(token: &str) -> Option<FaultAction> {
+    match token {
+        "panic" => Some(FaultAction::Panic),
+        "error" => Some(FaultAction::Error),
+        _ => token
+            .strip_prefix("delay")
+            .and_then(|rest| rest.strip_suffix("ms"))
+            .and_then(|ms| ms.parse().ok())
+            .map(FaultAction::Delay),
+    }
+}
+
+/// A circuit breaker's externally visible state (rendered in `shard list`
+/// and Prometheus).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything routes normally.
+    #[default]
+    Closed,
+    /// Tripped: work is rerouted away until the cooldown elapses.
+    Open,
+    /// One probe is in flight; its outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (`shard list` JSON, Prometheus labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Dense code for the Prometheus state gauge (0/1/2).
+    pub fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BreakerInner {
+    /// Consecutive failures while closed (reset by any success).
+    consecutive: u32,
+    /// When the breaker opened; `None` ⇔ closed.
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight (admitted, outcome not yet recorded).
+    probing: bool,
+}
+
+/// A per-shard circuit breaker over scatter sub-query outcomes.
+///
+/// Closed until `threshold` *consecutive* transient failures (timeouts,
+/// worker deaths) are recorded; open for at least `cooldown`, during which
+/// [`Breaker::allow`] refuses (callers reroute the work); then one probe
+/// is admitted half-open — success closes the breaker, failure re-opens it
+/// for another cooldown. `threshold == 0` disables the breaker entirely
+/// (always closed, never trips).
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<BreakerInner>,
+    opens: AtomicU64,
+}
+
+impl Breaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// cooling down for `cooldown` before each half-open probe.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Breaker {
+            threshold,
+            cooldown,
+            state: Mutex::new(BreakerInner::default()),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether new work may route here. Open + cooldown elapsed admits
+    /// exactly one half-open probe (subsequent calls refuse until its
+    /// outcome is recorded).
+    pub fn allow(&self) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        let mut inner = lock_unpoisoned(&self.state);
+        let Some(opened_at) = inner.opened_at else { return true };
+        if inner.probing || opened_at.elapsed() < self.cooldown {
+            return false;
+        }
+        inner.probing = true;
+        true
+    }
+
+    /// Records a successful outcome: closes the breaker (probe success)
+    /// and clears the consecutive-failure run.
+    pub fn record_success(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = lock_unpoisoned(&self.state);
+        inner.consecutive = 0;
+        inner.opened_at = None;
+        inner.probing = false;
+    }
+
+    /// Records a transient failure: trips the breaker at `threshold`
+    /// consecutive failures, and re-opens (restarting the cooldown) when a
+    /// half-open probe fails.
+    pub fn record_failure(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = lock_unpoisoned(&self.state);
+        if inner.opened_at.is_some() {
+            // Open already: a probe failed (or a straggler from before the
+            // trip landed) — restart the cooldown, drop the probe claim.
+            inner.opened_at = Some(Instant::now());
+            inner.probing = false;
+            return;
+        }
+        inner.consecutive += 1;
+        if inner.consecutive >= self.threshold {
+            inner.opened_at = Some(Instant::now());
+            inner.probing = false;
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current state (probe in flight ⇒ half-open).
+    pub fn state(&self) -> BreakerState {
+        let inner = lock_unpoisoned(&self.state);
+        match (inner.opened_at.is_some(), inner.probing) {
+            (false, _) => BreakerState::Closed,
+            (true, true) => BreakerState::HalfOpen,
+            (true, false) => BreakerState::Open,
+        }
+    }
+
+    /// Times the breaker tripped closed → open (lifetime counter).
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_round_trip_and_index_densely() {
+        let mut seen = [false; FaultSite::COUNT];
+        for site in FaultSite::all() {
+            assert_eq!(FaultSite::from_name(site.name()), Some(site));
+            assert!(!seen[site.index()], "index collision at {}", site.name());
+            seen[site.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(FaultSite::from_name("nope"), None);
+    }
+
+    #[test]
+    fn spec_grammar_parses_and_rejects() {
+        let plan = FaultPlan::parse(&[
+            "worker_execute:panic:2:3",
+            "core_decomp:delay5ms",
+            "admission:error:4",
+        ])
+        .unwrap();
+        assert!(!plan.is_empty());
+        for bad in [
+            "nope:panic",
+            "worker_execute",
+            "worker_execute:explode",
+            "worker_execute:panic:0",
+            "worker_execute:panic:x",
+            "worker_execute:panic:1:y",
+            "worker_execute:panic:1:2:3",
+            "worker_execute:delayms",
+            "worker_execute:delay2s",
+        ] {
+            assert!(FaultPlan::parse(&[bad]).is_err(), "`{bad}` must not parse");
+        }
+        assert!(FaultPlan::parse::<&str>(&[]).unwrap().is_empty());
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn rules_fire_by_match_count_deterministically() {
+        let plan = FaultPlan::parse(&["worker_execute:error:2:2"]).unwrap();
+        let fired: Vec<bool> = (0..5)
+            .map(|_| plan.check(FaultSite::WorkerExecute).is_some())
+            .collect();
+        assert_eq!(fired, [false, true, true, false, false]);
+        assert_eq!(plan.injected(), 2);
+        // Unarmed sites never fire and never advance their counter.
+        assert_eq!(plan.check(FaultSite::Admission), None);
+    }
+
+    #[test]
+    fn open_ended_rule_fires_forever_from_its_start() {
+        let plan = FaultPlan::parse(&["admission:error:3"]).unwrap();
+        let fired: Vec<bool> =
+            (0..6).map(|_| plan.check(FaultSite::Admission).is_some()).collect();
+        assert_eq!(fired, [false, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn perturb_returns_error_flag_and_counts_delays() {
+        let plan = FaultPlan::parse(&["admission:error:1:1", "admission:delay1ms:2:1"]).unwrap();
+        assert!(plan.perturb(FaultSite::Admission), "error rule → caller errors");
+        assert!(!plan.perturb(FaultSite::Admission), "delay rule → no error");
+        assert!(!plan.perturb(FaultSite::Admission), "rules exhausted");
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        for site in FaultSite::all() {
+            assert_eq!(plan.check(site), None);
+            assert!(!plan.perturb(site));
+        }
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_probes_half_open() {
+        let b = Breaker::new(3, Duration::from_millis(0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // breaks the run
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(); // third consecutive → trip
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        // Zero cooldown: the next allow() admits exactly one probe.
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one probe at a time");
+        b.record_failure(); // probe fails → open again, cooldown restarts
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow());
+        b.record_success(); // probe succeeds → closed
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        assert_eq!(b.opens(), 1, "re-open from half-open is not a new trip");
+    }
+
+    #[test]
+    fn breaker_cooldown_blocks_probes_until_elapsed() {
+        let b = Breaker::new(1, Duration::from_secs(3600));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "cooldown far in the future: no probe");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let b = Breaker::new(0, Duration::from_millis(1));
+        for _ in 0..100 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let poisoner = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

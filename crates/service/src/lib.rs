@@ -55,6 +55,7 @@
 
 pub mod cache;
 pub mod codec;
+pub mod fault;
 pub mod metrics;
 pub mod placement;
 pub mod pool;
@@ -68,9 +69,12 @@ pub mod session;
 
 pub use cache::{CacheCounters, LruCache};
 pub use codec::{codec_for, BinaryCodec, Codec, CodecError, CodecKind, LineCodec, MAX_FRAME_LEN};
+pub use fault::{
+    lock_unpoisoned, Breaker, BreakerState, FaultAction, FaultPlan, FaultRule, FaultSite,
+};
 pub use metrics::{Metrics, Verb};
 pub use placement::{Shard, ShardCounters, ShardMap, ShardSnapshot};
-pub use pool::{default_workers, Ticket, WaitError, WorkerPool};
+pub use pool::{default_workers, JobError, Ticket, WorkerPool};
 pub use registry::{BuiltIndex, CommitOutcome, GraphEntry, GraphRegistry};
 pub use request::{
     parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, Priority,
@@ -115,5 +119,7 @@ mod send_sync_audit {
         assert_send_sync::<crate::Metrics>();
         assert_send_sync::<bcc_obs::Histogram>();
         assert_send_sync::<bcc_obs::QueryTrace>();
+        assert_send_sync::<crate::FaultPlan>();
+        assert_send_sync::<crate::Breaker>();
     }
 }

@@ -22,7 +22,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
+use crate::fault::{Breaker, BreakerState};
 use crate::pool::WorkerPool;
 
 /// Monotonic per-shard load counters (relaxed atomics; exact totals, no
@@ -37,13 +39,17 @@ pub struct ShardCounters {
     pub admitted: AtomicU64,
     /// Requests rejected by this shard's admission gate.
     pub rejected: AtomicU64,
+    /// Scatter pair sub-queries rerouted *away* from this shard to the
+    /// home shard because this shard's circuit breaker was open.
+    pub breaker_rerouted: AtomicU64,
 }
 
-/// One shard: a worker pool plus its load counters.
+/// One shard: a worker pool plus its load counters and circuit breaker.
 pub struct Shard {
     id: usize,
     pool: WorkerPool,
     counters: ShardCounters,
+    breaker: Breaker,
 }
 
 impl Shard {
@@ -60,6 +66,12 @@ impl Shard {
     /// The shard's load counters.
     pub fn counters(&self) -> &ShardCounters {
         &self.counters
+    }
+
+    /// The shard's circuit breaker (trips on consecutive transient scatter
+    /// sub-query failures; open shards have pair work rerouted home).
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
     }
 }
 
@@ -88,6 +100,16 @@ pub struct ShardSnapshot {
     pub admitted: u64,
     /// Admission-gate rejections for this shard.
     pub rejected: u64,
+    /// Jobs that panicked on this shard's pool (all contained).
+    pub panics: u64,
+    /// Worker threads respawned after an uncaught job panic.
+    pub respawns: u64,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker: BreakerState,
+    /// Times the breaker tripped closed → open.
+    pub breaker_opens: u64,
+    /// Pair sub-queries rerouted away while the breaker was open.
+    pub breaker_rerouted: u64,
 }
 
 /// The routing table: `N` shards plus explicit graph assignments.
@@ -99,8 +121,22 @@ pub struct ShardMap {
 impl ShardMap {
     /// Creates `shards` shards (0 or 1 ⇒ a single shard, the classic
     /// one-pool topology), each owning a pool of `workers_per_shard`
-    /// threads (0 ⇒ one per core).
+    /// threads (0 ⇒ one per core). Breakers use the service defaults; see
+    /// [`ShardMap::with_breakers`] for explicit tuning.
     pub fn new(shards: usize, workers_per_shard: usize) -> Self {
+        ShardMap::with_breakers(shards, workers_per_shard, 5, Duration::from_millis(250))
+    }
+
+    /// [`ShardMap::new`] with explicit per-shard circuit-breaker tuning:
+    /// trip after `breaker_threshold` consecutive transient failures
+    /// (0 disables the breakers), cool down `breaker_cooldown` before each
+    /// half-open probe.
+    pub fn with_breakers(
+        shards: usize,
+        workers_per_shard: usize,
+        breaker_threshold: u32,
+        breaker_cooldown: Duration,
+    ) -> Self {
         let count = shards.max(1);
         let shards = (0..count)
             .map(|id| {
@@ -108,6 +144,7 @@ impl ShardMap {
                     id,
                     pool: WorkerPool::new(workers_per_shard),
                     counters: ShardCounters::default(),
+                    breaker: Breaker::new(breaker_threshold, breaker_cooldown),
                 })
             })
             .collect();
@@ -221,6 +258,11 @@ impl ShardMap {
                 routed: s.counters.routed.load(Ordering::Relaxed),
                 admitted: s.counters.admitted.load(Ordering::Relaxed),
                 rejected: s.counters.rejected.load(Ordering::Relaxed),
+                panics: s.pool.panics(),
+                respawns: s.pool.respawns(),
+                breaker: s.breaker.state(),
+                breaker_opens: s.breaker.opens(),
+                breaker_rerouted: s.counters.breaker_rerouted.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -303,12 +345,32 @@ mod tests {
         let map = ShardMap::new(2, 1);
         map.shard(1).counters().routed.fetch_add(3, Ordering::Relaxed);
         let ticket = map.shard(0).pool().submit(|| 41 + 1);
-        assert_eq!(ticket.wait(), Some(42));
+        assert_eq!(ticket.wait(), Ok(42));
         let snap = map.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].id, 0);
         assert_eq!(snap[0].executed, 1);
         assert_eq!(snap[1].routed, 3);
         assert_eq!(snap[1].workers, 1);
+        assert_eq!(snap[0].panics, 0);
+        assert_eq!(snap[0].breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn snapshot_reports_breaker_state_and_fault_counters() {
+        let map = ShardMap::with_breakers(2, 1, 2, Duration::from_secs(3600));
+        map.shard(1).breaker().record_failure();
+        map.shard(1).breaker().record_failure();
+        map.shard(1).counters().breaker_rerouted.fetch_add(4, Ordering::Relaxed);
+        map.shard(0).pool().execute(|| panic!("die"));
+        // Barrier: the replacement worker proves the panic was processed.
+        map.shard(0).pool().submit(|| ()).wait().unwrap();
+        let snap = map.snapshot();
+        assert_eq!(snap[0].panics, 1);
+        assert_eq!(snap[0].respawns, 1);
+        assert_eq!(snap[1].breaker, BreakerState::Open);
+        assert_eq!(snap[1].breaker_opens, 1);
+        assert_eq!(snap[1].breaker_rerouted, 4);
+        assert_eq!(snap[0].breaker, BreakerState::Closed);
     }
 }

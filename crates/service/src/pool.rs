@@ -1,16 +1,33 @@
-//! A std::thread worker pool with submit/wait tickets and deadlines.
+//! A std::thread worker pool with submit/wait tickets, deadlines, and
+//! panic containment.
 //!
 //! No external dependencies: a `Mutex<VecDeque>` job queue, a `Condvar` to
 //! park idle workers, and an `mpsc` channel per submitted job to hand the
 //! result back. Searches are CPU-bound and non-blocking, so N = available
 //! hardware parallelism is the right default.
+//!
+//! Panics are contained at two layers so pool capacity never decays:
+//!
+//! * [`WorkerPool::submit`] wraps the closure in `catch_unwind` — a
+//!   panicking job delivers a typed [`JobError::Panicked`] through its
+//!   [`Ticket`] (carrying the panic message) and the worker thread keeps
+//!   serving;
+//! * [`WorkerPool::execute`] (fire-and-forget) jobs run uncaught, so a
+//!   panic unwinds the worker thread — a drop guard then respawns a
+//!   replacement before the thread dies, restoring the pool to full width.
+//!
+//! Both paths count into [`WorkerPool::panics`] / [`WorkerPool::respawns`]
+//! (surfaced per shard in `stats`, `metrics`, and Prometheus).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+use crate::fault::{lock_unpoisoned, panic_message};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -21,40 +38,101 @@ struct Queue {
 
 struct Shared {
     queue: Mutex<Queue>,
-    work_ready: Condvar,
+    work_ready: std::sync::Condvar,
     executed: AtomicU64,
+    /// Jobs that panicked (contained either way: caught on the submit
+    /// path, respawned on the execute path).
+    panics: AtomicU64,
+    /// Worker threads respawned after an uncaught job panic.
+    respawns: AtomicU64,
+    /// Monotonic worker-name counter (replacements get fresh names).
+    next_worker: AtomicU64,
+    /// Live worker handles. Respawn guards push replacements here *before*
+    /// their dying thread exits, and `Drop` joins until the vec drains —
+    /// joining a panicked worker blocks until its guard has pushed, so a
+    /// replacement handle is always observed.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Respawns the worker thread if it is unwinding from a job panic.
+///
+/// Lives on each worker thread's stack for the lifetime of its loop: a
+/// normal return (shutdown) drops it inert; an unwinding drop counts the
+/// panic and — unless the pool is shutting down — spawns a replacement so
+/// the pool never loses capacity to a panicking fire-and-forget job.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.shared.panics.fetch_add(1, Ordering::Relaxed);
+        {
+            // Skip the respawn only when the pool is shutting down *and*
+            // nothing is queued: `Drop` promises every already-queued job
+            // runs before the workers exit, and a worker dying during
+            // shutdown with work pending would strand that queue unless a
+            // replacement drains it.
+            let queue = lock_unpoisoned(&self.shared.queue);
+            if queue.shutdown && queue.jobs.is_empty() {
+                return;
+            }
+        }
+        // Count before the replacement can run: a job that observes the
+        // replacement (e.g. a barrier) must also observe the counter.
+        self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+        if let Ok(handle) = spawn_worker(&self.shared) {
+            lock_unpoisoned(&self.shared.handles).push(handle);
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
+    let id = shared.next_worker.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("bcc-worker-{id}"))
+        .spawn(move || {
+            let _guard = RespawnGuard { shared: Arc::clone(&shared) };
+            worker_loop(&shared);
+        })
 }
 
 /// A fixed-size pool of worker threads executing submitted closures.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Configured width — the pool's invariant worker count (respawns keep
+    /// the live thread count here).
+    width: usize,
 }
 
 impl WorkerPool {
     /// Spawns `workers` threads (0 ⇒ [`default_workers`]).
     pub fn new(workers: usize) -> Self {
-        let workers = if workers == 0 { default_workers() } else { workers };
+        let width = if workers == 0 { default_workers() } else { workers };
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
-            work_ready: Condvar::new(),
+            work_ready: std::sync::Condvar::new(),
             executed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            next_worker: AtomicU64::new(0),
+            handles: Mutex::new(Vec::with_capacity(width)),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("bcc-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { shared, workers: handles }
+        for _ in 0..width {
+            let handle = spawn_worker(&shared).expect("spawn worker thread");
+            lock_unpoisoned(&shared.handles).push(handle);
+        }
+        WorkerPool { shared, width }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (the configured width; panics respawn, so
+    /// the live count equals this).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.width
     }
 
     /// Jobs executed so far (lifetime total).
@@ -62,32 +140,55 @@ impl WorkerPool {
         self.shared.executed.load(Ordering::Relaxed)
     }
 
+    /// Jobs that panicked on this pool (lifetime total; every one was
+    /// contained — caught or respawned).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads respawned after an uncaught job panic.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
+    }
+
     /// Jobs accepted but not yet picked up by a worker (instantaneous
     /// queue depth — the per-shard load signal surfaced in `stats`).
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().unwrap().jobs.len()
+        lock_unpoisoned(&self.shared.queue).jobs.len()
     }
 
-    /// Enqueues a fire-and-forget job.
+    /// Enqueues a fire-and-forget job. A panicking job takes its worker
+    /// thread down — and a replacement is respawned in its place.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = lock_unpoisoned(&self.shared.queue);
         queue.jobs.push_back(Box::new(job));
         drop(queue);
         self.shared.work_ready.notify_one();
     }
 
-    /// Enqueues `f` and returns a [`Ticket`] for its result.
+    /// Enqueues `f` and returns a [`Ticket`] for its result. The job runs
+    /// under `catch_unwind`: a panic becomes [`JobError::Panicked`] at the
+    /// ticket (the worker thread survives, no respawn needed).
     pub fn submit<T, F>(&self, f: F) -> Ticket<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.shared);
         self.execute(move || {
+            // `f` only touches owned/Arc state (the service's shared
+            // handles are all Sync); catching its unwind cannot expose a
+            // broken borrow — and every mutex it might have poisoned is
+            // recovered by `lock_unpoisoned` at the next holder.
+            let result = catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                panic_message(payload.as_ref())
+            });
             // The receiver may have given up (deadline expired); a failed
             // send is fine — the work still ran for its side effects
             // (e.g. populating the result cache).
-            let _ = tx.send(f());
+            let _ = tx.send(result);
         });
         Ticket { rx }
     }
@@ -95,9 +196,16 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.queue.lock().unwrap().shutdown = true;
+        lock_unpoisoned(&self.shared.queue).shutdown = true;
         self.shared.work_ready.notify_all();
-        for handle in self.workers.drain(..) {
+        // Join until the handle list drains: joining a panicked worker
+        // blocks until its respawn guard ran, and the guard pushes the
+        // replacement's handle before its thread exits, so no live worker
+        // can be missed.
+        loop {
+            let Some(handle) = lock_unpoisoned(&self.shared.handles).pop() else {
+                break;
+            };
             let _ = handle.join();
         }
     }
@@ -106,7 +214,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     break job;
@@ -114,11 +222,17 @@ fn worker_loop(shared: &Shared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.work_ready.wait(queue).unwrap();
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
-        job();
+        // Counted before the job runs: the job itself delivers its result to
+        // the waiter, so incrementing afterwards would let a waiter observe
+        // the result while the counter still reads the old value.
         shared.executed.fetch_add(1, Ordering::Relaxed);
+        job();
     }
 }
 
@@ -129,44 +243,62 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Why [`Ticket::wait_until`] returned no value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum WaitError {
-    /// The deadline passed before the job finished (the job keeps running).
+/// Why a [`Ticket`] yielded no value — each cause maps to a distinct
+/// structured protocol error (timeout vs internal), so a waiter never has
+/// to guess whether the worker panicked, the deadline passed, or the pool
+/// went away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload message rode back on the ticket. The
+    /// worker survived (submit jobs are caught) and the work's partial
+    /// side effects never include a cache insert.
+    Panicked(String),
+    /// The deadline passed before the job finished (the job keeps
+    /// running for its side effects).
     DeadlineExpired,
-    /// The job's sender vanished without a value (worker panicked).
-    Lost,
+    /// The job's sender vanished without a value or panic notice — the
+    /// pool shut down before the job could run.
+    Shutdown,
 }
 
 /// A handle to one submitted job's eventual result.
 pub struct Ticket<T> {
-    rx: mpsc::Receiver<T>,
+    rx: mpsc::Receiver<Result<T, String>>,
 }
 
 impl<T> Ticket<T> {
-    /// Blocks until the job finishes. `None` if the worker panicked.
-    pub fn wait(self) -> Option<T> {
-        self.rx.recv().ok()
+    /// Blocks until the job finishes.
+    pub fn wait(self) -> Result<T, JobError> {
+        match self.rx.recv() {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(message)) => Err(JobError::Panicked(message)),
+            Err(_) => Err(JobError::Shutdown),
+        }
     }
 
     /// Blocks until the job finishes or `deadline` passes.
-    pub fn wait_until(self, deadline: Option<Instant>) -> Result<T, WaitError> {
+    pub fn wait_until(self, deadline: Option<Instant>) -> Result<T, JobError> {
+        let unpack = |result: Result<T, String>| match result {
+            Ok(value) => Ok(value),
+            Err(message) => Err(JobError::Panicked(message)),
+        };
         match deadline {
-            None => self.rx.recv().map_err(|_| WaitError::Lost),
+            None => self.wait(),
             Some(deadline) => loop {
                 let now = Instant::now();
                 if now >= deadline {
                     // One last non-blocking look so an already-delivered
                     // result is not discarded.
                     return match self.rx.try_recv() {
-                        Ok(value) => Ok(value),
-                        Err(_) => Err(WaitError::DeadlineExpired),
+                        Ok(result) => unpack(result),
+                        Err(TryRecvError::Empty) => Err(JobError::DeadlineExpired),
+                        Err(TryRecvError::Disconnected) => Err(JobError::Shutdown),
                     };
                 }
                 match self.rx.recv_timeout(deadline - now) {
-                    Ok(value) => return Ok(value),
+                    Ok(result) => return unpack(result),
                     Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => return Err(WaitError::Lost),
+                    Err(RecvTimeoutError::Disconnected) => return Err(JobError::Shutdown),
                 }
             },
         }
@@ -197,6 +329,7 @@ mod tests {
         assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         assert_eq!(pool.executed(), 64);
+        assert_eq!(pool.panics(), 0);
     }
 
     #[test]
@@ -209,7 +342,7 @@ mod tests {
         });
         let ticket = pool.submit(|| 42);
         let deadline = Some(Instant::now() + Duration::from_millis(30));
-        assert_eq!(ticket.wait_until(deadline), Err(WaitError::DeadlineExpired));
+        assert_eq!(ticket.wait_until(deadline), Err(JobError::DeadlineExpired));
         hold_tx.send(()).unwrap();
     }
 
@@ -242,5 +375,61 @@ mod tests {
     fn zero_width_defaults_to_parallelism() {
         let pool = WorkerPool::new(0);
         assert!(pool.workers() >= 1);
+    }
+
+    #[test]
+    fn submitted_panic_is_contained_and_typed() {
+        let pool = WorkerPool::new(1);
+        let ticket = pool.submit(|| -> u32 { panic!("boom: {}", 7) });
+        match ticket.wait() {
+            Err(JobError::Panicked(message)) => assert_eq!(message, "boom: 7"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(pool.panics(), 1);
+        assert_eq!(pool.respawns(), 0, "submit panics are caught, not respawned");
+        // The single worker survived: later jobs still run on it.
+        assert_eq!(pool.submit(|| 5).wait(), Ok(5));
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn executed_panic_respawns_the_worker() {
+        let pool = WorkerPool::new(1);
+        for _ in 0..3 {
+            pool.execute(|| panic!("die"));
+        }
+        // The barrier job proves a live worker processed the whole queue
+        // behind the three panics — capacity was restored each time.
+        assert_eq!(pool.submit(|| 11).wait(), Ok(11));
+        assert_eq!(pool.panics(), 3);
+        assert_eq!(pool.respawns(), 3);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn drop_joins_respawned_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            pool.execute(|| panic!("die"));
+            for _ in 0..4 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // The replacement worker drained the queue and was joined.
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn non_string_panic_payload_gets_fallback_message() {
+        let pool = WorkerPool::new(1);
+        let ticket = pool.submit(|| -> u32 { std::panic::panic_any(42u64) });
+        assert_eq!(
+            ticket.wait(),
+            Err(JobError::Panicked("worker job panicked".into()))
+        );
     }
 }

@@ -35,6 +35,8 @@ use bcc_core::BccIndex;
 use bcc_graph::{GraphDelta, LabeledGraph, VertexId};
 use rustc_hash::FxHashSet;
 
+use crate::fault::lock_unpoisoned;
+
 /// A `BccIndex` plus the wall time its one-off build took.
 #[derive(Clone, Debug)]
 pub struct BuiltIndex {
@@ -219,13 +221,13 @@ impl GraphRegistry {
     /// re-registration never strands a placement decision on a dead
     /// generation.
     pub fn set_placement(&self, placement: Arc<crate::placement::ShardMap>) {
-        *self.placement.lock().unwrap() = Some(placement);
+        *lock_unpoisoned(&self.placement) = Some(placement);
     }
 
     /// Refreshes the routing table's generation pin for a just-published
     /// snapshot (no-op with no placement attached).
     fn notify_placement(&self, name: &str, generation: u64) {
-        if let Some(placement) = self.placement.lock().unwrap().as_ref() {
+        if let Some(placement) = lock_unpoisoned(&self.placement).as_ref() {
             placement.note_registration(name, generation);
         }
     }
@@ -298,7 +300,7 @@ impl GraphRegistry {
         insert: bool,
     ) -> Result<usize, String> {
         let name = entry.name();
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = lock_unpoisoned(&self.pending);
         let slot = pending
             .entry(name.to_owned())
             .or_insert_with(|| PendingDelta {
@@ -355,7 +357,7 @@ impl GraphRegistry {
     ) -> Result<CommitOutcome, String> {
         let name = entry.name();
         let staged = {
-            let mut pending = self.pending.lock().unwrap();
+            let mut pending = lock_unpoisoned(&self.pending);
             let Some(slot) = pending.get(name) else {
                 return Err(format!("nothing staged for graph `{name}`"));
             };

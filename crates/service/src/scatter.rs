@@ -19,11 +19,13 @@
 //! order at gather. Response bytes, hit/miss counts, and LRU recency are
 //! therefore identical whether one shard or many executed the work.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bcc_graph::VertexId;
 
 use crate::pool::Ticket;
+use crate::registry::GraphEntry;
 use crate::request::{CacheKey, ErrorKind, Method, RequestError};
 use crate::response::QueryOutcome;
 
@@ -33,6 +35,10 @@ pub struct ScatterWait {
     pub(crate) seq: u64,
     pub(crate) graph: String,
     pub(crate) method: Method,
+    /// The snapshot the scatter was planned against — gather-side retries
+    /// re-execute against *this* entry, never a registry re-fetch, so a
+    /// mid-flight commit can't mix generations into one response.
+    pub(crate) entry: Arc<GraphEntry>,
     /// The parent request's absolute deadline — inherited by every
     /// sub-query wait.
     pub(crate) deadline: Option<Instant>,
@@ -54,6 +60,9 @@ pub(crate) struct PairJob {
     /// The pair's own cache key — identical to a direct two-vertex
     /// `msearch`'s key, so scatter and direct queries share slots.
     pub(crate) key: CacheKey,
+    /// The shard the sub-query actually executed on (after any breaker
+    /// reroute) — where gather records the outcome for breaker accounting.
+    pub(crate) shard: usize,
     pub(crate) source: PairSource,
 }
 

@@ -31,6 +31,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::codec::{Codec, LineCodec};
+use crate::fault::{lock_unpoisoned, panic_message};
 use crate::placement::Shard;
 use crate::request::Priority;
 use crate::session::{session_error_json, Session, SessionConfig, SessionEnd};
@@ -155,7 +156,7 @@ impl Admission {
         priority: Priority,
         deadline: Option<Instant>,
     ) -> Result<AdmissionPermit<'_>, AdmitError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         if state.in_flight < self.concurrency && state.waiting.is_empty() {
             return Ok(self.dispatch(&mut state, session));
         }
@@ -192,7 +193,10 @@ impl Admission {
                 return Ok(permit);
             }
             state = match deadline {
-                None => self.available.wait(state).unwrap(),
+                None => self
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
@@ -211,7 +215,10 @@ impl Admission {
                         self.available.notify_all();
                         return Err(AdmitError::DeadlineExpired);
                     }
-                    self.available.wait_timeout(state, deadline - now).unwrap().0
+                    self.available
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .0
                 }
             };
         }
@@ -246,14 +253,14 @@ impl Admission {
 
     /// Snapshot of (executing, waiting) — for tests and the load bench.
     pub fn load(&self) -> (usize, usize) {
-        let state = self.state.lock().unwrap();
+        let state = lock_unpoisoned(&self.state);
         (state.in_flight, state.waiting.len())
     }
 }
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
-        let mut state = self.admission.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.admission.state);
         state.in_flight -= 1;
         drop(state);
         self.admission.available.notify_all();
@@ -284,7 +291,7 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for stream in self.live.lock().unwrap().values() {
+        for stream in lock_unpoisoned(&self.live).values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
         let _ = TcpStream::connect(self.addr);
@@ -378,7 +385,7 @@ impl ServerHandle {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        let threads = std::mem::take(&mut *self.shared.session_threads.lock().unwrap());
+        let threads = std::mem::take(&mut *lock_unpoisoned(&self.shared.session_threads));
         for thread in threads {
             let _ = thread.join();
         }
@@ -407,17 +414,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         transport.active_sessions.fetch_add(1, Ordering::Relaxed);
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         if let Ok(registered) = stream.try_clone() {
-            shared.live.lock().unwrap().insert(id, registered);
+            lock_unpoisoned(&shared.live).insert(id, registered);
         }
         let session_shared = Arc::clone(&shared);
         let spawned = std::thread::Builder::new()
             .name(format!("bcc-session-{id}"))
             .spawn(move || session_thread(session_shared, id, stream));
         match spawned {
-            Ok(handle) => shared.session_threads.lock().unwrap().push(handle),
+            Ok(handle) => lock_unpoisoned(&shared.session_threads).push(handle),
             Err(_) => {
                 // Spawn failure: undo the bookkeeping; the stream drops.
-                shared.live.lock().unwrap().remove(&id);
+                lock_unpoisoned(&shared.live).remove(&id);
                 transport.active_sessions.fetch_sub(1, Ordering::Relaxed);
             }
         }
@@ -445,24 +452,42 @@ fn session_thread(shared: Arc<Shared>, id: u64, stream: TcpStream) {
     // holds each small response hostage to the peer's delayed ACK
     // (~40 ms per round trip on loopback).
     let _ = stream.set_nodelay(true);
-    let end = match stream.try_clone() {
-        Ok(read_half) => {
-            let mut session = Session::for_connection(
-                &shared.service,
-                SessionConfig {
-                    id,
-                    default_graph: None,
-                    default_timeout_ms: shared.config.default_timeout_ms,
-                },
-            )
-            .with_gates(&shared.admissions);
-            // BufWriter turns a codec's prefix + payload + newline writes
-            // into one packet; `Session::emit` flushes per response.
-            session.run(BufReader::new(read_half), io::BufWriter::new(&stream))
+    // The whole session runs under containment: the session layer already
+    // catches per-request panics, so anything unwinding to here is a bug
+    // in the codec/framing layer itself — log it, but *always* fall
+    // through to the bookkeeping below (live-map removal, gauge
+    // decrement, socket shutdown), or the server would leak the session
+    // slot and `join` could hang on a thread count that never drains.
+    let end = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match stream.try_clone() {
+            Ok(read_half) => {
+                let mut session = Session::for_connection(
+                    &shared.service,
+                    SessionConfig {
+                        id,
+                        default_graph: None,
+                        default_timeout_ms: shared.config.default_timeout_ms,
+                    },
+                )
+                .with_gates(&shared.admissions);
+                // BufWriter turns a codec's prefix + payload + newline
+                // writes into one packet; `Session::emit` flushes per
+                // response.
+                session.run(BufReader::new(read_half), io::BufWriter::new(&stream))
+            }
+            Err(e) => Err(e),
         }
-        Err(e) => Err(e),
+    })) {
+        Ok(end) => end,
+        Err(cause) => {
+            eprintln!(
+                "{{\"event\":\"session_panic\",\"session\":{id},\"message\":{}}}",
+                bcc_graph::json::json_string(&panic_message(cause.as_ref()))
+            );
+            Ok(SessionEnd::Protocol)
+        }
     };
-    shared.live.lock().unwrap().remove(&id);
+    lock_unpoisoned(&shared.live).remove(&id);
     shared
         .service
         .transport()

@@ -24,9 +24,10 @@ use bcc_core::{
 use bcc_graph::{LabeledGraph, VertexId};
 
 use crate::cache::{CacheCounters, LruCache};
+use crate::fault::{lock_unpoisoned, FaultPlan, FaultSite};
 use crate::metrics::{Metrics, Verb};
 use crate::placement::{ShardMap, ShardSnapshot};
-use crate::pool::{Ticket, WaitError};
+use crate::pool::{JobError, Ticket};
 use crate::registry::{GraphEntry, GraphRegistry};
 use crate::request::{
     parse_line, CacheKey, ErrorKind, Method, MutateOp, MutateRequest, ParsedLine, QueryKind,
@@ -49,6 +50,11 @@ pub const QUERY_THREADS_AUTO: usize = usize::MAX;
 /// PR-8 measurements — below a few tens of thousands of vertices the
 /// frontier/peel chunks are too small to amortize thread handoff.
 const ADAPTIVE_PARALLEL_MIN_VERTICES: usize = 1 << 15;
+
+/// Bounded gather-side re-execution of a scatter pair that failed
+/// internally (worker panic, injected fault): up to this many retries,
+/// with 1 ms / 2 ms backoff, always inside the request's deadline budget.
+const MAX_PAIR_RETRIES: u32 = 2;
 
 /// Tunables for a [`BccService`].
 #[derive(Clone, Debug)]
@@ -91,6 +97,17 @@ pub struct ServiceConfig {
     /// sequential below the adaptive vertex threshold, all cores at or
     /// above it. Responses are byte-identical at every setting.
     pub query_threads: usize,
+    /// Deterministic fault-injection rules, one spec per entry
+    /// (`<site>:<action>[:<from>[:<count>]]` — see [`FaultPlan::parse`]).
+    /// Empty (the default, and the only production configuration) compiles
+    /// the injection points down to a single never-taken branch.
+    pub faults: Vec<String>,
+    /// Consecutive sub-query failures that trip a shard's circuit breaker
+    /// open (0 disables the breakers entirely).
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks a shard before admitting one
+    /// half-open probe.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +123,9 @@ impl Default for ServiceConfig {
             metrics: true,
             slow_query_ms: 250,
             query_threads: QUERY_THREADS_AUTO,
+            faults: Vec::new(),
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 250,
         }
     }
 }
@@ -172,6 +192,21 @@ pub struct ServiceStats {
     pub shards: Vec<ShardSnapshot>,
     /// Service lifetime at snapshot time (the per-shard q/s denominator).
     pub uptime: Duration,
+    /// Faults the injection plan has fired (always 0 without a plan).
+    pub faults_injected: u64,
+    /// Worker jobs that panicked (contained, never fatal; summed across
+    /// shards).
+    pub worker_panics: u64,
+    /// Workers respawned after an uncaught job panic (summed across
+    /// shards; pool capacity never decays).
+    pub worker_respawns: u64,
+    /// Scatter pair sub-queries re-executed after a transient internal
+    /// failure.
+    pub pair_retries: u64,
+    /// Circuit-breaker closed→open transitions (summed across shards).
+    pub breaker_opens: u64,
+    /// Pair sub-queries rerouted to the home shard by an open breaker.
+    pub breaker_rerouted: u64,
 }
 
 /// Renders per-shard snapshots as the `"shards"` JSON object body (shared
@@ -186,8 +221,22 @@ fn shards_json(shards: &[ShardSnapshot], uptime: Duration) -> String {
                 s.executed.saturating_mul(1_000_000).checked_div(uptime_us).unwrap_or(0);
             format!(
                 "\"{}\":{{\"workers\":{},\"queued\":{},\"routed\":{},\"executed\":{},\
-                 \"admitted\":{},\"rejected\":{},\"qps\":{}}}",
-                s.id, s.workers, s.queued, s.routed, s.executed, s.admitted, s.rejected, qps
+                 \"admitted\":{},\"rejected\":{},\"qps\":{},\"panics\":{},\
+                 \"respawns\":{},\"breaker\":\"{}\",\"breaker_opens\":{},\
+                 \"breaker_rerouted\":{}}}",
+                s.id,
+                s.workers,
+                s.queued,
+                s.routed,
+                s.executed,
+                s.admitted,
+                s.rejected,
+                qps,
+                s.panics,
+                s.respawns,
+                s.breaker.name(),
+                s.breaker_opens,
+                s.breaker_rerouted,
             )
         })
         .collect::<Vec<_>>()
@@ -214,7 +263,10 @@ impl ServiceStats {
              \"active_sessions\":{},\"admitted\":{},\"rejected_overloaded\":{},\
              \"admission_timeouts\":{},\"bytes_in\":{},\"bytes_out\":{},\
              \"graphs\":[{}],\"total_search_time_us\":{},\
-             \"slow_queries\":{},\"requests_by_verb\":{{{}}},\"shards\":{{{}}}}}",
+             \"slow_queries\":{},\"requests_by_verb\":{{{}}},\"shards\":{{{}}},\
+             \"faults\":{{\"injected\":{},\"worker_panics\":{},\
+             \"worker_respawns\":{},\"pair_retries\":{},\"breaker_opens\":{},\
+             \"breaker_rerouted\":{}}}}}",
             self.requests,
             self.searches_executed,
             self.cache.hits,
@@ -248,6 +300,12 @@ impl ServiceStats {
                 .collect::<Vec<_>>()
                 .join(","),
             shards_json(&self.shards, self.uptime),
+            self.faults_injected,
+            self.worker_panics,
+            self.worker_respawns,
+            self.pair_retries,
+            self.breaker_opens,
+            self.breaker_rerouted,
         )
     }
 }
@@ -290,6 +348,7 @@ struct Counters {
     mutate_errors: u64,
     cache_invalidated: u64,
     cache_retained: u64,
+    pair_retries: u64,
     total_search_time: Duration,
 }
 
@@ -346,6 +405,7 @@ pub struct BccService {
     counters: Arc<Mutex<Counters>>,
     transport: Arc<TransportCounters>,
     metrics: Arc<Metrics>,
+    faults: Arc<FaultPlan>,
     seq: AtomicU64,
     started: Instant,
 }
@@ -353,8 +413,22 @@ pub struct BccService {
 impl BccService {
     /// Starts the service (spawns the per-shard worker pools) with an
     /// empty registry.
+    ///
+    /// # Panics
+    ///
+    /// When `config.faults` holds a malformed spec — callers taking specs
+    /// from users (the CLI) pre-validate with [`FaultPlan::parse`].
     pub fn new(config: ServiceConfig) -> Self {
-        let shards = Arc::new(ShardMap::new(config.shards, config.workers));
+        let faults = Arc::new(
+            FaultPlan::parse(&config.faults)
+                .unwrap_or_else(|err| panic!("invalid fault spec: {err}")),
+        );
+        let shards = Arc::new(ShardMap::with_breakers(
+            config.shards,
+            config.workers,
+            config.breaker_threshold,
+            Duration::from_millis(config.breaker_cooldown_ms),
+        ));
         let cache = Arc::new(Mutex::new(LruCache::with_weight_cap(
             config.cache_capacity,
             config.cache_weight_cap,
@@ -370,6 +444,7 @@ impl BccService {
             counters: Arc::new(Mutex::new(Counters::default())),
             transport: Arc::new(TransportCounters::default()),
             metrics,
+            faults,
             seq: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -424,11 +499,19 @@ impl BccService {
         &self.metrics
     }
 
+    /// The compiled fault-injection plan (inert unless configured; shared
+    /// with sessions so transport sites consult the same match counters).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.faults
+    }
+
     /// A consistent stats snapshot.
     pub fn stats(&self) -> ServiceStats {
-        let counters = self.counters.lock().unwrap();
-        let cache = self.cache.lock().unwrap();
+        let counters = lock_unpoisoned(&self.counters);
+        let cache = lock_unpoisoned(&self.cache);
         let t = &self.transport;
+        let shards = self.shards.snapshot();
+        let sum = |f: fn(&ShardSnapshot) -> u64| shards.iter().map(f).sum::<u64>();
         ServiceStats {
             requests: counters.requests,
             searches_executed: counters.searches_executed,
@@ -456,7 +539,13 @@ impl BccService {
             bytes_out: t.bytes_out.load(Ordering::Relaxed),
             slow_queries: self.metrics.slow_queries(),
             requests_by_verb: std::array::from_fn(|i| self.metrics.requests(Verb::ALL[i])),
-            shards: self.shards.snapshot(),
+            faults_injected: self.faults.injected(),
+            worker_panics: sum(|s| s.panics),
+            worker_respawns: sum(|s| s.respawns),
+            pair_retries: counters.pair_retries,
+            breaker_opens: sum(|s| s.breaker_opens),
+            breaker_rerouted: sum(|s| s.breaker_rerouted),
+            shards,
             uptime: self.started.elapsed(),
         }
     }
@@ -465,7 +554,7 @@ impl BccService {
     /// on a miss schedules execution on the pool.
     pub fn submit(&self, request: QueryRequest) -> Pending {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.counters.lock().unwrap().requests += 1;
+        lock_unpoisoned(&self.counters).requests += 1;
         let verb = match request.kind {
             QueryKind::Pair { .. } => Verb::Search,
             QueryKind::Multi { .. } => Verb::Msearch,
@@ -478,7 +567,7 @@ impl BccService {
             .clone()
             .unwrap_or_else(|| self.config.default_graph.clone());
         let Some(entry) = self.registry.get(&graph_name) else {
-            self.counters.lock().unwrap().resolve_errors += 1;
+            lock_unpoisoned(&self.counters).resolve_errors += 1;
             self.metrics.record_latency(verb, started.elapsed());
             return Pending::Ready(QueryResponse::error(
                 seq,
@@ -491,7 +580,7 @@ impl BccService {
         let normalized = match normalize(&entry, &request) {
             Ok(normalized) => normalized,
             Err(err) => {
-                self.counters.lock().unwrap().resolve_errors += 1;
+                lock_unpoisoned(&self.counters).resolve_errors += 1;
                 self.metrics.record_latency(verb, started.elapsed());
                 return Pending::Ready(QueryResponse::error(seq, &graph_name, request.method, err));
             }
@@ -505,7 +594,7 @@ impl BccService {
             normalized.b,
         );
 
-        if let Some(outcome) = self.cache.lock().unwrap().get(&key) {
+        if let Some(outcome) = lock_unpoisoned(&self.cache).get(&key) {
             let elapsed = started.elapsed();
             self.metrics.record_latency(verb, elapsed);
             return Pending::Ready(QueryResponse {
@@ -557,6 +646,7 @@ impl BccService {
             cache: Arc::clone(&self.cache),
             counters: Arc::clone(&self.counters),
             metrics: Arc::clone(&self.metrics),
+            faults: Arc::clone(&self.faults),
             query_threads: self.config.query_threads,
         }
     }
@@ -579,6 +669,7 @@ impl BccService {
         started: Instant,
     ) -> Pending {
         let plan = scatter::pair_plan(&normalized.vertices, &normalized.ks);
+        let home = self.shards.route_id(&graph_name);
         let mut pairs = Vec::with_capacity(plan.len());
         for ((vi, ki), (vj, kj)) in plan {
             let pair_key = CacheKey::normalized(
@@ -589,45 +680,85 @@ impl BccService {
                 &[ki, kj],
                 normalized.b,
             );
-            let cached = self.cache.lock().unwrap().get(&pair_key).cloned();
-            let source = match cached {
-                Some(outcome) => PairSource::Cached(outcome),
+            let cached = lock_unpoisoned(&self.cache).get(&pair_key).cloned();
+            let (source, shard) = match cached {
+                Some(outcome) => (PairSource::Cached(outcome), home),
                 None => {
-                    let sub = Normalized {
-                        multi: true,
-                        vertices: vec![vi, vj],
-                        ks: vec![ki, kj],
-                        b: normalized.b,
-                    };
-                    let entry = Arc::clone(&entry);
-                    let shared = self.exec_shared();
-                    let job_key = pair_key.clone();
-                    let shard = self.shards.route_pair(&graph_name, vi.0, vj.0);
-                    shard.counters().routed.fetch_add(1, Ordering::Relaxed);
-                    PairSource::Miss(shard.pool().submit(move || {
-                        execute(&entry, method, &sub, job_key, deadline, false, &shared)
-                    }))
+                    let (ticket, shard) =
+                        self.submit_pair(&graph_name, &entry, method, &pair_key, deadline, home);
+                    (PairSource::Miss(ticket), shard)
                 }
             };
-            pairs.push(PairJob { ql: vi.0, qr: vj.0, key: pair_key, source });
+            pairs.push(PairJob { ql: vi.0, qr: vj.0, key: pair_key, shard, source });
         }
         let shared = self.exec_shared();
         let job_key = key.clone();
         let shard = self.shards.route(&graph_name);
         shard.counters().routed.fetch_add(1, Ordering::Relaxed);
-        let assembly = shard.pool().submit(move || {
-            execute(&entry, method, &normalized, job_key, deadline, false, &shared)
-        });
+        let assembly = {
+            let entry = Arc::clone(&entry);
+            shard.pool().submit(move || {
+                execute(&entry, method, &normalized, job_key, deadline, false, &shared)
+            })
+        };
         Pending::Scatter(Box::new(ScatterWait {
             seq,
             graph: graph_name,
             method,
+            entry,
             deadline,
             started,
             key,
             assembly,
             pairs,
         }))
+    }
+
+    /// Routes and submits one label-pair sub-query. The pair's owning
+    /// shard comes from rendezvous hashing — unless that shard's circuit
+    /// breaker is open, in which case the graph's home shard absorbs the
+    /// pair (correctness preserved, latency degraded, the reroute
+    /// counted). Returns the ticket and the shard id the job actually ran
+    /// on, which is where [`Self::gather`] records the breaker outcome.
+    /// The pair's [`Normalized`] form is rebuilt from its cache key, so
+    /// gather-side retries need only the key.
+    fn submit_pair(
+        &self,
+        graph_name: &str,
+        entry: &Arc<GraphEntry>,
+        method: Method,
+        pair_key: &CacheKey,
+        deadline: Option<Instant>,
+        home: usize,
+    ) -> (Ticket<Result<QueryOutcome, RequestError>>, usize) {
+        let (ql, qr) = (pair_key.vertex_ks[0].0, pair_key.vertex_ks[1].0);
+        let owner = self.shards.route_pair(graph_name, ql, qr);
+        let shard = if owner.id() != home && !owner.breaker().allow() {
+            owner.counters().breaker_rerouted.fetch_add(1, Ordering::Relaxed);
+            &self.shards.shards()[home]
+        } else {
+            owner
+        };
+        shard.counters().routed.fetch_add(1, Ordering::Relaxed);
+        let sub = Normalized {
+            multi: true,
+            vertices: pair_key.vertex_ks.iter().map(|&(v, _)| VertexId(v)).collect(),
+            ks: pair_key.vertex_ks.iter().map(|&(_, k)| k).collect(),
+            b: pair_key.b,
+        };
+        let entry = Arc::clone(entry);
+        let shared = self.exec_shared();
+        let job_key = pair_key.clone();
+        let ticket = shard.pool().submit(move || {
+            if shared.faults.perturb(FaultSite::ScatterPair) {
+                return Err(RequestError {
+                    kind: ErrorKind::Internal,
+                    message: "injected fault at scatter_pair".into(),
+                });
+            }
+            execute(&entry, method, &sub, job_key, deadline, false, &shared)
+        });
+        (ticket, shard.id())
     }
 
     /// Blocks until `pending` resolves (or its deadline passes).
@@ -645,20 +776,13 @@ impl BccService {
             } => {
                 let outcome = match ticket.wait_until(deadline) {
                     Ok(outcome) => outcome,
-                    Err(WaitError::DeadlineExpired) => Err(RequestError {
-                        kind: ErrorKind::Timeout,
-                        message: "deadline expired before the search completed".into(),
-                    }),
-                    Err(WaitError::Lost) => Err(RequestError {
-                        kind: ErrorKind::Internal,
-                        message: "the worker executing this request terminated".into(),
-                    }),
+                    Err(err) => Err(job_error(err)),
                 };
                 // Count timeouts here, once per response, whichever side
                 // noticed first (the waiter's deadline or the worker's
                 // pre-execution drop).
                 if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
-                    self.counters.lock().unwrap().timeouts += 1;
+                    lock_unpoisoned(&self.counters).timeouts += 1;
                 }
                 let elapsed = started.elapsed();
                 self.metrics.record_latency(verb, elapsed);
@@ -682,29 +806,78 @@ impl BccService {
     /// fails the request as long as the assembly succeeded. Cache inserts
     /// replay here, in plan order, so cache state is identical at any
     /// shard count.
+    ///
+    /// Degradation logic lives here too: every executed pair's outcome
+    /// feeds its shard's circuit breaker, and a pair that failed
+    /// *internally* (worker panic, injected fault — never a deadline) is
+    /// retried with bounded backoff inside the inherited deadline budget,
+    /// re-executed against the scatter's original snapshot.
     fn gather(&self, wait: ScatterWait) -> QueryResponse {
-        let ScatterWait { seq, graph, method, deadline, started, key, assembly, pairs } = wait;
+        let ScatterWait {
+            seq,
+            graph,
+            method,
+            entry,
+            deadline,
+            started,
+            key,
+            assembly,
+            pairs,
+        } = wait;
         let collect = |ticket: Ticket<Result<QueryOutcome, RequestError>>| match ticket
             .wait_until(deadline)
         {
             Ok(outcome) => outcome,
-            Err(WaitError::DeadlineExpired) => Err(RequestError {
-                kind: ErrorKind::Timeout,
-                message: "deadline expired before the search completed".into(),
-            }),
-            Err(WaitError::Lost) => Err(RequestError {
-                kind: ErrorKind::Internal,
-                message: "the worker executing this request terminated".into(),
-            }),
+            Err(err) => Err(job_error(err)),
         };
         let assembly_outcome = collect(assembly);
+        let home = self.shards.route_id(&graph);
         let mut pair_outcomes = Vec::with_capacity(pairs.len());
         let mut inserts = Vec::new();
         for job in pairs {
             let outcome = match job.source {
                 PairSource::Cached(outcome) => outcome,
                 PairSource::Miss(ticket) => {
-                    let outcome = collect(ticket);
+                    let mut outcome = collect(ticket);
+                    let mut shard_id = job.shard;
+                    let mut attempt: u32 = 0;
+                    loop {
+                        // Breaker accounting on the shard that actually ran
+                        // the job: internal failures and timeouts are shard
+                        //-health signals; deterministic search errors and
+                        // successes prove the shard alive.
+                        let breaker = self.shards.shards()[shard_id].breaker();
+                        match &outcome {
+                            Err(e)
+                                if e.kind == ErrorKind::Internal
+                                    || e.kind == ErrorKind::Timeout =>
+                            {
+                                breaker.record_failure()
+                            }
+                            _ => breaker.record_success(),
+                        }
+                        // Retry only internal failures (the job died; the
+                        // work was never done) — a blown deadline stays
+                        // blown. Backoff doubles and must fit the budget.
+                        let retryable =
+                            matches!(&outcome, Err(e) if e.kind == ErrorKind::Internal);
+                        if !retryable || attempt >= MAX_PAIR_RETRIES {
+                            break;
+                        }
+                        let backoff = Duration::from_millis(1 << attempt);
+                        if let Some(deadline) = deadline {
+                            if Instant::now() + backoff >= deadline {
+                                break;
+                            }
+                        }
+                        std::thread::sleep(backoff);
+                        attempt += 1;
+                        lock_unpoisoned(&self.counters).pair_retries += 1;
+                        let (ticket, shard) =
+                            self.submit_pair(&graph, &entry, method, &job.key, deadline, home);
+                        shard_id = shard;
+                        outcome = collect(ticket);
+                    }
                     if scatter::cacheable(&outcome) {
                         inserts.push((job.key, outcome.clone()));
                     }
@@ -727,7 +900,7 @@ impl BccService {
             o
         });
         {
-            let mut cache = self.cache.lock().unwrap();
+            let mut cache = lock_unpoisoned(&self.cache);
             for (pair_key, value) in inserts {
                 let weight = scatter::outcome_weight(&value);
                 cache.insert_weighted(pair_key, value, weight);
@@ -738,7 +911,7 @@ impl BccService {
             }
         }
         if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
-            self.counters.lock().unwrap().timeouts += 1;
+            lock_unpoisoned(&self.counters).timeouts += 1;
         }
         let elapsed = started.elapsed();
         self.metrics.record_latency(Verb::Msearch, elapsed);
@@ -761,7 +934,34 @@ impl BccService {
         };
         self.metrics.count_request(verb);
         let started = Instant::now();
-        let response = self.handle_mutate_inner(request);
+        // Containment: a panic anywhere in the mutation path (staging,
+        // commit, index patch, cache rescope) must not unwind into the
+        // session loop — it surfaces as a structured internal error and
+        // the service keeps serving.
+        let op = request.op.verb();
+        let graph_name = request
+            .graph
+            .clone()
+            .unwrap_or_else(|| self.config.default_graph.clone());
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.handle_mutate_inner(request)
+        })) {
+            Ok(response) => response,
+            Err(payload) => {
+                lock_unpoisoned(&self.counters).mutate_errors += 1;
+                MutateResponse {
+                    op,
+                    graph: graph_name,
+                    outcome: Err(RequestError {
+                        kind: ErrorKind::Internal,
+                        message: format!(
+                            "the mutation handler panicked: {}",
+                            crate::fault::panic_message(payload.as_ref())
+                        ),
+                    }),
+                }
+            }
+        };
         self.metrics.record_latency(verb, started.elapsed());
         response
     }
@@ -788,7 +988,7 @@ impl BccService {
                 };
                 match self.registry.stage_edge(&entry, u, v, insert) {
                     Ok(pending) => {
-                        self.counters.lock().unwrap().mutations_staged += 1;
+                        lock_unpoisoned(&self.counters).mutations_staged += 1;
                         MutateResponse {
                             op,
                             graph: graph_name,
@@ -798,49 +998,75 @@ impl BccService {
                     Err(message) => self.mutate_error(op, graph_name, message),
                 }
             }
-            MutateOp::Commit => match self.registry.commit(&graph_name) {
-                Ok(outcome) => {
-                    // Commit-stage phase telemetry: the registry timed the
-                    // overlay apply and the per-batch cascade/χ work; the
-                    // cache rescope is bracketed right here.
-                    use bcc_obs::{Phase, Recorder as _};
-                    let m = &*self.metrics;
-                    m.record_phase(Phase::OverlayApply, outcome.time_overlay_apply);
-                    m.record_phase(Phase::Cascade, outcome.time_cascade);
-                    m.record_phase(Phase::ChiDelta, outcome.time_chi_delta);
-                    let rescope_started = Instant::now();
-                    let (invalidated, retained) = self.rescope_cache(
-                        outcome.old_generation,
-                        outcome.entry.generation(),
-                        outcome.dirty.as_ref(),
-                    );
-                    m.record_phase(Phase::CacheInvalidate, rescope_started.elapsed());
-                    let mut counters = self.counters.lock().unwrap();
-                    counters.commits += 1;
-                    counters.cache_invalidated += invalidated as u64;
-                    counters.cache_retained += retained as u64;
-                    drop(counters);
-                    MutateResponse {
-                        op,
-                        graph: graph_name,
-                        outcome: Ok(MutateOutcome::Committed(CommitSummary {
-                            applied: outcome.applied,
-                            vertices: outcome.entry.graph().vertex_count(),
-                            edges: outcome.entry.graph().edge_count(),
-                            index_patched: outcome.index_patched(),
-                            invalidated,
-                            retained,
-                        })),
+            MutateOp::Commit => {
+                // Injection points for the commit path, checked at commit
+                // entry — bracketing the overlay/cascade/χ/invalidate
+                // stages the commit is about to run. An injected error
+                // leaves the staged batch intact (the commit never ran).
+                use bcc_obs::Phase;
+                for phase in [
+                    Phase::OverlayApply,
+                    Phase::Cascade,
+                    Phase::ChiDelta,
+                    Phase::CacheInvalidate,
+                ] {
+                    let site = FaultSite::Phase(phase);
+                    if self.faults.perturb(site) {
+                        lock_unpoisoned(&self.counters).mutate_errors += 1;
+                        return MutateResponse {
+                            op,
+                            graph: graph_name,
+                            outcome: Err(RequestError {
+                                kind: ErrorKind::Internal,
+                                message: format!("injected fault at {}", site.name()),
+                            }),
+                        };
                     }
                 }
-                Err(message) => self.mutate_error(op, graph_name, message),
-            },
+                match self.registry.commit(&graph_name) {
+                    Ok(outcome) => {
+                        // Commit-stage phase telemetry: the registry timed the
+                        // overlay apply and the per-batch cascade/χ work; the
+                        // cache rescope is bracketed right here.
+                        use bcc_obs::{Phase, Recorder as _};
+                        let m = &*self.metrics;
+                        m.record_phase(Phase::OverlayApply, outcome.time_overlay_apply);
+                        m.record_phase(Phase::Cascade, outcome.time_cascade);
+                        m.record_phase(Phase::ChiDelta, outcome.time_chi_delta);
+                        let rescope_started = Instant::now();
+                        let (invalidated, retained) = self.rescope_cache(
+                            outcome.old_generation,
+                            outcome.entry.generation(),
+                            outcome.dirty.as_ref(),
+                        );
+                        m.record_phase(Phase::CacheInvalidate, rescope_started.elapsed());
+                        let mut counters = lock_unpoisoned(&self.counters);
+                        counters.commits += 1;
+                        counters.cache_invalidated += invalidated as u64;
+                        counters.cache_retained += retained as u64;
+                        drop(counters);
+                        MutateResponse {
+                            op,
+                            graph: graph_name,
+                            outcome: Ok(MutateOutcome::Committed(CommitSummary {
+                                applied: outcome.applied,
+                                vertices: outcome.entry.graph().vertex_count(),
+                                edges: outcome.entry.graph().edge_count(),
+                                index_patched: outcome.index_patched(),
+                                invalidated,
+                                retained,
+                            })),
+                        }
+                    }
+                    Err(message) => self.mutate_error(op, graph_name, message),
+                }
+            }
         }
     }
 
     /// A counted, structured mutation failure.
     fn mutate_error(&self, op: &'static str, graph: String, message: String) -> MutateResponse {
-        self.counters.lock().unwrap().mutate_errors += 1;
+        lock_unpoisoned(&self.counters).mutate_errors += 1;
         MutateResponse { op, graph, outcome: Err(RequestError::mutate(message)) }
     }
 
@@ -857,7 +1083,7 @@ impl BccService {
         new_generation: u64,
         dirty: Option<&rustc_hash::FxHashSet<u32>>,
     ) -> (usize, usize) {
-        let mut cache = self.cache.lock().unwrap();
+        let mut cache = lock_unpoisoned(&self.cache);
         let (mut invalidated, mut retained) = (0, 0);
         // LRU→MRU order, so rekeyed survivors keep their relative recency.
         for key in cache.keys_by_recency() {
@@ -919,6 +1145,10 @@ impl BccService {
         out.pop();
         out.push_str(",\"shards\":{");
         out.push_str(&shards_json(&self.shards.snapshot(), self.started.elapsed()));
+        out.push_str("},\"faults\":{\"injected\":");
+        out.push_str(&self.faults.injected().to_string());
+        out.push_str(",\"pair_retries\":");
+        out.push_str(&lock_unpoisoned(&self.counters).pair_retries.to_string());
         out.push_str("}}");
         out
     }
@@ -928,12 +1158,16 @@ impl BccService {
     pub fn prometheus(&self) -> String {
         type ShardStat = fn(&ShardSnapshot) -> u64;
         let mut out = self.metrics.prometheus();
-        let families: [(&str, &str, ShardStat); 5] = [
+        let families: [(&str, &str, ShardStat); 9] = [
             ("bcc_shard_routed_total", "counter", |s| s.routed),
             ("bcc_shard_executed_total", "counter", |s| s.executed),
             ("bcc_shard_queue_depth", "gauge", |s| s.queued as u64),
             ("bcc_shard_admitted_total", "counter", |s| s.admitted),
             ("bcc_shard_rejected_total", "counter", |s| s.rejected),
+            ("bcc_shard_worker_panics_total", "counter", |s| s.panics),
+            ("bcc_shard_worker_respawns_total", "counter", |s| s.respawns),
+            ("bcc_shard_breaker_opens_total", "counter", |s| s.breaker_opens),
+            ("bcc_shard_breaker_rerouted_total", "counter", |s| s.breaker_rerouted),
         ];
         let snapshot = self.shards.snapshot();
         for (name, kind, value) in families {
@@ -942,6 +1176,29 @@ impl BccService {
                 out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.id, value(s)));
             }
         }
+        out.push_str(
+            "# HELP bcc_shard_breaker_state Circuit-breaker state \
+             (0=closed, 1=open, 2=half_open).\n# TYPE bcc_shard_breaker_state gauge\n",
+        );
+        for s in &snapshot {
+            out.push_str(&format!(
+                "bcc_shard_breaker_state{{shard=\"{}\"}} {}\n",
+                s.id,
+                s.breaker.code()
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP bcc_faults_injected_total Faults the injection plan has fired.\n\
+             # TYPE bcc_faults_injected_total counter\n\
+             bcc_faults_injected_total {}\n",
+            self.faults.injected()
+        ));
+        out.push_str(&format!(
+            "# HELP bcc_pair_retries_total Scatter pair sub-queries retried after an \
+             internal failure.\n# TYPE bcc_pair_retries_total counter\n\
+             bcc_pair_retries_total {}\n",
+            lock_unpoisoned(&self.counters).pair_retries
+        ));
         out
     }
 
@@ -975,11 +1232,20 @@ impl BccService {
                     })
                     .collect::<Vec<_>>()
                     .join(",");
+                let breakers = self
+                    .shards
+                    .shards()
+                    .iter()
+                    .map(|s| format!("\"{}\"", s.breaker().state().name()))
+                    .collect::<Vec<_>>()
+                    .join(",");
                 format!(
-                    "{{\"ok\":true,\"shards\":{},\"workers\":[{}],\"routes\":[{}]}}",
+                    "{{\"ok\":true,\"shards\":{},\"workers\":[{}],\"routes\":[{}],\
+                     \"breakers\":[{}]}}",
                     self.shards.shard_count(),
                     workers,
-                    routes
+                    routes,
+                    breakers
                 )
             }
             ShardCmd::Assign { graph, shard } => {
@@ -1021,7 +1287,7 @@ impl BccService {
     /// layer calls this for TCP sessions too (the counter), substituting
     /// its own per-session seq.
     pub(crate) fn note_parse_error(&self) -> u64 {
-        self.counters.lock().unwrap().parse_errors += 1;
+        lock_unpoisoned(&self.counters).parse_errors += 1;
         self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -1114,7 +1380,7 @@ impl BccService {
                     slots.push(Slot::Line(self.handle_mutate(request).to_json()));
                 }
                 Err(err) => {
-                    self.counters.lock().unwrap().parse_errors += 1;
+                    lock_unpoisoned(&self.counters).parse_errors += 1;
                     slots.push(Slot::Failed(err));
                 }
             }
@@ -1223,7 +1489,29 @@ struct ExecShared {
     cache: SharedCache,
     counters: Arc<Mutex<Counters>>,
     metrics: Arc<Metrics>,
+    faults: Arc<FaultPlan>,
     query_threads: usize,
+}
+
+/// Maps a pool-level wait failure to the structured protocol error it
+/// surfaces as: an expired deadline is a `timeout`; a panicked worker job
+/// (contained, worker respawned) and a shut-down pool are `internal` —
+/// transient, never cached, and retryable by the caller.
+fn job_error(err: JobError) -> RequestError {
+    match err {
+        JobError::DeadlineExpired => RequestError {
+            kind: ErrorKind::Timeout,
+            message: "deadline expired before the search completed".into(),
+        },
+        JobError::Panicked(message) => RequestError {
+            kind: ErrorKind::Internal,
+            message: format!("the worker executing this request panicked: {message}"),
+        },
+        JobError::Shutdown => RequestError {
+            kind: ErrorKind::Internal,
+            message: "the worker pool shut down before the search completed".into(),
+        },
+    }
 }
 
 /// Resolves the [`QUERY_THREADS_AUTO`] sentinel per query: sequential on
@@ -1263,6 +1551,27 @@ fn execute(
                 kind: ErrorKind::Timeout,
                 message: "deadline expired before the search started".into(),
             });
+        }
+    }
+    // Injection points for the query path: the execute entry itself plus
+    // the four search phases it is about to run, checked at phase entry.
+    // An injected error is transient (never cached) by early return here,
+    // before the insert below.
+    {
+        use bcc_obs::Phase;
+        for site in [
+            FaultSite::WorkerExecute,
+            FaultSite::Phase(Phase::QueryDistance),
+            FaultSite::Phase(Phase::CoreDecomp),
+            FaultSite::Phase(Phase::ButterflyCounting),
+            FaultSite::Phase(Phase::LeaderPairing),
+        ] {
+            if shared.faults.perturb(site) {
+                return Err(RequestError {
+                    kind: ErrorKind::Internal,
+                    message: format!("injected fault at {}", site.name()),
+                });
+            }
         }
     }
     let started = Instant::now();
@@ -1311,7 +1620,7 @@ fn execute(
             message: e.to_string(),
         });
     {
-        let mut counters = shared.counters.lock().unwrap();
+        let mut counters = lock_unpoisoned(&shared.counters);
         counters.searches_executed += 1;
         counters.total_search_time += elapsed;
         if outcome.is_err() {
@@ -1322,7 +1631,7 @@ fn execute(
     // cacheable; timeouts and panics never reach this point.
     if cache_insert {
         let weight = scatter::outcome_weight(&outcome);
-        shared.cache.lock().unwrap().insert_weighted(key, outcome.clone(), weight);
+        lock_unpoisoned(&shared.cache).insert_weighted(key, outcome.clone(), weight);
     }
     outcome
 }
@@ -1676,6 +1985,155 @@ mod tests {
             let unescaped = line.replace("\\\"", "");
             assert_eq!(unescaped.matches('"').count() % 2, 0, "{line}");
         }
+    }
+
+    fn service_with_faults(specs: &[&str]) -> BccService {
+        BccService::with_graph(
+            ServiceConfig {
+                workers: 1,
+                faults: specs.iter().map(|s| s.to_string()).collect(),
+                ..ServiceConfig::default()
+            },
+            butterfly_graph(),
+        )
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_typed() {
+        let service = service_with_faults(&["worker_execute:panic:1:1"]);
+        let LineOutcome::Output(first) = service.process_line("search ql=l0 qr=r0") else {
+            panic!();
+        };
+        assert!(first.contains("\"error\":\"internal\""), "{first}");
+        assert!(first.contains("panicked"), "{first}");
+        // The panicked query was never cached; the retry executes at full
+        // (respawn-free: submit containment keeps the worker alive)
+        // capacity and succeeds.
+        let LineOutcome::Output(second) = service.process_line("search ql=l0 qr=r0") else {
+            panic!();
+        };
+        assert!(second.contains("\"ok\":true"), "{second}");
+        assert!(second.contains("\"size\":8"), "{second}");
+        assert!(!second.contains("\"cached\""), "sanity: cached is not serialized");
+        let stats = service.stats();
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.worker_respawns, 0, "submit path contains without respawn");
+        assert_eq!(stats.workers, 1, "pool capacity intact");
+    }
+
+    #[test]
+    fn injected_error_is_transient_and_never_cached() {
+        let service = service_with_faults(&["query_distance:error:1:1"]);
+        let LineOutcome::Output(first) = service.process_line("search ql=l0 qr=r0") else {
+            panic!();
+        };
+        assert!(first.contains("\"error\":\"internal\""), "{first}");
+        assert!(first.contains("injected fault at query_distance"), "{first}");
+        let LineOutcome::Output(second) = service.process_line("search ql=l0 qr=r0") else {
+            panic!();
+        };
+        assert!(second.contains("\"ok\":true"), "{second}");
+        let stats = service.stats();
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.cache.hits, 0, "the injected failure must not be served again");
+        assert_eq!(stats.searches_executed, 1, "only the retry reached the engine");
+    }
+
+    #[test]
+    fn injected_delay_leaves_response_bytes_identical() {
+        let faulty = service_with_faults(&["core_decomp:delay5ms:1:1"]);
+        let clean = service_with_faults(&[]);
+        let line = "search ql=l0 qr=r0";
+        let LineOutcome::Output(a) = faulty.process_line(line) else { panic!() };
+        let LineOutcome::Output(b) = clean.process_line(line) else { panic!() };
+        assert_eq!(a, b, "a delay perturbs timing, never bytes");
+        assert_eq!(faulty.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn commit_phase_fault_leaves_staged_batch_intact() {
+        let service = service_with_faults(&["overlay_apply:error:1:1"]);
+        service.process_line("add_edge u=l3 v=r3");
+        let LineOutcome::Output(failed) = service.process_line("commit") else { panic!() };
+        assert!(failed.contains("\"ok\":false"), "{failed}");
+        assert!(failed.contains("injected fault at overlay_apply"), "{failed}");
+        // The batch was never consumed: the next commit applies it.
+        let LineOutcome::Output(committed) = service.process_line("commit") else { panic!() };
+        assert!(committed.contains("\"ok\":true"), "{committed}");
+        assert!(committed.contains("\"applied\":1"), "{committed}");
+        let stats = service.stats();
+        assert_eq!(stats.mutate_errors, 1);
+        assert_eq!(stats.commits, 1);
+    }
+
+    /// Three labeled 4-cliques chained A–B–C by butterflies (the
+    /// sharded-differential suite's scatter topology).
+    fn three_group_graph() -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..4).map(|_| b.add_vertex("A")).collect();
+        let bb: Vec<_> = (0..4).map(|_| b.add_vertex("B")).collect();
+        let c: Vec<_> = (0..4).map(|_| b.add_vertex("C")).collect();
+        for grp in [&a, &bb, &c] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(grp[i], grp[j]);
+                }
+            }
+        }
+        for (left, right) in [(&a, &bb), (&bb, &c)] {
+            for &x in &left[..2] {
+                for &y in &right[..2] {
+                    b.add_edge(x, y);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scatter_pair_fault_is_retried_within_the_gather() {
+        let service = BccService::with_graph(
+            ServiceConfig {
+                workers: 1,
+                faults: vec!["scatter_pair:error:1:1".into()],
+                ..ServiceConfig::default()
+            },
+            three_group_graph(),
+        );
+        // Three distinct labels ⇒ the scatter path (one assembly + three
+        // pair sub-queries). The first pair submission eats the injected
+        // error; the gather-side retry re-executes it cleanly.
+        let LineOutcome::Output(line) = service.process_line("msearch q=0,4,8 k=3 b=1") else {
+            panic!();
+        };
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(!line.contains("internal"), "retry absorbed the fault: {line}");
+        let stats = service.stats();
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.pair_retries, 1);
+    }
+
+    #[test]
+    fn stats_and_prometheus_surface_fault_counters() {
+        let service = service();
+        let stats = service.stats_json();
+        assert!(
+            stats.contains(
+                ",\"faults\":{\"injected\":0,\"worker_panics\":0,\"worker_respawns\":0,\
+                 \"pair_retries\":0,\"breaker_opens\":0,\"breaker_rerouted\":0}}"
+            ),
+            "{stats}"
+        );
+        assert!(stats.contains("\"breaker\":\"closed\""), "{stats}");
+        let shard_list = service.shard_json(ShardCmd::List);
+        assert!(shard_list.contains("\"breakers\":[\"closed\"]"), "{shard_list}");
+        let prom = service.prometheus();
+        assert!(prom.contains("bcc_shard_breaker_state{shard=\"0\"} 0"), "{prom}");
+        assert!(prom.contains("bcc_faults_injected_total 0"), "{prom}");
+        assert!(prom.contains("bcc_shard_worker_panics_total{shard=\"0\"} 0"), "{prom}");
+        let metrics = service.metrics_json();
+        assert!(metrics.ends_with(",\"faults\":{\"injected\":0,\"pair_retries\":0}}"), "{metrics}");
     }
 
     #[test]

@@ -25,10 +25,12 @@
 //! socket down — it holds no in-flight tickets.
 
 use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use crate::codec::{codec_for, Codec, CodecError, CodecKind};
+use crate::fault::{panic_message, FaultSite};
 use crate::request::{parse_line, Method, ParsedLine, QueryRequest, RequestError};
 use crate::response::QueryResponse;
 use crate::server::{Admission, AdmitError};
@@ -147,7 +149,7 @@ impl<'s> Session<'s> {
                 Ok(None) => return Ok(SessionEnd::Eof),
                 Ok(Some((payload, wire_bytes))) => {
                     transport.bytes_in.fetch_add(wire_bytes, Ordering::Relaxed);
-                    match self.step(&payload) {
+                    match self.step_contained(&payload) {
                         Step::Silent => {}
                         Step::Output(line) => self.emit(&*codec, &mut writer, &line)?,
                         Step::End(end) => return Ok(end),
@@ -164,6 +166,34 @@ impl<'s> Session<'s> {
                 }
                 Err(CodecError::Io(e)) => return Err(e),
             }
+        }
+    }
+
+    /// [`Self::step`] under panic containment: a panic while processing
+    /// one request — injected, or a real bug anywhere in the dispatch
+    /// path — becomes a structured internal error on this session's
+    /// stream, and the session keeps serving subsequent requests. The
+    /// `codec_decode` fault site fires here too, between framing and
+    /// dispatch, inside the containment so its panic action is also
+    /// survivable.
+    fn step_contained(&mut self, payload: &str) -> Step {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.service.fault_plan().perturb(FaultSite::CodecDecode) {
+                return Step::Output(session_error_json(
+                    Some(self.emitted),
+                    "internal",
+                    "injected fault at codec_decode",
+                ));
+            }
+            self.step(payload)
+        }));
+        match result {
+            Ok(step) => step,
+            Err(cause) => Step::Output(session_error_json(
+                Some(self.emitted),
+                "internal",
+                &format!("request processing panicked: {}", panic_message(cause.as_ref())),
+            )),
         }
     }
 
@@ -219,6 +249,12 @@ impl<'s> Session<'s> {
     /// routes to — admission pressure is per-shard, like the pools.
     fn dispatch_query(&self, request: QueryRequest) -> String {
         let seq = self.emitted;
+        // The `admission` fault site: a synthetic gate rejection (or delay,
+        // or panic — contained by `step_contained`) before any real gate
+        // or pool work happens.
+        if self.service.fault_plan().perturb(FaultSite::Admission) {
+            return session_error_json(Some(seq), "overloaded", "injected fault at admission");
+        }
         let Some(gates) = self.gates else {
             let mut response = self.service.handle(request);
             response.seq = seq;

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use bcc_service::{LruCache, WaitError, WorkerPool};
+use bcc_service::{JobError, LruCache, WorkerPool};
 
 #[test]
 fn drop_drains_jobs_queued_behind_a_running_job() {
@@ -70,7 +70,7 @@ fn deadline_expired_ticket_job_still_completes_and_populates_cache() {
     // The job is mid-flight; its waiter's deadline has already passed.
     started_rx.recv().expect("job started");
     let expired = Some(Instant::now() - Duration::from_millis(1));
-    assert_eq!(ticket.wait_until(expired), Err(WaitError::DeadlineExpired));
+    assert_eq!(ticket.wait_until(expired), Err(JobError::DeadlineExpired));
 
     // The abandoned job still completes and warms the cache. A second
     // ticket is the barrier proving it finished.
